@@ -1,0 +1,84 @@
+// Shared plumbing for the paper-reproduction bench binaries.
+//
+// Every binary accepts "--quick" (shrunk sweeps, for smoke runs) and
+// "--csv <dir>" (also emit CSV files next to the printed tables).
+#pragma once
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minimpi/api.h"
+#include "mpimon/sim.h"
+#include "support/table.h"
+#include "topo/topology.h"
+
+namespace mpim::bench {
+
+struct Options {
+  bool quick = false;
+  std::optional<std::string> csv_dir;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      opt.quick = true;
+    } else if (arg == "--csv" && i + 1 < argc) {
+      opt.csv_dir = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0] << " [--quick] [--csv <dir>]\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+inline void maybe_csv(const Options& opt, const Table& table,
+                      const std::string& name) {
+  if (opt.csv_dir) table.write_csv_file(*opt.csv_dir + "/" + name + ".csv");
+}
+
+/// PlaFRIM-like engine config: `nranks` ranks over `nodes` 24-core nodes
+/// with the given initial placement policy ("rr", "random", "standard").
+inline mpi::EngineConfig plafrim_config(int nodes, int nranks,
+                                        const std::string& mapping = "rr",
+                                        unsigned long seed = 1) {
+  auto cost = net::CostModel::plafrim_like(nodes);
+  topo::Placement placement;
+  if (mapping == "rr") {
+    placement = topo::round_robin_placement(nranks, cost.topology());
+  } else if (mapping == "random") {
+    placement = topo::random_placement(nranks, cost.topology(), seed);
+  } else if (mapping == "standard") {
+    placement = topo::bynode_placement(nranks, cost.topology());
+  } else {
+    std::cerr << "unknown mapping " << mapping << "\n";
+    std::exit(2);
+  }
+  mpi::EngineConfig cfg{.cost_model = std::move(cost),
+                        .placement = std::move(placement)};
+  cfg.watchdog_wall_timeout_s = 60.0;
+  // The paper's testbed shares one Omni-Path NIC among 24 ranks per node:
+  // all figure reproductions run with the contention model on. The port
+  // wire rate (~12.5 GB/s) is twice the single-flow effective bandwidth.
+  cfg.nic_contention = true;
+  cfg.nic_port_beta_scale = 2.0;
+  return cfg;
+}
+
+inline int nodes_for_ranks(int nranks) {
+  return (nranks + 23) / 24;  // 24 ranks per node, like the paper
+}
+
+inline void banner(const std::string& what) {
+  std::cout << "\n=== " << what << " ===\n";
+}
+
+}  // namespace mpim::bench

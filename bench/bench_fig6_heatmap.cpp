@@ -1,0 +1,136 @@
+// Figure 6 -- heatmap of the reordering gain for the group-allgather
+// micro-benchmark.
+//
+// Groups of ranks (group g = {g, g+G, g+2G, ...}, spanning the nodes under
+// the round-robin placement) each run an MPI_Allgather per iteration. We
+// measure t1 = n monitored iterations, t2 = the dynamic reordering step
+// (gather matrix at rank 0, TreeMatch, broadcast k, split, rebuild group
+// communicators) and t3 = n iterations after reordering; the gain is
+// 100 * (t1 - (t2 + t3)) / t1 as in the paper.
+//
+// The virtual clock is deterministic, so n identical steady-state
+// iterations cost exactly n times one iteration: t1 and t3 are measured
+// over a handful of iterations and scaled (documented in EXPERIMENTS.md).
+// Expected shape: negative (red) for small buffers x few iterations,
+// up to ~95% (green) for large buffers x many iterations.
+#include "apps/group_allgather.h"
+#include "bench_common.h"
+#include "mpimon/mpi_monitoring.h"
+#include "mpimon/session.hpp"
+#include "reorder/reorder.h"
+
+namespace {
+
+using namespace mpim;
+
+struct CellTimings {
+  double titer_before = 0.0;  ///< steady-state seconds per iteration
+  double t2 = 0.0;            ///< reordering step
+  double titer_after = 0.0;
+};
+
+double global_max(const mpi::Comm& comm, double v) {
+  double out = 0.0;
+  mpi::allreduce(&v, &out, 1, mpi::Type::Double, mpi::Op::Max, comm);
+  return out;
+}
+
+/// One simulated campaign for a given rank count and buffer size.
+CellTimings run_cell(int np, std::size_t count) {
+  Sim sim(bench::plafrim_config(bench::nodes_for_ranks(np), np));
+  CellTimings cell;
+  constexpr int kTimedIters = 4;
+  sim.run([&](mpi::Ctx& ctx) {
+    const mpi::Comm world = ctx.world();
+    const apps::GroupAllgatherConfig one{24, count, 1};
+
+    const mpi::Comm group = apps::make_group_comm(world, one.num_groups);
+
+    // t1 phase (monitored): warm up, then time steady-state iterations.
+    mon::check_rc(MPI_M_init(), "init");
+    MPI_M_msid id;
+    mon::check_rc(MPI_M_start(world, &id), "start");
+    apps::run_group_allgather(group, one);  // warmup
+    mpi::barrier(world);
+    const double t0 = mpi::wtime();
+    for (int i = 0; i < kTimedIters; ++i)
+      apps::run_group_allgather(group, one);
+    mon::check_rc(MPI_M_suspend(id), "suspend");
+    const double titer = (mpi::wtime() - t0) / kTimedIters;
+
+    // t2: the full reordering step, ending with usable group comms.
+    mpi::barrier(world);
+    const double r0 = mpi::wtime();
+    const auto res = reorder::reorder_ranks(id, world);
+    const mpi::Comm new_group =
+        apps::make_group_comm(res.opt_comm, one.num_groups);
+    const double t2 = mpi::wtime() - r0;
+    mon::check_rc(MPI_M_free(id), "free");
+
+    // t3 phase: steady state on the reordered groups.
+    apps::run_group_allgather(new_group, one);  // warmup
+    mpi::barrier(res.opt_comm);
+    const double a0 = mpi::wtime();
+    for (int i = 0; i < kTimedIters; ++i)
+      apps::run_group_allgather(new_group, one);
+    const double titer_after = (mpi::wtime() - a0) / kTimedIters;
+
+    const double g_titer = global_max(world, titer);
+    const double g_t2 = global_max(world, t2);
+    const double g_after = global_max(world, titer_after);
+    if (ctx.world_rank() == 0)
+      cell = CellTimings{g_titer, g_t2, g_after};
+    mon::check_rc(MPI_M_finalize(), "finalize");
+  });
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  const std::vector<int> nps = opt.quick ? std::vector<int>{48}
+                                         : std::vector<int>{48, 96, 192};
+  const std::vector<std::size_t> sizes =
+      opt.quick ? std::vector<std::size_t>{1, 1000, 100000}
+                : std::vector<std::size_t>{1, 10, 100, 1000, 10000, 100000};
+  const std::vector<long> iter_counts = {1, 10, 100, 1000, 10000};
+
+  for (int np : nps) {
+    bench::banner("Fig. 6: reordering gain heatmap, NP = " +
+                  std::to_string(np) +
+                  " (rows: iterations, columns: buffer size in MPI_INT, "
+                  "values: gain %)");
+    std::vector<std::string> header{"iters \\ size"};
+    for (std::size_t s : sizes) header.push_back(std::to_string(s));
+    Table table(header);
+
+    std::vector<CellTimings> cells;
+    cells.reserve(sizes.size());
+    for (std::size_t s : sizes) cells.push_back(run_cell(np, s));
+
+    int green_large = 0;
+    int red_small = 0;
+    for (long n : iter_counts) {
+      std::vector<std::string> row{std::to_string(n)};
+      for (std::size_t ci = 0; ci < sizes.size(); ++ci) {
+        const auto& c = cells[ci];
+        const double t1 = static_cast<double>(n) * c.titer_before;
+        const double t3 = static_cast<double>(n) * c.titer_after;
+        const double gain = 100.0 * (t1 - (c.t2 + t3)) / t1;
+        row.push_back(format_sig(gain, 3));
+        if (n == iter_counts.back() && sizes[ci] >= 10000 && gain > 0)
+          ++green_large;
+        if (n == 1 && sizes[ci] <= 10 && gain < 0) ++red_small;
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    bench::maybe_csv(opt, table, "fig6_heatmap_np" + std::to_string(np));
+    std::printf(
+        "shape: %d small cells negative (reorder cost dominates), "
+        "%d large cells positive (reorder amortized)\n",
+        red_small, green_large);
+  }
+  return 0;
+}

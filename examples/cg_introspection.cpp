@@ -1,0 +1,80 @@
+// Conjugate gradient with runtime introspection: the Section 6.5 workflow.
+//
+// Runs the CG solver (class A) on a scattered placement, monitors its
+// initialization iteration, reorders the ranks and re-sets-up on the
+// optimized communicator -- then reports execution and communication time
+// of both variants plus the monitored per-iteration traffic volume.
+#include <cstdio>
+
+#include "apps/cg.h"
+#include "minimpi/api.h"
+#include "mpimon/mpi_monitoring.h"
+#include "mpimon/session.hpp"
+#include "mpimon/sim.h"
+#include "reorder/reorder.h"
+
+int main() {
+  using namespace mpim;
+
+  const int nranks = 64;
+  auto cost = net::CostModel::plafrim_like(3);
+  mpi::EngineConfig cfg{
+      .cost_model = cost,
+      .placement = topo::random_placement(nranks, cost.topology(), 17)};
+  cfg.nic_contention = true;
+  Sim sim(std::move(cfg));
+
+  double t_plain = 0, c_plain = 0, t_opt = 0, c_opt = 0;
+  unsigned long iter_bytes = 0;
+  bool reordered = false;
+  sim.run([&](mpi::Ctx& ctx) {
+    const mpi::Comm world = ctx.world();
+    const apps::CgConfig cc = apps::cg_class('A');
+    mon::Environment env;
+
+    // Baseline solve on the (random) original mapping.
+    apps::CgSolver plain(world, cc);
+    const apps::CgResult base = plain.solve();
+
+    // Monitor the init iteration, inspect the traffic, reorder.
+    apps::CgSolver init(world, cc);
+    MPI_M_msid id;
+    mon::check_rc(MPI_M_start(world, &id), "start");
+    init.iteration();
+    mon::check_rc(MPI_M_suspend(id), "suspend");
+
+    std::vector<unsigned long> row(static_cast<std::size_t>(nranks));
+    mon::check_rc(
+        MPI_M_get_data(id, MPI_M_DATA_IGNORE, row.data(), MPI_M_ALL_COMM),
+        "get_data");
+    unsigned long sent = 0;
+    for (unsigned long v : row) sent += v;
+
+    const auto res = reorder::reorder_ranks(id, world);
+    mon::check_rc(MPI_M_free(id), "free");
+
+    apps::CgSolver opt(res.opt_comm, cc);
+    const apps::CgResult better = opt.solve();
+
+    if (ctx.world_rank() == 0) {
+      t_plain = base.total_time_s;
+      c_plain = base.comm_time_s;
+      iter_bytes = sent;
+      reordered = res.k != reorder::identity_k(res.k.size());
+    }
+    if (mpi::comm_rank(res.opt_comm) == 0) {
+      t_opt = better.total_time_s;
+      c_opt = better.comm_time_s;
+    }
+  });
+
+  std::printf("CG class A on 64 randomly placed ranks (3 nodes)\n");
+  std::printf("rank 0 sent %lu bytes during the monitored iteration\n",
+              iter_bytes);
+  std::printf("reordering applied: %s\n", reordered ? "yes" : "no (identity)");
+  std::printf("execution time    : %.2f ms -> %.2f ms (%.2fx)\n",
+              t_plain * 1e3, t_opt * 1e3, t_plain / t_opt);
+  std::printf("communication time: %.2f ms -> %.2f ms (%.2fx)\n",
+              c_plain * 1e3, c_opt * 1e3, c_plain / c_opt);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Quickstart: the paper's Listing 2 end to end.
+//
+// "Produces a file that describes all point-to-point messages used to
+// implement MPI_Barrier." -- this is the smallest useful program of the
+// library: create a session, run one collective, suspend, flush, free.
+//
+// Build & run:   ./examples/quickstart
+// Output:        barrier_counts.0.prof / barrier_sizes.0.prof (cwd)
+#include <cstdio>
+
+#include "minimpi/api.h"
+#include "mpimon/mpi_monitoring.h"
+#include "mpimon/sim.h"
+
+int main() {
+  using namespace mpim;
+
+  // A 2-node, 48-core PlaFRIM-like machine with 8 MPI ranks.
+  Sim sim = Sim::plafrim(/*nodes=*/2, /*nranks=*/8);
+
+  sim.run([](mpi::Ctx& ctx) {
+    // --- Listing 2 -----------------------------------------------------
+    MPI_M_init();
+
+    MPI_M_msid id;
+    MPI_M_start(ctx.world(), &id);
+
+    mpi::barrier(ctx.world());
+
+    MPI_M_suspend(id);
+    MPI_M_rootflush(id, 0, "barrier", MPI_M_COLL_ONLY);
+    MPI_M_free(id);
+
+    MPI_M_finalize();
+    // ---------------------------------------------------------------------
+  });
+
+  std::puts(
+      "wrote barrier_counts.0.prof and barrier_sizes.0.prof:\n"
+      "each row i lists how many messages (resp. bytes) rank i sent to\n"
+      "every peer while MPI_Barrier executed -- the dissemination pattern\n"
+      "the barrier decomposes into, visible only below the collective\n"
+      "(an API-level profiler would show an empty matrix).");
+  return 0;
+}

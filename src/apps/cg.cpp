@@ -1,0 +1,220 @@
+#include "apps/cg.h"
+
+#include <cmath>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace mpim::apps {
+
+CgConfig cg_class(char cls) {
+  // NAS CG classes, grid sizes rescaled to simulator-friendly budgets while
+  // preserving the class-to-class growth (documented in DESIGN.md).
+  switch (cls) {
+    case 'S': return CgConfig{48, 10, 42};
+    case 'A': return CgConfig{384, 100, 42};
+    case 'B': return CgConfig{768, 150, 42};
+    case 'C': return CgConfig{1152, 150, 42};
+    case 'D': return CgConfig{1536, 120, 42};
+    default: fail("unknown CG class");
+  }
+}
+
+void cg_process_grid(int nprocs, int* pr, int* pc) {
+  check(nprocs >= 1, "cg_process_grid: nprocs must be positive");
+  // Largest factorization pr x pc with pr <= pc and pr a power of two when
+  // nprocs is (the NAS layout: square or 1x2-rectangular grids).
+  int best_r = 1;
+  for (int r = 1; r * r <= nprocs; ++r)
+    if (nprocs % r == 0) best_r = r;
+  *pr = best_r;
+  *pc = nprocs / best_r;
+}
+
+double cg_rhs_value(unsigned long seed, long global_index) {
+  std::uint64_t s = seed * 0x9e3779b97f4a7c15ULL +
+                    static_cast<std::uint64_t>(global_index);
+  return static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53 - 0.5;
+}
+
+namespace {
+
+int block_offset(int total, int parts, int part) {
+  return static_cast<int>(static_cast<long>(total) * part / parts);
+}
+
+}  // namespace
+
+template <typename Fn>
+auto CgSolver::timed(Fn&& fn) {
+  const double t0 = mpi::wtime();
+  if constexpr (std::is_void_v<decltype(fn())>) {
+    fn();
+    comm_time_s_ += mpi::wtime() - t0;
+  } else {
+    auto out = fn();
+    comm_time_s_ += mpi::wtime() - t0;
+    return out;
+  }
+}
+
+CgSolver::CgSolver(const mpi::Comm& comm, const CgConfig& cfg)
+    : comm_(comm), cfg_(cfg) {
+  const int nprocs = comm.size();
+  cg_process_grid(nprocs, &pr_, &pc_);
+  const int myrank = mpi::comm_rank(comm);
+  prow_ = myrank / pc_;
+  pcol_ = myrank % pc_;
+
+  check(cfg_.grid_n >= pr_ && cfg_.grid_n >= pc_,
+        "CG grid smaller than the process grid");
+  row0_ = block_offset(cfg_.grid_n, pr_, prow_);
+  col0_ = block_offset(cfg_.grid_n, pc_, pcol_);
+  local_rows_ = block_offset(cfg_.grid_n, pr_, prow_ + 1) - row0_;
+  local_cols_ = block_offset(cfg_.grid_n, pc_, pcol_ + 1) - col0_;
+
+  const auto local = static_cast<std::size_t>(local_rows_) *
+                     static_cast<std::size_t>(local_cols_);
+  b_.resize(local);
+  x_.resize(local);
+  r_.resize(local);
+  p_.resize(local);
+  q_.resize(local);
+  halo_n_.assign(static_cast<std::size_t>(local_cols_), 0.0);
+  halo_s_.assign(static_cast<std::size_t>(local_cols_), 0.0);
+  halo_w_.assign(static_cast<std::size_t>(local_rows_), 0.0);
+  halo_e_.assign(static_cast<std::size_t>(local_rows_), 0.0);
+
+  for (int i = 0; i < local_rows_; ++i)
+    for (int j = 0; j < local_cols_; ++j)
+      b_[static_cast<std::size_t>(i * local_cols_ + j)] = cg_rhs_value(
+          cfg_.seed,
+          static_cast<long>(row0_ + i) * cfg_.grid_n + (col0_ + j));
+  reset_state();
+}
+
+void CgSolver::reset_state() {
+  std::fill(x_.begin(), x_.end(), 0.0);
+  r_ = b_;  // r = b - A*0
+  p_ = r_;
+  comm_time_s_ = 0.0;
+}
+
+void CgSolver::exchange_halos(const std::vector<double>& v) {
+  const int up = prow_ > 0 ? (prow_ - 1) * pc_ + pcol_ : -1;
+  const int down = prow_ + 1 < pr_ ? (prow_ + 1) * pc_ + pcol_ : -1;
+  const int left = pcol_ > 0 ? prow_ * pc_ + (pcol_ - 1) : -1;
+  const int right = pcol_ + 1 < pc_ ? prow_ * pc_ + (pcol_ + 1) : -1;
+
+  const auto cols = static_cast<std::size_t>(local_cols_);
+  const auto rows = static_cast<std::size_t>(local_rows_);
+  std::vector<double> edge_w(rows), edge_e(rows);
+  for (int i = 0; i < local_rows_; ++i) {
+    edge_w[static_cast<std::size_t>(i)] =
+        v[static_cast<std::size_t>(i * local_cols_)];
+    edge_e[static_cast<std::size_t>(i)] =
+        v[static_cast<std::size_t>(i * local_cols_ + local_cols_ - 1)];
+  }
+
+  timed([&] {
+    // Eager sends: post all four, then receive all four.
+    if (up >= 0) mpi::send(v.data(), cols, mpi::Type::Double, up, 0, comm_);
+    if (down >= 0)
+      mpi::send(v.data() + (rows - 1) * cols, cols, mpi::Type::Double, down,
+                1, comm_);
+    if (left >= 0)
+      mpi::send(edge_w.data(), rows, mpi::Type::Double, left, 2, comm_);
+    if (right >= 0)
+      mpi::send(edge_e.data(), rows, mpi::Type::Double, right, 3, comm_);
+
+    if (up >= 0)
+      mpi::recv(halo_n_.data(), cols, mpi::Type::Double, up, 1, comm_);
+    else
+      std::fill(halo_n_.begin(), halo_n_.end(), 0.0);
+    if (down >= 0)
+      mpi::recv(halo_s_.data(), cols, mpi::Type::Double, down, 0, comm_);
+    else
+      std::fill(halo_s_.begin(), halo_s_.end(), 0.0);
+    if (left >= 0)
+      mpi::recv(halo_w_.data(), rows, mpi::Type::Double, left, 3, comm_);
+    else
+      std::fill(halo_w_.begin(), halo_w_.end(), 0.0);
+    if (right >= 0)
+      mpi::recv(halo_e_.data(), rows, mpi::Type::Double, right, 2, comm_);
+    else
+      std::fill(halo_e_.begin(), halo_e_.end(), 0.0);
+  });
+}
+
+void CgSolver::apply_operator(const std::vector<double>& v,
+                              std::vector<double>& out) {
+  exchange_halos(v);
+  auto at = [&](int i, int j) -> double {
+    if (i < 0) return halo_n_[static_cast<std::size_t>(j)];
+    if (i >= local_rows_) return halo_s_[static_cast<std::size_t>(j)];
+    if (j < 0) return halo_w_[static_cast<std::size_t>(i)];
+    if (j >= local_cols_) return halo_e_[static_cast<std::size_t>(i)];
+    return v[static_cast<std::size_t>(i * local_cols_ + j)];
+  };
+  for (int i = 0; i < local_rows_; ++i) {
+    for (int j = 0; j < local_cols_; ++j) {
+      out[static_cast<std::size_t>(i * local_cols_ + j)] =
+          4.0 * at(i, j) - at(i - 1, j) - at(i + 1, j) - at(i, j - 1) -
+          at(i, j + 1);
+    }
+  }
+  mpi::compute_flops(9.0 * static_cast<double>(v.size()));
+}
+
+double CgSolver::dot(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  double local = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) local += a[i] * b[i];
+  mpi::compute_flops(2.0 * static_cast<double>(a.size()));
+  double global = 0.0;
+  timed([&] {
+    mpi::allreduce(&local, &global, 1, mpi::Type::Double, mpi::Op::Sum,
+                   comm_);
+  });
+  return global;
+}
+
+double CgSolver::iteration() {
+  const double rho = dot(r_, r_);
+  apply_operator(p_, q_);
+  const double pq = dot(p_, q_);
+  const double alpha = rho / pq;
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    x_[i] += alpha * p_[i];
+    r_[i] -= alpha * q_[i];
+  }
+  double rho_new = 0.0;
+  for (double v : r_) rho_new += v * v;
+  mpi::compute_flops(6.0 * static_cast<double>(x_.size()));
+  double rho_global = 0.0;
+  timed([&] {
+    mpi::allreduce(&rho_new, &rho_global, 1, mpi::Type::Double, mpi::Op::Sum,
+                   comm_);
+  });
+  const double beta = rho_global / rho;
+  for (std::size_t i = 0; i < p_.size(); ++i) p_[i] = r_[i] + beta * p_[i];
+  mpi::compute_flops(2.0 * static_cast<double>(p_.size()));
+  return rho_global;
+}
+
+CgResult CgSolver::solve() {
+  reset_state();
+  const double t0 = mpi::wtime();
+  CgResult out;
+  double rho = 0.0;
+  for (int it = 0; it < cfg_.max_iters; ++it) {
+    rho = iteration();
+    ++out.iterations;
+  }
+  out.residual_norm2 = rho;
+  out.total_time_s = mpi::wtime() - t0;
+  out.comm_time_s = comm_time_s_;
+  return out;
+}
+
+}  // namespace mpim::apps

@@ -1,0 +1,86 @@
+// Distributed conjugate-gradient solver (the paper's Section 6.5 workload).
+//
+// The NAS CG kernel is not redistributable here (no Fortran, no NAS data
+// generator), so this is an honest CG on the 5-point 2-D Poisson matrix
+// with a 2-D block process grid -- it keeps the property the experiment
+// relies on: the communication pattern of every iteration is identical
+// (four halo exchanges per SpMV plus two allreduce dot products), so
+// monitoring one iteration predicts all others. Problem classes follow the
+// NAS naming with sizes scaled to the simulator (DESIGN.md, divergences).
+//
+// Like NAS CG, the code has an initialization step that performs one
+// untimed iteration: the reordering benches monitor that step, reorder,
+// and re-setup on the optimized communicator instead of redistributing.
+#pragma once
+
+#include <vector>
+
+#include "minimpi/api.h"
+
+namespace mpim::apps {
+
+struct CgConfig {
+  int grid_n = 192;       ///< global grid is grid_n x grid_n unknowns
+  int max_iters = 15;     ///< CG iterations (fixed count, NAS-style)
+  unsigned long seed = 42;  ///< right-hand-side generator seed
+};
+
+/// NAS-inspired classes, sizes scaled for the simulator.
+CgConfig cg_class(char cls);  // 'S','A','B','C','D'
+
+struct CgResult {
+  int iterations = 0;
+  double residual_norm2 = 0.0;  ///< ||b - A x||^2 at exit
+  double total_time_s = 0.0;    ///< virtual walltime of the solve (this rank)
+  double comm_time_s = 0.0;     ///< virtual time spent inside MPI calls
+};
+
+/// Distributed CG instance bound to a communicator. All members of `comm`
+/// must construct it collectively with the same config.
+class CgSolver {
+ public:
+  CgSolver(const mpi::Comm& comm, const CgConfig& cfg);
+
+  /// One CG iteration (the communication pattern the monitoring sees).
+  /// Returns rho = r.r after the step.
+  double iteration();
+
+  /// Full solve: reinitializes the state and runs max_iters iterations.
+  CgResult solve();
+
+  const mpi::Comm& comm() const { return comm_; }
+  int grid_rows() const { return pr_; }
+  int grid_cols() const { return pc_; }
+
+ private:
+  void reset_state();
+  /// y = A x for the local block, after refreshing the halos of x.
+  void apply_operator(const std::vector<double>& x, std::vector<double>& y);
+  void exchange_halos(const std::vector<double>& x);
+  double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+  template <typename Fn>
+  auto timed(Fn&& fn);
+
+  mpi::Comm comm_;
+  CgConfig cfg_;
+  int pr_ = 0, pc_ = 0;      ///< process grid
+  int prow_ = 0, pcol_ = 0;  ///< my coordinates
+  int local_rows_ = 0, local_cols_ = 0;
+  int row0_ = 0, col0_ = 0;  ///< global offset of my block
+
+  std::vector<double> b_, x_, r_, p_, q_;
+  std::vector<double> halo_n_, halo_s_, halo_w_, halo_e_;
+
+  double comm_time_s_ = 0.0;
+};
+
+/// Process-grid factorization used by the solver (pr x pc, pr <= pc,
+/// both powers of two for power-of-two sizes -- the NAS constraint).
+void cg_process_grid(int nprocs, int* pr, int* pc);
+
+/// Deterministic right-hand-side entry, independent of the partitioning
+/// (shared by CgSolver and NasCgSolver so their numerics agree).
+double cg_rhs_value(unsigned long seed, long global_index);
+
+}  // namespace mpim::apps

@@ -1,0 +1,28 @@
+// Section 6.4 micro-benchmark: groups of ranks each run an MPI_Allgather
+// per iteration. The groups are built so that, under the initial placement,
+// every group spans as many nodes as possible (group g = ranks
+// {g, g+G, g+2G, ...} with G groups); dynamic rank reordering then packs
+// each group onto contiguous cores.
+#pragma once
+
+#include <vector>
+
+#include "minimpi/api.h"
+
+namespace mpim::apps {
+
+struct GroupAllgatherConfig {
+  int num_groups = 24;   ///< G; group g holds ranks with rank % G == g
+  std::size_t count = 1000;  ///< MPI_INT elements contributed per rank
+  int iters = 10;
+};
+
+/// Builds the cyclic group communicator of the calling rank.
+mpi::Comm make_group_comm(const mpi::Comm& comm, int num_groups);
+
+/// Runs `iters` timing-only allgathers on the calling rank's group
+/// communicator; returns the virtual time spent (this rank).
+double run_group_allgather(const mpi::Comm& group_comm,
+                           const GroupAllgatherConfig& cfg);
+
+}  // namespace mpim::apps

@@ -1,0 +1,79 @@
+#include "apps/halo.h"
+
+#include "apps/cg.h"  // cg_process_grid
+#include "support/rng.h"
+
+namespace mpim::apps {
+
+HaloResult run_halo(const mpi::Comm& comm, const HaloConfig& cfg) {
+  int pr = 0, pc = 0;
+  cg_process_grid(comm.size(), &pr, &pc);
+  const int myrank = mpi::comm_rank(comm);
+  const int prow = myrank / pc;
+  const int pcol = myrank % pc;
+  const int n = cfg.local_n;
+  const auto nn = static_cast<std::size_t>(n);
+
+  std::vector<double> grid(nn * nn), next(nn * nn);
+  Rng rng(cfg.seed + static_cast<unsigned long>(myrank));
+  for (double& v : grid) v = rng.uniform();
+
+  std::vector<double> halo_n(nn, 0.0), halo_s(nn, 0.0), halo_w(nn, 0.0),
+      halo_e(nn, 0.0), edge_w(nn), edge_e(nn);
+
+  const int up = prow > 0 ? (prow - 1) * pc + pcol : -1;
+  const int down = prow + 1 < pr ? (prow + 1) * pc + pcol : -1;
+  const int left = pcol > 0 ? prow * pc + (pcol - 1) : -1;
+  const int right = pcol + 1 < pc ? prow * pc + (pcol + 1) : -1;
+
+  HaloResult out;
+  const double t0 = mpi::wtime();
+  for (int it = 0; it < cfg.iters; ++it) {
+    for (int i = 0; i < n; ++i) {
+      edge_w[static_cast<std::size_t>(i)] = grid[static_cast<std::size_t>(i) * nn];
+      edge_e[static_cast<std::size_t>(i)] =
+          grid[static_cast<std::size_t>(i) * nn + nn - 1];
+    }
+    const double c0 = mpi::wtime();
+    if (up >= 0) mpi::send(grid.data(), nn, mpi::Type::Double, up, 0, comm);
+    if (down >= 0)
+      mpi::send(grid.data() + (nn - 1) * nn, nn, mpi::Type::Double, down, 1,
+                comm);
+    if (left >= 0)
+      mpi::send(edge_w.data(), nn, mpi::Type::Double, left, 2, comm);
+    if (right >= 0)
+      mpi::send(edge_e.data(), nn, mpi::Type::Double, right, 3, comm);
+    if (up >= 0) mpi::recv(halo_n.data(), nn, mpi::Type::Double, up, 1, comm);
+    if (down >= 0)
+      mpi::recv(halo_s.data(), nn, mpi::Type::Double, down, 0, comm);
+    if (left >= 0)
+      mpi::recv(halo_w.data(), nn, mpi::Type::Double, left, 3, comm);
+    if (right >= 0)
+      mpi::recv(halo_e.data(), nn, mpi::Type::Double, right, 2, comm);
+    out.comm_time_s += mpi::wtime() - c0;
+
+    auto at = [&](int i, int j) -> double {
+      if (i < 0) return halo_n[static_cast<std::size_t>(j)];
+      if (i >= n) return halo_s[static_cast<std::size_t>(j)];
+      if (j < 0) return halo_w[static_cast<std::size_t>(i)];
+      if (j >= n) return halo_e[static_cast<std::size_t>(i)];
+      return grid[static_cast<std::size_t>(i) * nn +
+                  static_cast<std::size_t>(j)];
+    };
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j)
+        next[static_cast<std::size_t>(i) * nn + static_cast<std::size_t>(j)] =
+            0.25 * (at(i - 1, j) + at(i + 1, j) + at(i, j - 1) + at(i, j + 1));
+    grid.swap(next);
+    mpi::compute_flops(4.0 * static_cast<double>(nn * nn));
+  }
+  out.total_time_s = mpi::wtime() - t0;
+
+  double local = 0.0;
+  for (double v : grid) local += v;
+  mpi::allreduce(&local, &out.checksum, 1, mpi::Type::Double, mpi::Op::Sum,
+                 comm);
+  return out;
+}
+
+}  // namespace mpim::apps

@@ -1,0 +1,29 @@
+// 2-D Jacobi halo-exchange kernel: the "iterative computation" archetype of
+// the paper's Figure-1 reordering algorithm. Each iteration smooths a local
+// block and exchanges one row/column of doubles with the four grid
+// neighbors -- a fixed communication pattern, ideal for monitor-once,
+// reorder, iterate.
+#pragma once
+
+#include <vector>
+
+#include "minimpi/api.h"
+
+namespace mpim::apps {
+
+struct HaloConfig {
+  int local_n = 64;   ///< local block is local_n x local_n doubles
+  int iters = 10;
+  unsigned long seed = 3;
+};
+
+struct HaloResult {
+  double total_time_s = 0.0;
+  double comm_time_s = 0.0;
+  double checksum = 0.0;  ///< deterministic over runs with equal config
+};
+
+/// Runs `cfg.iters` Jacobi sweeps on a pr x pc process grid over `comm`.
+HaloResult run_halo(const mpi::Comm& comm, const HaloConfig& cfg);
+
+}  // namespace mpim::apps

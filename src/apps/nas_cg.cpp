@@ -1,0 +1,236 @@
+#include "apps/nas_cg.h"
+
+#include <utility>
+
+#include "support/error.h"
+
+namespace mpim::apps {
+
+void nas_process_grid(int nprocs, int* pr, int* pc) {
+  check(nprocs >= 1 && (nprocs & (nprocs - 1)) == 0,
+        "NAS CG needs a power-of-two number of processes");
+  int log2p = 0;
+  while ((1 << (log2p + 1)) <= nprocs) ++log2p;
+  *pr = 1 << (log2p / 2);
+  *pc = nprocs / *pr;  // pc == pr (even log2p) or pc == 2*pr (odd)
+}
+
+namespace {
+constexpr int kRowSumTag = 20;
+constexpr int kTransposeTag = 21;
+constexpr int kAllgatherTag = 22;
+}  // namespace
+
+template <typename Fn>
+void NasCgSolver::timed(Fn&& fn) {
+  const double t0 = mpi::wtime();
+  fn();
+  comm_time_s_ += mpi::wtime() - t0;
+}
+
+NasCgSolver::NasCgSolver(const mpi::Comm& comm, const CgConfig& cfg)
+    : comm_(comm), cfg_(cfg) {
+  nas_process_grid(comm.size(), &pr_, &pc_);
+  const int myrank = mpi::comm_rank(comm);
+  prow_ = myrank / pc_;
+  pcol_ = myrank % pc_;
+
+  check(cfg_.grid_n % 48 == 0,
+        "NAS CG grid_n must be a multiple of 48 (partition divisibility)");
+  n_ = static_cast<long>(cfg_.grid_n) * cfg_.grid_n;
+  check(n_ % (static_cast<long>(pr_) * pc_) == 0,
+        "matrix order not divisible by the process grid");
+
+  rows_ = n_ / pr_;
+  row0_ = rows_ * prow_;
+  cols_ = n_ / pc_;
+  col0_ = cols_ * pcol_;
+  piece_len_ = n_ / (static_cast<long>(pr_) * pc_);
+  piece0_ = col0_ + piece_len_ * prow_;
+
+  build_matrix_block();
+
+  const auto plen = static_cast<std::size_t>(piece_len_);
+  b_.resize(plen);
+  x_.resize(plen);
+  r_.resize(plen);
+  p_.resize(plen);
+  q_.resize(plen);
+  p_full_.resize(static_cast<std::size_t>(cols_));
+  w_.resize(static_cast<std::size_t>(rows_));
+  halves_.resize(static_cast<std::size_t>(rows_ / 2 + 1));
+
+  for (long i = 0; i < piece_len_; ++i)
+    b_[static_cast<std::size_t>(i)] = cg_rhs_value(cfg_.seed, piece0_ + i);
+  reset_state();
+}
+
+void NasCgSolver::build_matrix_block() {
+  const long g = cfg_.grid_n;
+  csr_row_ptr_.assign(static_cast<std::size_t>(rows_) + 1, 0);
+  auto in_cols = [&](long v) { return v >= col0_ && v < col0_ + cols_; };
+
+  for (long lr = 0; lr < rows_; ++lr) {
+    const long u = row0_ + lr;
+    const long y = u / g, x = u % g;
+    // Ascending column order: u-g, u-1, u, u+1, u+g.
+    const std::pair<long, double> entries[] = {
+        {u - g, -1.0}, {u - 1, -1.0}, {u, 4.0}, {u + 1, -1.0}, {u + g, -1.0}};
+    for (const auto& [v, val] : entries) {
+      const bool valid = (v == u) || (v == u - g && y > 0) ||
+                         (v == u + g && y < g - 1) ||
+                         (v == u - 1 && x > 0) || (v == u + 1 && x < g - 1);
+      if (!valid || !in_cols(v)) continue;
+      csr_col_.push_back(static_cast<int>(v - col0_));
+      csr_val_.push_back(val);
+      ++csr_row_ptr_[static_cast<std::size_t>(lr) + 1];
+    }
+  }
+  for (std::size_t i = 1; i < csr_row_ptr_.size(); ++i)
+    csr_row_ptr_[i] += csr_row_ptr_[i - 1];
+}
+
+void NasCgSolver::reset_state() {
+  std::fill(x_.begin(), x_.end(), 0.0);
+  r_ = b_;
+  p_ = r_;
+  comm_time_s_ = 0.0;
+}
+
+double NasCgSolver::dot_pieces(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  double local = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) local += a[i] * b[i];
+  mpi::compute_flops(2.0 * static_cast<double>(a.size()));
+  double global = 0.0;
+  timed([&] {
+    mpi::allreduce(&local, &global, 1, mpi::Type::Double, mpi::Op::Sum,
+                   comm_);
+  });
+  return global;
+}
+
+void NasCgSolver::apply_operator() {
+  const auto plen = static_cast<std::size_t>(piece_len_);
+
+  // 1. Column allgather (recursive doubling): assemble p over Cj from the
+  //    pr pieces held by the ranks of this grid column.
+  std::copy(p_.begin(), p_.end(),
+            p_full_.begin() + static_cast<std::ptrdiff_t>(
+                                  static_cast<long>(prow_) * piece_len_));
+  timed([&] {
+    int base = prow_;  // first piece of the region currently held
+    int cnt = 1;       // pieces held
+    for (int mask = 1; mask < pr_; mask <<= 1) {
+      const int partner_row = prow_ ^ mask;
+      const int partner = partner_row * pc_ + pcol_;
+      const int partner_base = base ^ mask;
+      mpi::send(p_full_.data() + static_cast<long>(base) * piece_len_,
+                static_cast<std::size_t>(cnt) * plen, mpi::Type::Double,
+                partner, kAllgatherTag, comm_);
+      mpi::recv(p_full_.data() + static_cast<long>(partner_base) * piece_len_,
+                static_cast<std::size_t>(cnt) * plen, mpi::Type::Double,
+                partner, kAllgatherTag, comm_);
+      base = std::min(base, partner_base);
+      cnt *= 2;
+    }
+  });
+
+  // 2. Local sparse block SpMV: w = A(Ri x Cj) * p_full.
+  for (long lr = 0; lr < rows_; ++lr) {
+    double acc = 0.0;
+    const long beg = csr_row_ptr_[static_cast<std::size_t>(lr)];
+    const long end = csr_row_ptr_[static_cast<std::size_t>(lr) + 1];
+    for (long e = beg; e < end; ++e)
+      acc += csr_val_[static_cast<std::size_t>(e)] *
+             p_full_[static_cast<std::size_t>(
+                 csr_col_[static_cast<std::size_t>(e)])];
+    w_[static_cast<std::size_t>(lr)] = acc;
+  }
+  mpi::compute_flops(2.0 * static_cast<double>(csr_val_.size()));
+
+  // 3. Reduce-scatter within the grid row (recursive halving): every rank
+  //    ends with the pcol-th chunk of Ri, summed across the row.
+  long cur_off = 0, cur_len = rows_;
+  timed([&] {
+    for (int mask = pc_ >> 1; mask >= 1; mask >>= 1) {
+      const int partner_col = pcol_ ^ mask;
+      const int partner = prow_ * pc_ + partner_col;
+      const long half = cur_len / 2;
+      const bool keep_upper = (pcol_ & mask) != 0;
+      const long send_off = keep_upper ? cur_off : cur_off + half;
+      const long keep_off = keep_upper ? cur_off + half : cur_off;
+      mpi::send(w_.data() + send_off, static_cast<std::size_t>(half),
+                mpi::Type::Double, partner, kRowSumTag, comm_);
+      mpi::recv(halves_.data(), static_cast<std::size_t>(half),
+                mpi::Type::Double, partner, kRowSumTag, comm_);
+      for (long i = 0; i < half; ++i)
+        w_[static_cast<std::size_t>(keep_off + i)] +=
+            halves_[static_cast<std::size_t>(i)];
+      cur_off = keep_off;
+      cur_len = half;
+    }
+  });
+  mpi::compute_flops(static_cast<double>(rows_));  // the summing passes
+  check(cur_len == piece_len_ && cur_off == piece_len_ * pcol_,
+        "reduce-scatter bookkeeping broke");
+
+  // 4. Transpose exchange: my q chunk (chunk-space index prow*pc + pcol)
+  //    is the vector piece of rank (a, b) with b*pr + a = prow*pc + pcol;
+  //    my own piece arrives from the inverse partner.
+  const int send_idx = prow_ * pc_ + pcol_;
+  const int dst = (send_idx % pr_) * pc_ + (send_idx / pr_);
+  const int src_idx = pcol_ * pr_ + prow_;
+  const int src = (src_idx / pc_) * pc_ + (src_idx % pc_);
+  if (dst == mpi::comm_rank(comm_)) {
+    std::copy(w_.begin() + cur_off, w_.begin() + cur_off + piece_len_,
+              q_.begin());
+  } else {
+    timed([&] {
+      mpi::send(w_.data() + cur_off, plen, mpi::Type::Double, dst,
+                kTransposeTag, comm_);
+      mpi::recv(q_.data(), plen, mpi::Type::Double, src, kTransposeTag,
+                comm_);
+    });
+  }
+}
+
+double NasCgSolver::iteration() {
+  const double rho = dot_pieces(r_, r_);
+  apply_operator();  // q = A p (pieces)
+  const double pq = dot_pieces(p_, q_);
+  const double alpha = rho / pq;
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    x_[i] += alpha * p_[i];
+    r_[i] -= alpha * q_[i];
+  }
+  double rho_local = 0.0;
+  for (double v : r_) rho_local += v * v;
+  mpi::compute_flops(6.0 * static_cast<double>(x_.size()));
+  double rho_global = 0.0;
+  timed([&] {
+    mpi::allreduce(&rho_local, &rho_global, 1, mpi::Type::Double,
+                   mpi::Op::Sum, comm_);
+  });
+  const double beta = rho_global / rho;
+  for (std::size_t i = 0; i < p_.size(); ++i) p_[i] = r_[i] + beta * p_[i];
+  mpi::compute_flops(2.0 * static_cast<double>(p_.size()));
+  return rho_global;
+}
+
+CgResult NasCgSolver::solve() {
+  reset_state();
+  const double t0 = mpi::wtime();
+  CgResult out;
+  double rho = 0.0;
+  for (int it = 0; it < cfg_.max_iters; ++it) {
+    rho = iteration();
+    ++out.iterations;
+  }
+  out.residual_norm2 = rho;
+  out.total_time_s = mpi::wtime() - t0;
+  out.comm_time_s = comm_time_s_;
+  return out;
+}
+
+}  // namespace mpim::apps

@@ -1,0 +1,93 @@
+#include "apps/traffic.h"
+
+#include "mpimon/mpi_monitoring.h"
+#include "mpimon/session.hpp"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace mpim::apps {
+
+namespace {
+constexpr int kBurstTag = 11;
+constexpr int kStopTag = 12;
+}  // namespace
+
+TrafficSeries run_traffic_generator(const mpi::Comm& comm,
+                                    const TrafficConfig& cfg) {
+  check(comm.size() >= 2, "traffic generator needs at least two ranks");
+  const int myrank = mpi::comm_rank(comm);
+  TrafficSeries out;
+
+  if (myrank == 1) {
+    // Drain bursts until the stop marker arrives.
+    std::vector<std::byte> buf(cfg.max_bytes);
+    for (;;) {
+      const mpi::Status st = mpi::recv(buf.data(), buf.size(),
+                                       mpi::Type::Byte, 0, mpi::kAnyTag, comm);
+      if (st.tag == kStopTag) break;
+    }
+    return out;
+  }
+  if (myrank != 0) return out;
+
+  Rng rng(cfg.seed);
+  std::vector<std::byte> burst(cfg.max_bytes);
+
+  MPI_M_msid id = -1;
+  mon::check_rc(MPI_M_start(comm, &id), "MPI_M_start");
+
+  std::vector<unsigned long> row(static_cast<std::size_t>(comm.size()));
+  double next_tick = cfg.sample_period_s;
+  double next_burst = 0.0;
+  double next_sleep_len =
+      rng.uniform(cfg.min_sleep_s, cfg.max_sleep_s);
+
+  while (next_tick <= cfg.duration_s + 1e-12) {
+    if (next_burst < next_tick) {
+      // Advance to the burst instant and transmit.
+      if (next_burst > mpi::wtime()) mpi::compute(next_burst - mpi::wtime());
+      const std::size_t bytes = static_cast<std::size_t>(rng.uniform_u64(
+          cfg.min_bytes, cfg.max_bytes));
+      mpi::send(burst.data(), bytes, mpi::Type::Byte, 1, kBurstTag, comm);
+      out.total_sent_bytes += bytes;
+      next_burst += next_sleep_len;
+      next_sleep_len = rng.uniform(cfg.min_sleep_s, cfg.max_sleep_s);
+      continue;
+    }
+    // Advance to the sampling tick and read-and-reset the session,
+    // exactly the paper's use of the reset feature.
+    if (next_tick > mpi::wtime()) mpi::compute(next_tick - mpi::wtime());
+    mon::check_rc(MPI_M_suspend(id), "MPI_M_suspend");
+    mon::check_rc(
+        MPI_M_get_data(id, MPI_M_DATA_IGNORE, row.data(), MPI_M_P2P_ONLY),
+        "MPI_M_get_data");
+    mon::check_rc(MPI_M_reset(id), "MPI_M_reset");
+    mon::check_rc(MPI_M_continue(id), "MPI_M_continue");
+    out.introspection.push_back(TrafficSample{next_tick, row[1]});
+    next_tick += cfg.sample_period_s;
+  }
+
+  mon::check_rc(MPI_M_suspend(id), "MPI_M_suspend");
+  mon::check_rc(MPI_M_free(id), "MPI_M_free");
+  mpi::send(nullptr, 0, mpi::Type::Byte, 1, kStopTag, comm);
+  return out;
+}
+
+std::vector<TrafficSample> sample_nic_series(
+    const std::vector<net::TxRecord>& log, double period_s,
+    double duration_s) {
+  std::vector<TrafficSample> out;
+  const auto buckets =
+      static_cast<std::size_t>(duration_s / period_s + 0.5);
+  out.reserve(buckets);
+  for (std::size_t b = 0; b < buckets; ++b)
+    out.push_back(TrafficSample{static_cast<double>(b + 1) * period_s, 0});
+  for (const net::TxRecord& rec : log) {
+    auto b = static_cast<std::size_t>(rec.time_s / period_s);
+    if (b >= out.size()) continue;  // past the sampled window
+    out[b].bytes += rec.bytes;
+  }
+  return out;
+}
+
+}  // namespace mpim::apps

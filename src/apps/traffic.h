@@ -1,0 +1,50 @@
+// Section 6.1 workload: a two-rank program where rank 0 sends bursts of a
+// random size (1 KB .. 800 KB) and then sleeps 50 .. 1000 ms, while a
+// 10 ms sampler reads the introspection session (using the reset feature)
+// and, separately, the node's simulated NIC hardware counter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "minimpi/api.h"
+#include "netmodel/nic_counters.h"
+
+namespace mpim::apps {
+
+struct TrafficConfig {
+  double duration_s = 40.0;
+  double sample_period_s = 0.010;  ///< the paper's 10 ms monitor frequency
+  std::size_t min_bytes = 1000;
+  std::size_t max_bytes = 800 * 1000;
+  double min_sleep_s = 0.050;
+  double max_sleep_s = 1.000;
+  unsigned long seed = 7;
+};
+
+struct TrafficSample {
+  double time_s = 0.0;          ///< end of the sampling interval
+  std::uint64_t bytes = 0;      ///< bytes observed during the interval
+};
+
+struct TrafficSeries {
+  std::vector<TrafficSample> introspection;  ///< session reads (rank 0)
+  std::vector<TrafficSample> hw_counters;    ///< NIC counter deltas (node 0)
+  std::uint64_t total_sent_bytes = 0;
+};
+
+/// Runs the generator on ranks 0 and 1 of `comm` (others idle). Rank 0
+/// samples its monitoring session every sample_period_s of virtual time;
+/// the NIC series is reconstructed from the hardware counter log after the
+/// run by the caller (see sample_nic_series). Requires MPI_M_init'd
+/// environment. Returns the introspection series (valid on rank 0).
+TrafficSeries run_traffic_generator(const mpi::Comm& comm,
+                                    const TrafficConfig& cfg);
+
+/// Bins a NIC transmit log into the same 10 ms grid (what polling
+/// /sys/class/infiniband/.../port_xmit_data at that period would yield).
+std::vector<TrafficSample> sample_nic_series(
+    const std::vector<net::TxRecord>& log, double period_s,
+    double duration_s);
+
+}  // namespace mpim::apps

@@ -1,0 +1,254 @@
+#include "minimpi/api.h"
+
+#include <algorithm>
+
+#include "minimpi/coll.h"
+
+namespace mpim::mpi {
+
+namespace {
+
+int to_world(const Comm& comm, int comm_rank_or_any) {
+  if (comm_rank_or_any == kAnySource) return kAnySource;
+  return comm.world_rank_of(comm_rank_or_any);
+}
+
+Status to_comm_status(const Comm& comm, Status world_status) {
+  if (world_status.source != kAnySource)
+    world_status.source = comm.group_rank_of_world(world_status.source);
+  return world_status;
+}
+
+void check_user_tag(int tag) {
+  check(tag >= 0 && tag <= kMaxUserTag, "user tag out of range");
+}
+
+void check_recv_tag(int tag) {
+  check(tag == kAnyTag || (tag >= 0 && tag <= kMaxUserTag),
+        "receive tag out of range");
+}
+
+}  // namespace
+
+Comm comm_world() { return Ctx::current().world(); }
+
+int comm_rank(const Comm& comm) {
+  const int r = comm.group_rank_of_world(Ctx::current().world_rank());
+  check(r >= 0, "calling rank is not in the communicator");
+  return r;
+}
+
+int comm_size(const Comm& comm) { return comm.size(); }
+
+double wtime() { return Ctx::current().now(); }
+
+void compute(double seconds) { Ctx::current().advance(seconds); }
+
+void compute_flops(double flops) { Ctx::current().compute_flops(flops); }
+
+// --- communicator management ------------------------------------------------
+
+Comm comm_split(const Comm& comm, int color, int key) {
+  Ctx& ctx = Ctx::current();
+  struct CK {
+    int color;
+    int key;
+    int parent_rank;
+  };
+  const int size = comm.size();
+  const int myrank = comm_rank(comm);
+  std::vector<CK> all(static_cast<std::size_t>(size));
+  const CK mine{color, key, myrank};
+  coll::allgather(ctx, &mine, sizeof(CK), Type::Byte, all.data(), comm,
+                  CommKind::tool);
+
+  const std::uint32_t epoch = ctx.next_mgmt_seq(comm);
+  if (color < 0) return Comm();  // MPI_UNDEFINED
+
+  std::vector<CK> members;
+  for (const CK& ck : all)
+    if (ck.color == color) members.push_back(ck);
+  std::sort(members.begin(), members.end(), [](const CK& a, const CK& b) {
+    return a.key != b.key ? a.key < b.key : a.parent_rank < b.parent_rank;
+  });
+
+  std::vector<int> world_group;
+  world_group.reserve(members.size());
+  for (const CK& ck : members)
+    world_group.push_back(comm.world_rank_of(ck.parent_rank));
+
+  const std::string reg_key = "split:" + std::to_string(comm.context_id()) +
+                              ":" + std::to_string(epoch) + ":" +
+                              std::to_string(color);
+  return ctx.engine().intern_comm(reg_key, std::move(world_group));
+}
+
+Comm comm_dup(const Comm& comm) {
+  Ctx& ctx = Ctx::current();
+  coll::barrier(ctx, comm, CommKind::tool);
+  const std::uint32_t epoch = ctx.next_mgmt_seq(comm);
+  const std::string reg_key =
+      "dup:" + std::to_string(comm.context_id()) + ":" + std::to_string(epoch);
+  return ctx.engine().intern_comm(reg_key, comm.group());
+}
+
+// --- point-to-point ----------------------------------------------------------
+
+void send(const void* buf, std::size_t count, Type type, int dst, int tag,
+          const Comm& comm) {
+  check_user_tag(tag);
+  Ctx::current().send_bytes(to_world(comm, dst), comm, tag, CommKind::p2p, buf,
+                            count * type_size(type));
+}
+
+Status recv(void* buf, std::size_t count, Type type, int src, int tag,
+            const Comm& comm) {
+  check_recv_tag(tag);
+  const Status st = Ctx::current().recv_bytes(
+      to_world(comm, src), comm, tag, CommKind::p2p, buf,
+      count * type_size(type));
+  return to_comm_status(comm, st);
+}
+
+Status sendrecv(const void* sendbuf, std::size_t sendcount, Type type,
+                int dst, int sendtag, void* recvbuf, std::size_t recvcount,
+                int src, int recvtag, const Comm& comm) {
+  send(sendbuf, sendcount, type, dst, sendtag, comm);
+  return recv(recvbuf, recvcount, type, src, recvtag, comm);
+}
+
+Request isend(const void* buf, std::size_t count, Type type, int dst, int tag,
+              const Comm& comm) {
+  send(buf, count, type, dst, tag, comm);
+  Request req;
+  req.kind_ = Request::Kind::send;
+  req.done_ = true;
+  req.status_ = Status{kAnySource, tag, count * type_size(type)};
+  return req;
+}
+
+Request irecv(void* buf, std::size_t count, Type type, int src, int tag,
+              const Comm& comm) {
+  check_recv_tag(tag);
+  Request req;
+  req.kind_ = Request::Kind::recv;
+  req.buf_ = buf;
+  req.capacity_ = count * type_size(type);
+  req.src_world_ = to_world(comm, src);
+  req.tag_ = tag;
+  req.comm_ = comm;
+  return req;
+}
+
+Status wait(Request& request) {
+  check(request.kind_ != Request::Kind::null, "wait on a null request");
+  if (request.done_) return request.status_;
+  const Status st = Ctx::current().recv_bytes(
+      request.src_world_, request.comm_, request.tag_, CommKind::p2p,
+      request.buf_, request.capacity_);
+  request.status_ = to_comm_status(request.comm_, st);
+  request.done_ = true;
+  return request.status_;
+}
+
+bool test(Request& request) {
+  check(request.kind_ != Request::Kind::null, "test on a null request");
+  if (request.done_) return true;
+  Status st;
+  if (!Ctx::current().try_recv_bytes(request.src_world_, request.comm_,
+                                     request.tag_, CommKind::p2p,
+                                     request.buf_, request.capacity_, &st))
+    return false;
+  request.status_ = to_comm_status(request.comm_, st);
+  request.done_ = true;
+  return true;
+}
+
+void waitall(std::span<Request> requests) {
+  for (Request& r : requests) wait(r);
+}
+
+bool iprobe(int src, int tag, const Comm& comm, Status* status) {
+  check_recv_tag(tag);
+  Status st;
+  if (!Ctx::current().iprobe_bytes(to_world(comm, src), comm, tag,
+                                   CommKind::p2p, &st))
+    return false;
+  if (status != nullptr) *status = to_comm_status(comm, st);
+  return true;
+}
+
+// --- collectives -------------------------------------------------------------
+
+void barrier(const Comm& comm) {
+  coll::barrier(Ctx::current(), comm, CommKind::coll);
+}
+void bcast(void* buf, std::size_t count, Type type, int root,
+           const Comm& comm) {
+  coll::bcast(Ctx::current(), buf, count, type, root, comm, CommKind::coll);
+}
+void reduce(const void* sendbuf, void* recvbuf, std::size_t count, Type type,
+            Op op, int root, const Comm& comm) {
+  coll::reduce(Ctx::current(), sendbuf, recvbuf, count, type, op, root, comm,
+               CommKind::coll);
+}
+void allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
+               Type type, Op op, const Comm& comm) {
+  coll::allreduce(Ctx::current(), sendbuf, recvbuf, count, type, op, comm,
+                  CommKind::coll);
+}
+void gather(const void* sendbuf, std::size_t count, Type type, void* recvbuf,
+            int root, const Comm& comm) {
+  coll::gather(Ctx::current(), sendbuf, count, type, recvbuf, root, comm,
+               CommKind::coll);
+}
+void scatter(const void* sendbuf, std::size_t count, Type type, void* recvbuf,
+             int root, const Comm& comm) {
+  coll::scatter(Ctx::current(), sendbuf, count, type, recvbuf, root, comm,
+                CommKind::coll);
+}
+void allgather(const void* sendbuf, std::size_t count, Type type,
+               void* recvbuf, const Comm& comm) {
+  coll::allgather(Ctx::current(), sendbuf, count, type, recvbuf, comm,
+                  CommKind::coll);
+}
+void alltoall(const void* sendbuf, std::size_t count, Type type,
+              void* recvbuf, const Comm& comm) {
+  coll::alltoall(Ctx::current(), sendbuf, count, type, recvbuf, comm,
+                 CommKind::coll);
+}
+void scan(const void* sendbuf, void* recvbuf, std::size_t count, Type type,
+          Op op, const Comm& comm) {
+  coll::scan(Ctx::current(), sendbuf, recvbuf, count, type, op, comm,
+             CommKind::coll);
+}
+void exscan(const void* sendbuf, void* recvbuf, std::size_t count, Type type,
+            Op op, const Comm& comm) {
+  coll::exscan(Ctx::current(), sendbuf, recvbuf, count, type, op, comm,
+               CommKind::coll);
+}
+void reduce_scatter_block(const void* sendbuf, void* recvbuf,
+                          std::size_t count, Type type, Op op,
+                          const Comm& comm) {
+  coll::reduce_scatter_block(Ctx::current(), sendbuf, recvbuf, count, type,
+                             op, comm, CommKind::coll);
+}
+
+// --- typed helpers -----------------------------------------------------------
+
+template <>
+Type type_of<char>() { return Type::Char; }
+template <>
+Type type_of<int>() { return Type::Int; }
+template <>
+Type type_of<unsigned>() { return Type::Unsigned; }
+template <>
+Type type_of<long>() { return Type::Long; }
+template <>
+Type type_of<unsigned long>() { return Type::UnsignedLong; }
+template <>
+Type type_of<float>() { return Type::Float; }
+template <>
+Type type_of<double>() { return Type::Double; }
+
+}  // namespace mpim::mpi

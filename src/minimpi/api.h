@@ -1,0 +1,100 @@
+// MPI-style user API.
+//
+// Free functions that resolve the calling rank through Ctx::current(), so
+// application code reads like MPI without threading an explicit context
+// everywhere. All rank arguments are ranks *within the given communicator*.
+#pragma once
+
+#include <span>
+
+#include "minimpi/comm.h"
+#include "minimpi/engine.h"
+#include "minimpi/request.h"
+#include "minimpi/types.h"
+
+namespace mpim::mpi {
+
+// --- environment -----------------------------------------------------------
+
+Comm comm_world();
+int comm_rank(const Comm& comm);
+int comm_size(const Comm& comm);
+
+/// Virtual time of the calling rank (MPI_Wtime).
+double wtime();
+/// Model `seconds` of computation (or sleeping) on the calling rank.
+void compute(double seconds);
+/// Model `flops` floating point operations at the configured rate.
+void compute_flops(double flops);
+
+// --- communicator management ------------------------------------------------
+
+/// Color < 0 plays MPI_UNDEFINED: the caller gets a null communicator.
+/// Members with equal color are ordered by (key, parent rank).
+Comm comm_split(const Comm& comm, int color, int key);
+Comm comm_dup(const Comm& comm);
+
+// --- point-to-point ----------------------------------------------------------
+
+void send(const void* buf, std::size_t count, Type type, int dst, int tag,
+          const Comm& comm);
+Status recv(void* buf, std::size_t count, Type type, int src, int tag,
+            const Comm& comm);
+Status sendrecv(const void* sendbuf, std::size_t sendcount, Type type,
+                int dst, int sendtag, void* recvbuf, std::size_t recvcount,
+                int src, int recvtag, const Comm& comm);
+
+Request isend(const void* buf, std::size_t count, Type type, int dst, int tag,
+              const Comm& comm);
+Request irecv(void* buf, std::size_t count, Type type, int src, int tag,
+              const Comm& comm);
+Status wait(Request& request);
+bool test(Request& request);
+void waitall(std::span<Request> requests);
+
+/// Non-consuming probe for a matching user message.
+bool iprobe(int src, int tag, const Comm& comm, Status* status = nullptr);
+
+// --- collectives -------------------------------------------------------------
+
+void barrier(const Comm& comm);
+void bcast(void* buf, std::size_t count, Type type, int root,
+           const Comm& comm);
+void reduce(const void* sendbuf, void* recvbuf, std::size_t count, Type type,
+            Op op, int root, const Comm& comm);
+void allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
+               Type type, Op op, const Comm& comm);
+void gather(const void* sendbuf, std::size_t count, Type type, void* recvbuf,
+            int root, const Comm& comm);
+void scatter(const void* sendbuf, std::size_t count, Type type, void* recvbuf,
+             int root, const Comm& comm);
+void allgather(const void* sendbuf, std::size_t count, Type type,
+               void* recvbuf, const Comm& comm);
+void alltoall(const void* sendbuf, std::size_t count, Type type,
+              void* recvbuf, const Comm& comm);
+/// Inclusive prefix reduction over the ranks.
+void scan(const void* sendbuf, void* recvbuf, std::size_t count, Type type,
+          Op op, const Comm& comm);
+/// Exclusive prefix reduction (rank 0's recvbuf untouched).
+void exscan(const void* sendbuf, void* recvbuf, std::size_t count, Type type,
+            Op op, const Comm& comm);
+/// Element-wise reduction of size*count elements; rank i gets block i.
+void reduce_scatter_block(const void* sendbuf, void* recvbuf,
+                          std::size_t count, Type type, Op op,
+                          const Comm& comm);
+
+// --- typed convenience overloads ---------------------------------------------
+
+template <typename T>
+Type type_of();
+
+template <typename T>
+void send(std::span<const T> buf, int dst, int tag, const Comm& comm) {
+  send(buf.data(), buf.size(), type_of<T>(), dst, tag, comm);
+}
+template <typename T>
+Status recv(std::span<T> buf, int src, int tag, const Comm& comm) {
+  return recv(buf.data(), buf.size(), type_of<T>(), src, tag, comm);
+}
+
+}  // namespace mpim::mpi

@@ -1,0 +1,92 @@
+// Allgather algorithms: ring (default) and Bruck-style recursive doubling.
+#include "minimpi/coll_common.h"
+
+namespace mpim::mpi::coll {
+
+namespace {
+
+void allgather_ring(detail::Round& r, const void* sendbuf, void* recvbuf,
+                    std::size_t block_bytes) {
+  const int size = r.size();
+  const int rank = r.rank();
+  detail::copy_block(detail::block_at(recvbuf, static_cast<std::size_t>(rank),
+                                      block_bytes),
+                     sendbuf, block_bytes);
+  const int dst = (rank + 1) % size;
+  const int src = (rank - 1 + size) % size;
+  int send_idx = rank;
+  int recv_idx = src;
+  for (int step = 1; step < size; ++step) {
+    r.send(dst,
+           detail::block_at(recvbuf, static_cast<std::size_t>(send_idx),
+                            block_bytes),
+           block_bytes);
+    r.recv(src,
+           detail::block_at(recvbuf, static_cast<std::size_t>(recv_idx),
+                            block_bytes),
+           block_bytes);
+    send_idx = recv_idx;
+    recv_idx = (recv_idx - 1 + size) % size;
+  }
+}
+
+// Bruck: log2-rounds with doubling block counts on a rotated buffer.
+// Works for any communicator size.
+void allgather_bruck(detail::Round& r, const void* sendbuf, void* recvbuf,
+                     std::size_t block_bytes) {
+  const int size = r.size();
+  const int rank = r.rank();
+  // Rotated scratch: block i holds the contribution of rank (rank+i)%size.
+  auto scratch = detail::scratch_if(
+      recvbuf != nullptr, static_cast<std::size_t>(size) * block_bytes);
+  detail::copy_block(scratch.get(), sendbuf, block_bytes);
+
+  int have = 1;  // blocks currently held (contiguous from 0)
+  for (int step = 1; step < size; step <<= 1) {
+    const int chunk = std::min(have, size - have);
+    const int dst = (rank - step + size) % size;
+    const int src = (rank + step) % size;
+    r.send(dst, scratch.get(), static_cast<std::size_t>(chunk) * block_bytes);
+    r.recv(src,
+           detail::block_at(scratch.get(), static_cast<std::size_t>(have),
+                            block_bytes),
+           static_cast<std::size_t>(chunk) * block_bytes);
+    have += chunk;
+  }
+
+  // Un-rotate into the caller's buffer.
+  if (recvbuf != nullptr && scratch != nullptr) {
+    for (int i = 0; i < size; ++i) {
+      const int owner = (rank + i) % size;
+      detail::copy_block(
+          detail::block_at(recvbuf, static_cast<std::size_t>(owner),
+                           block_bytes),
+          detail::block_at(scratch.get(), static_cast<std::size_t>(i),
+                           block_bytes),
+          block_bytes);
+    }
+  }
+}
+
+}  // namespace
+
+void allgather(Ctx& ctx, const void* sendbuf, std::size_t count, Type type,
+               void* recvbuf, const Comm& comm, CommKind kind) {
+  detail::Round r(ctx, comm, kind);
+  const std::size_t block_bytes = count * type_size(type);
+  if (r.size() == 1) {
+    detail::copy_block(recvbuf, sendbuf, block_bytes);
+    return;
+  }
+  switch (ctx.engine().config().coll.allgather) {
+    case AllgatherAlgo::ring:
+      allgather_ring(r, sendbuf, recvbuf, block_bytes);
+      return;
+    case AllgatherAlgo::bruck:
+      allgather_bruck(r, sendbuf, recvbuf, block_bytes);
+      return;
+  }
+  fail("unknown allgather algorithm");
+}
+
+}  // namespace mpim::mpi::coll

@@ -1,0 +1,65 @@
+// Barrier algorithms: dissemination (default) and binomial tree.
+#include "minimpi/coll_common.h"
+
+namespace mpim::mpi::coll {
+
+namespace {
+
+void barrier_dissemination(detail::Round& r) {
+  const int size = r.size();
+  for (int step = 1; step < size; step <<= 1) {
+    const int dst = (r.rank() + step) % size;
+    const int src = (r.rank() - step + size) % size;
+    r.send(dst, nullptr, 0);
+    r.recv(src, nullptr, 0);
+  }
+}
+
+// Binomial fan-in to rank 0 followed by binomial fan-out.
+void barrier_tree(detail::Round& r) {
+  const int size = r.size();
+  const int rank = r.rank();
+  int mask = 1;
+  while (mask < size) {
+    if (rank & mask) {
+      r.send(rank - mask, nullptr, 0);
+      break;
+    }
+    if (rank + mask < size) r.recv(rank + mask, nullptr, 0);
+    mask <<= 1;
+  }
+  // Fan-out: mirror of the fan-in.
+  if (rank != 0) {
+    // Find the bit we sent on; our parent releases us.
+    int parent_mask = 1;
+    while (!(rank & parent_mask)) parent_mask <<= 1;
+    r.recv(rank - parent_mask, nullptr, 0);
+    mask = parent_mask >> 1;
+  } else {
+    mask = 1;
+    while (mask < size) mask <<= 1;
+    mask >>= 1;
+  }
+  for (; mask > 0; mask >>= 1) {
+    if ((rank & (mask - 1)) == 0 && !(rank & mask) && rank + mask < size)
+      r.send(rank + mask, nullptr, 0);
+  }
+}
+
+}  // namespace
+
+void barrier(Ctx& ctx, const Comm& comm, CommKind kind) {
+  detail::Round r(ctx, comm, kind);
+  if (r.size() == 1) return;
+  switch (ctx.engine().config().coll.barrier) {
+    case BarrierAlgo::dissemination:
+      barrier_dissemination(r);
+      return;
+    case BarrierAlgo::tree:
+      barrier_tree(r);
+      return;
+  }
+  fail("unknown barrier algorithm");
+}
+
+}  // namespace mpim::mpi::coll

@@ -1,0 +1,60 @@
+// Broadcast algorithms. The paper's Fig. 5b optimizes a *binomial tree*
+// broadcast, which is the default here.
+#include "minimpi/coll_common.h"
+
+namespace mpim::mpi::coll {
+
+namespace {
+
+// Classic binomial broadcast on virtual ranks (vrank = rank rotated so the
+// root is vrank 0): receive from the parent, then forward down the tree.
+void bcast_binomial(detail::Round& r, void* buf, std::size_t bytes, int root) {
+  const int size = r.size();
+  const int vrank = (r.rank() - root + size) % size;
+  auto abs = [&](int v) { return (v + root) % size; };
+
+  int mask = 1;
+  while (mask < size) {
+    if (vrank & mask) {
+      r.recv(abs(vrank - mask), buf, bytes);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if ((vrank & (mask - 1)) == 0 && !(vrank & mask) && vrank + mask < size)
+      r.send(abs(vrank + mask), buf, bytes);
+    mask >>= 1;
+  }
+}
+
+void bcast_linear(detail::Round& r, void* buf, std::size_t bytes, int root) {
+  if (r.rank() == root) {
+    for (int dst = 0; dst < r.size(); ++dst)
+      if (dst != root) r.send(dst, buf, bytes);
+  } else {
+    r.recv(root, buf, bytes);
+  }
+}
+
+}  // namespace
+
+void bcast(Ctx& ctx, void* buf, std::size_t count, Type type, int root,
+           const Comm& comm, CommKind kind) {
+  detail::Round r(ctx, comm, kind);
+  check(root >= 0 && root < r.size(), "bcast root out of range");
+  if (r.size() == 1) return;
+  const std::size_t bytes = count * type_size(type);
+  switch (ctx.engine().config().coll.bcast) {
+    case BcastAlgo::binomial:
+      bcast_binomial(r, buf, bytes, root);
+      return;
+    case BcastAlgo::linear:
+      bcast_linear(r, buf, bytes, root);
+      return;
+  }
+  fail("unknown bcast algorithm");
+}
+
+}  // namespace mpim::mpi::coll

@@ -1,0 +1,144 @@
+// Gather / scatter / alltoall algorithms.
+#include "minimpi/coll_common.h"
+
+namespace mpim::mpi::coll {
+
+namespace {
+
+// Binomial gather on virtual ranks: vrank v accumulates the blocks of its
+// subtree [v, v + subtree_span) in a contiguous scratch, then hands the
+// whole run to its parent. The root finally un-rotates into recvbuf.
+void gather_binomial(detail::Round& r, const void* sendbuf, void* recvbuf,
+                     std::size_t block_bytes, int root) {
+  const int size = r.size();
+  const int vrank = (r.rank() - root + size) % size;
+  auto abs = [&](int v) { return (v + root) % size; };
+
+  // Upper bound of this rank's subtree span (vrank + span <= padded size).
+  auto subtree_span = [&](int v) {
+    int span = 1;
+    while (!(v & span) && span < size) span <<= 1;
+    return span;
+  };
+  const int my_span = std::min(subtree_span(vrank), size - vrank);
+  const bool carries_data = sendbuf != nullptr || recvbuf != nullptr;
+  auto scratch = detail::scratch_if(
+      carries_data, static_cast<std::size_t>(my_span) * block_bytes);
+  detail::copy_block(scratch.get(), sendbuf, block_bytes);
+
+  int have = 1;
+  int mask = 1;
+  while (mask < size) {
+    if (vrank & mask) {
+      r.send(abs(vrank - mask), scratch.get(),
+             static_cast<std::size_t>(have) * block_bytes);
+      break;
+    }
+    const int child = vrank + mask;
+    if (child < size) {
+      const int child_blocks = std::min(mask, size - child);
+      r.recv(abs(child),
+             detail::block_at(scratch.get(), static_cast<std::size_t>(have),
+                              block_bytes),
+             static_cast<std::size_t>(child_blocks) * block_bytes);
+      have += child_blocks;
+    }
+    mask <<= 1;
+  }
+
+  if (vrank == 0 && recvbuf != nullptr && scratch != nullptr) {
+    for (int i = 0; i < size; ++i)
+      detail::copy_block(
+          detail::block_at(recvbuf, static_cast<std::size_t>(abs(i)),
+                           block_bytes),
+          detail::block_at(scratch.get(), static_cast<std::size_t>(i),
+                           block_bytes),
+          block_bytes);
+  }
+}
+
+void gather_linear(detail::Round& r, const void* sendbuf, void* recvbuf,
+                   std::size_t block_bytes, int root) {
+  if (r.rank() == root) {
+    detail::copy_block(
+        detail::block_at(recvbuf, static_cast<std::size_t>(root), block_bytes),
+        sendbuf, block_bytes);
+    for (int src = 0; src < r.size(); ++src) {
+      if (src == root) continue;
+      r.recv(src,
+             detail::block_at(recvbuf, static_cast<std::size_t>(src),
+                              block_bytes),
+             block_bytes);
+    }
+  } else {
+    r.send(root, sendbuf, block_bytes);
+  }
+}
+
+}  // namespace
+
+void gather(Ctx& ctx, const void* sendbuf, std::size_t count, Type type,
+            void* recvbuf, int root, const Comm& comm, CommKind kind) {
+  detail::Round r(ctx, comm, kind);
+  check(root >= 0 && root < r.size(), "gather root out of range");
+  const std::size_t block_bytes = count * type_size(type);
+  if (r.size() == 1) {
+    detail::copy_block(recvbuf, sendbuf, block_bytes);
+    return;
+  }
+  switch (ctx.engine().config().coll.gather) {
+    case GatherAlgo::binomial:
+      gather_binomial(r, sendbuf, recvbuf, block_bytes, root);
+      return;
+    case GatherAlgo::linear:
+      gather_linear(r, sendbuf, recvbuf, block_bytes, root);
+      return;
+  }
+  fail("unknown gather algorithm");
+}
+
+void scatter(Ctx& ctx, const void* sendbuf, std::size_t count, Type type,
+             void* recvbuf, int root, const Comm& comm, CommKind kind) {
+  detail::Round r(ctx, comm, kind);
+  check(root >= 0 && root < r.size(), "scatter root out of range");
+  const std::size_t block_bytes = count * type_size(type);
+  if (r.rank() == root) {
+    for (int dst = 0; dst < r.size(); ++dst) {
+      const auto* blk = detail::block_at(
+          sendbuf, static_cast<std::size_t>(dst), block_bytes);
+      if (dst == root)
+        detail::copy_block(recvbuf, blk, block_bytes);
+      else
+        r.send(dst, blk, block_bytes);
+    }
+  } else {
+    r.recv(root, recvbuf, block_bytes);
+  }
+}
+
+void alltoall(Ctx& ctx, const void* sendbuf, std::size_t count, Type type,
+              void* recvbuf, const Comm& comm, CommKind kind) {
+  detail::Round r(ctx, comm, kind);
+  const std::size_t block_bytes = count * type_size(type);
+  const int size = r.size();
+  const int rank = r.rank();
+  detail::copy_block(
+      detail::block_at(recvbuf, static_cast<std::size_t>(rank), block_bytes),
+      detail::block_at(sendbuf, static_cast<std::size_t>(rank), block_bytes),
+      block_bytes);
+  // Pairwise exchange: at step s talk to rank+s (send) / rank-s (recv).
+  for (int step = 1; step < size; ++step) {
+    const int dst = (rank + step) % size;
+    const int src = (rank - step + size) % size;
+    r.send(dst,
+           detail::block_at(sendbuf, static_cast<std::size_t>(dst),
+                            block_bytes),
+           block_bytes);
+    r.recv(src,
+           detail::block_at(recvbuf, static_cast<std::size_t>(src),
+                            block_bytes),
+           block_bytes);
+  }
+}
+
+}  // namespace mpim::mpi::coll

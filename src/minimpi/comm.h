@@ -1,0 +1,74 @@
+// Communicators.
+//
+// A communicator is an immutable, shared description of an ordered group of
+// world ranks plus a context id that isolates its tag space. The calling
+// rank's position inside the communicator is resolved through the engine
+// context (see api.h) so Comm handles are cheap values that all ranks share.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "support/error.h"
+
+namespace mpim::mpi {
+
+class Engine;
+
+namespace detail {
+struct CommImpl {
+  int context_id = -1;
+  std::vector<int> group;           ///< group rank -> world rank
+  std::vector<int> world_to_group;  ///< world rank -> group rank or -1
+
+  CommImpl(int ctx_id, std::vector<int> members, int world_size);
+};
+}  // namespace detail
+
+class Comm {
+ public:
+  Comm() = default;  ///< null handle (like MPI_COMM_NULL)
+
+  bool is_null() const { return impl_ == nullptr; }
+  int context_id() const { return impl().context_id; }
+  int size() const { return static_cast<int>(impl().group.size()); }
+
+  int world_rank_of(int group_rank) const {
+    check(group_rank >= 0 && group_rank < size(), "group rank out of range");
+    return impl().group[static_cast<std::size_t>(group_rank)];
+  }
+
+  /// Group rank of a world rank, or -1 when it is not a member.
+  int group_rank_of_world(int world_rank) const {
+    const auto& map = impl().world_to_group;
+    if (world_rank < 0 || world_rank >= static_cast<int>(map.size()))
+      return -1;
+    return map[static_cast<std::size_t>(world_rank)];
+  }
+
+  bool contains_world(int world_rank) const {
+    return group_rank_of_world(world_rank) >= 0;
+  }
+
+  const std::vector<int>& group() const { return impl().group; }
+
+  bool operator==(const Comm& other) const {
+    return impl_ == other.impl_ ||
+           (impl_ && other.impl_ &&
+            impl_->context_id == other.impl_->context_id);
+  }
+
+ private:
+  friend class Engine;
+  explicit Comm(std::shared_ptr<const detail::CommImpl> impl)
+      : impl_(std::move(impl)) {}
+
+  const detail::CommImpl& impl() const {
+    check(impl_ != nullptr, "null communicator used");
+    return *impl_;
+  }
+
+  std::shared_ptr<const detail::CommImpl> impl_;
+};
+
+}  // namespace mpim::mpi

@@ -1,0 +1,492 @@
+#include "minimpi/engine.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace mpim::mpi {
+
+namespace {
+thread_local Ctx* g_current_ctx = nullptr;
+}  // namespace
+
+detail::CommImpl::CommImpl(int ctx_id, std::vector<int> members,
+                           int world_size)
+    : context_id(ctx_id), group(std::move(members)) {
+  check(!group.empty(), "empty communicator group");
+  world_to_group.assign(static_cast<std::size_t>(world_size), -1);
+  for (std::size_t g = 0; g < group.size(); ++g) {
+    const int w = group[g];
+    check(w >= 0 && w < world_size, "communicator member out of world range");
+    check(world_to_group[static_cast<std::size_t>(w)] == -1,
+          "duplicate world rank in communicator");
+    world_to_group[static_cast<std::size_t>(w)] = static_cast<int>(g);
+  }
+}
+
+Engine::Engine(EngineConfig cfg)
+    : cfg_(std::move(cfg)),
+      nic_(cfg_.cost_model.topology().arities().empty()
+               ? 1
+               : cfg_.cost_model.topology().arities()[0]) {
+  check(!cfg_.placement.empty(), "engine needs at least one rank");
+  topo::validate_placement(cfg_.placement, cfg_.cost_model.topology());
+
+  const int n = world_size();
+  ranks_.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) ranks_.push_back(std::make_unique<RankState>());
+
+  std::vector<int> world_group(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) world_group[static_cast<std::size_t>(r)] = r;
+  world_comm_ = Comm(
+      std::make_shared<const detail::CommImpl>(0, std::move(world_group), n));
+  final_clocks_.assign(static_cast<std::size_t>(n), 0.0);
+}
+
+Engine::~Engine() = default;
+
+void Engine::set_send_hook(SendHook hook) { send_hook_ = std::move(hook); }
+
+Comm Engine::intern_comm(const std::string& key,
+                         std::vector<int> world_group) {
+  std::lock_guard lock(comm_mutex_);
+  auto it = comm_registry_.find(key);
+  if (it != comm_registry_.end()) return it->second;
+  Comm comm(std::make_shared<const detail::CommImpl>(
+      next_context_id_++, std::move(world_group), world_size()));
+  comm_registry_.emplace(key, comm);
+  return comm;
+}
+
+std::shared_ptr<void> Engine::get_or_create_tool_object(
+    const std::string& key,
+    const std::function<std::shared_ptr<void>()>& factory) {
+  std::lock_guard lock(tool_objects_mutex_);
+  auto it = tool_objects_.find(key);
+  if (it != tool_objects_.end()) return it->second;
+  auto obj = factory();
+  tool_objects_.emplace(key, obj);
+  return obj;
+}
+
+void Engine::deliver(InFlight msg) {
+  const int dst_rank = msg.info.dst_world;
+  const double arrival = msg.arrival_s;
+  RankState& dst = rank_state(dst_rank);
+  {
+    std::lock_guard lock(dst.mutex);
+    dst.inbox.push_back(std::move(msg));
+    ++dst.inbox_version;
+    if (cfg_.nic_contention) {
+      // A blocked receiver may wake from this delivery and send as early
+      // as `arrival`: feed that bound into the min-clock gate.
+      std::lock_guard sched_lock(sched_.mx);
+      auto& entry = sched_.entries[static_cast<std::size_t>(dst_rank)];
+      if (entry.st == Sched::St::blocked) {
+        sched_update_locked(dst_rank, Sched::St::pending, arrival);
+      } else if (entry.st == Sched::St::pending && arrival < entry.clock) {
+        sched_update_locked(dst_rank, Sched::St::pending, arrival);
+      }
+    }
+  }
+  deliveries_.fetch_add(1, std::memory_order_relaxed);
+  dst.cv.notify_all();
+}
+
+void Engine::record_error(std::exception_ptr err) {
+  std::lock_guard lock(error_mutex_);
+  if (!first_error_) first_error_ = err;
+}
+
+void Engine::abort_all() {
+  abort_.store(true);
+  for (auto& st : ranks_) st->cv.notify_all();
+  std::lock_guard lock(sched_.mx);
+  for (auto& cv : sched_.cvs)
+    if (cv) cv->notify_all();
+}
+
+void Engine::sched_update_locked(int rank, Sched::St st, double clock) {
+  auto& entry = sched_.entries[static_cast<std::size_t>(rank)];
+  entry.st = st;
+  entry.clock = clock;
+  int best = -1;
+  for (int r = 0; r < world_size(); ++r) {
+    const auto& e = sched_.entries[static_cast<std::size_t>(r)];
+    if (e.st == Sched::St::blocked || e.st == Sched::St::done) continue;
+    if (best < 0 ||
+        e.clock < sched_.entries[static_cast<std::size_t>(best)].clock)
+      best = r;
+  }
+  sched_.min_rank = best;
+  if (best >= 0 &&
+      sched_.entries[static_cast<std::size_t>(best)].st == Sched::St::gate)
+    sched_.cvs[static_cast<std::size_t>(best)]->notify_all();
+}
+
+void Engine::run(const std::function<void(Ctx&)>& rank_main) {
+  const int n = world_size();
+  abort_.store(false);
+  blocked_.store(0);
+  deliveries_.store(0);
+  first_error_ = nullptr;
+  for (auto& st : ranks_) {
+    std::lock_guard lock(st->mutex);
+    st->inbox.clear();
+  }
+  {
+    std::lock_guard lock(tool_objects_mutex_);
+    tool_objects_.clear();
+  }
+  ++run_count_;
+  {
+    std::lock_guard lock(sched_.mx);
+    sched_.entries.assign(static_cast<std::size_t>(n), Sched::Entry{});
+    if (sched_.cvs.size() != static_cast<std::size_t>(n)) {
+      sched_.cvs.clear();
+      for (int r = 0; r < n; ++r)
+        sched_.cvs.push_back(std::make_unique<std::condition_variable>());
+    }
+    sched_.min_rank = 0;
+  }
+  const int num_nodes = nic_.num_nodes();
+  nic_tx_busy_.assign(static_cast<std::size_t>(num_nodes), 0.0);
+  nic_rx_busy_.assign(static_cast<std::size_t>(num_nodes), 0.0);
+  alive_.store(n);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([this, r, &rank_main] {
+      Ctx ctx(this, r);
+      ctx.noise_rng_.reseed(cfg_.noise_seed * 0x9e3779b97f4a7c15ULL +
+                            static_cast<std::uint64_t>(r) * 0x100000001b3ULL +
+                            run_count_);
+      g_current_ctx = &ctx;
+      try {
+        rank_main(ctx);
+      } catch (const AbortError&) {
+        // Another rank failed first; its error is already recorded.
+      } catch (...) {
+        record_error(std::current_exception());
+        abort_all();
+      }
+      g_current_ctx = nullptr;
+      final_clocks_[static_cast<std::size_t>(r)] = ctx.now();
+      if (cfg_.nic_contention) {
+        std::lock_guard lock(sched_.mx);
+        sched_update_locked(r, Sched::St::done, ctx.now());
+      }
+      alive_.fetch_sub(1);
+      // A rank exiting can turn the remaining blocked ranks into a
+      // deadlock; wake them so the watchdog can notice.
+      for (auto& st : ranks_) st->cv.notify_all();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  max_virtual_time_ = 0.0;
+  for (double c : final_clocks_) max_virtual_time_ = std::max(max_virtual_time_, c);
+
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+// ---------------------------------------------------------------------------
+// Ctx
+
+Ctx& Ctx::current() {
+  check(g_current_ctx != nullptr,
+        "Ctx::current() called outside an Engine::run rank thread");
+  return *g_current_ctx;
+}
+
+void Ctx::advance(double seconds) {
+  check(seconds >= 0.0, "cannot advance the clock backwards");
+  clock_ += seconds;
+}
+
+void Ctx::compute_flops(double flops) {
+  check(flops >= 0.0, "negative flop count");
+  clock_ += flops * engine_->cfg_.flop_time_s;
+}
+
+std::uint32_t Ctx::next_coll_seq(const Comm& comm) {
+  return coll_seq_[comm.context_id()]++;
+}
+
+std::uint32_t Ctx::next_mgmt_seq(const Comm& comm) {
+  return mgmt_seq_[comm.context_id()]++;
+}
+
+void Ctx::send_bytes(int dst_world, const Comm& comm, int tag, CommKind kind,
+                     const void* buf, std::size_t bytes) {
+  if (engine_->abort_.load(std::memory_order_relaxed)) throw AbortError();
+  check(!comm.is_null(), "send on null communicator");
+  check(comm.contains_world(world_rank_), "sender not in communicator");
+  check(comm.contains_world(dst_world), "destination not in communicator");
+
+  PktInfo info{world_rank_, dst_world, bytes, kind, tag, comm.context_id(),
+               clock_};
+  if (kind != CommKind::tool && engine_->send_hook_) {
+    const int recorded = engine_->send_hook_(info);
+    clock_ += static_cast<double>(recorded) * engine_->cfg_.monitor_event_cost_s;
+  }
+
+  const auto& placement = engine_->cfg_.placement;
+  const int leaf_src = placement[static_cast<std::size_t>(world_rank_)];
+  const int leaf_dst = placement[static_cast<std::size_t>(dst_world)];
+  const net::CostModel& cost = engine_->cfg_.cost_model;
+
+  if (engine_->cfg_.os_noise_s > 0.0)
+    clock_ += noise_rng_.uniform(0.0, engine_->cfg_.os_noise_s);
+
+  // Hockney with a busy sender: the sender pays the serialization time
+  // bytes/beta (it cannot inject two messages at once), the wire adds the
+  // latency alpha on top.
+  const double tx = cost.serialization_time(leaf_src, leaf_dst, bytes);
+  const double alpha = cost.latency(leaf_src, leaf_dst);
+  const bool crosses = cost.crosses_network(leaf_src, leaf_dst);
+
+  double tx_start = clock_;
+  double arrival;
+  if (engine_->cfg_.nic_contention && crosses) {
+    arrival = contended_transfer(leaf_src, leaf_dst, tx, alpha, &tx_start);
+  } else {
+    arrival = clock_ + tx + alpha;
+  }
+
+  Engine::InFlight msg;
+  msg.info = info;
+  msg.arrival_s = arrival;
+  if (buf != nullptr && bytes > 0) {
+    msg.payload = std::make_unique<std::byte[]>(bytes);
+    std::memcpy(msg.payload.get(), buf, bytes);
+  }
+
+  if (engine_->cfg_.enable_nic_counters && crosses) {
+    engine_->nic_.record_tx(engine_->topology().node_of(leaf_src), tx_start,
+                            bytes);
+  }
+
+  engine_->deliver(std::move(msg));
+  clock_ = tx_start + tx + cost.send_overhead();
+}
+
+void Ctx::rma_transfer(int from_world, int to_world, const Comm& comm,
+                       std::size_t bytes) {
+  if (engine_->abort_.load(std::memory_order_relaxed)) throw AbortError();
+  check(comm.contains_world(from_world) && comm.contains_world(to_world),
+        "RMA endpoint not in the window communicator");
+
+  PktInfo info{from_world, to_world, bytes, CommKind::osc, 0,
+               comm.context_id(), clock_};
+  if (engine_->send_hook_) {
+    const int recorded = engine_->send_hook_(info);
+    clock_ +=
+        static_cast<double>(recorded) * engine_->cfg_.monitor_event_cost_s;
+  }
+
+  const auto& placement = engine_->cfg_.placement;
+  const int leaf_from = placement[static_cast<std::size_t>(from_world)];
+  const int leaf_to = placement[static_cast<std::size_t>(to_world)];
+  const net::CostModel& cost = engine_->cfg_.cost_model;
+  const bool crosses = cost.crosses_network(leaf_from, leaf_to);
+  const double tx = cost.serialization_time(leaf_from, leaf_to, bytes);
+  const double alpha = cost.latency(leaf_from, leaf_to);
+  double tx_start = clock_;
+  if (engine_->cfg_.nic_contention && crosses) {
+    clock_ = contended_transfer(leaf_from, leaf_to, tx, alpha, &tx_start);
+  } else {
+    clock_ += tx + alpha;
+  }
+  if (engine_->cfg_.enable_nic_counters && crosses) {
+    engine_->nic_.record_tx(engine_->topology().node_of(leaf_from), tx_start,
+                            bytes);
+  }
+}
+
+double Ctx::contended_transfer(int leaf_src, int leaf_dst, double tx_s,
+                               double alpha_s, double* tx_start) {
+  using namespace std::chrono_literals;
+  Engine::Sched& sched = engine_->sched_;
+  const int me = world_rank_;
+  std::unique_lock lock(sched.mx);
+  engine_->sched_update_locked(me, Engine::Sched::St::gate, clock_);
+  while (sched.min_rank != me) {
+    if (engine_->abort_.load()) {
+      engine_->sched_update_locked(me, Engine::Sched::St::done, clock_);
+      throw AbortError();
+    }
+    sched.cvs[static_cast<std::size_t>(me)]->wait_for(lock, 200ms);
+  }
+  // This rank now holds the earliest possible send time: reserve the ports
+  // in virtual-time order (deterministic by construction).
+  const auto& topo = engine_->topology();
+  const auto src_node = static_cast<std::size_t>(topo.node_of(leaf_src));
+  const auto dst_node = static_cast<std::size_t>(topo.node_of(leaf_dst));
+  // The port drains at the wire rate, which may exceed one flow's
+  // end-to-end rate (EngineConfig::nic_port_beta_scale).
+  const double tx_port =
+      tx_s / std::max(1.0, engine_->cfg_.nic_port_beta_scale);
+  const double start = std::max(clock_, engine_->nic_tx_busy_[src_node]);
+  engine_->nic_tx_busy_[src_node] = start + tx_port;
+  // Cut-through: the head of the message reaches the remote rx port after
+  // alpha; the message is fully received once it has drained end to end.
+  const double rx_start =
+      std::max(start + alpha_s, engine_->nic_rx_busy_[dst_node]);
+  const double arrival = rx_start + tx_s;
+  engine_->nic_rx_busy_[dst_node] = rx_start + tx_port;
+
+  engine_->sched_update_locked(me, Engine::Sched::St::running,
+                               start + tx_s);
+  *tx_start = start;
+  return arrival;
+}
+
+namespace {
+
+bool pkt_matches(const PktInfo& info, int src_world, int context_id, int tag,
+                 CommKind kind) {
+  if (info.context_id != context_id) return false;
+  if (info.kind != kind) return false;
+  if (tag != kAnyTag && info.tag != tag) return false;
+  if (src_world != kAnySource && info.src_world != src_world) return false;
+  return true;
+}
+
+}  // namespace
+
+bool Ctx::match_and_complete(int src_world, const Comm& comm, int tag,
+                             CommKind kind, void* buf, std::size_t capacity,
+                             Status* status, bool /*consume_clock*/) {
+  // Caller holds the rank mutex.
+  auto& inbox = engine_->rank_state(world_rank_).inbox;
+  for (auto it = inbox.begin(); it != inbox.end(); ++it) {
+    if (!pkt_matches(it->info, src_world, comm.context_id(), tag, kind))
+      continue;
+    check(it->info.bytes <= capacity || buf == nullptr,
+          "receive buffer too small (message truncated)");
+    if (buf != nullptr && it->payload != nullptr)
+      std::memcpy(buf, it->payload.get(),
+                  std::min(capacity, it->info.bytes));
+    const double completion =
+        std::max(clock_, it->arrival_s) + engine_->cfg_.recv_overhead_s;
+    clock_ = completion;
+    if (status != nullptr)
+      *status = Status{it->info.src_world, it->info.tag, it->info.bytes};
+    inbox.erase(it);
+    return true;
+  }
+  return false;
+}
+
+template <typename Pred>
+void Ctx::wait_on_inbox(std::unique_lock<std::mutex>& lock, Pred&& ready) {
+  using namespace std::chrono_literals;
+  auto& st = engine_->rank_state(world_rank_);
+  engine_->blocked_.fetch_add(1);
+  // Blocked ranks cannot issue sends; exclude us from the min-clock gate
+  // so earlier senders are not stalled (we will resume with a clock at
+  // least as large as the send that wakes us). The guard re-registers us
+  // on every exit path, including teardown.
+  struct SchedBlockGuard {
+    Ctx* ctx;
+    explicit SchedBlockGuard(Ctx* c) : ctx(c) {
+      if (!enabled()) return;
+      std::lock_guard sched_lock(ctx->engine_->sched_.mx);
+      ctx->engine_->sched_update_locked(
+          ctx->world_rank_, Engine::Sched::St::blocked, ctx->clock_);
+    }
+    ~SchedBlockGuard() {
+      if (!enabled()) return;
+      std::lock_guard sched_lock(ctx->engine_->sched_.mx);
+      ctx->engine_->sched_update_locked(
+          ctx->world_rank_, Engine::Sched::St::running, ctx->clock_);
+    }
+    bool enabled() const { return ctx->engine_->cfg_.nic_contention; }
+  } sched_guard(this);
+  std::uint64_t last_progress = engine_->deliveries_.load();
+  double waited_s = 0.0;
+  while (!ready()) {
+    if (engine_->cfg_.nic_contention) {
+      // Nothing in the inbox matches: any `pending` bound a delivery set
+      // can be dropped, we will not wake from it. (Serialized against
+      // deliver() by the rank mutex held here.)
+      std::lock_guard sched_lock(engine_->sched_.mx);
+      auto& entry =
+          engine_->sched_.entries[static_cast<std::size_t>(world_rank_)];
+      if (entry.st == Engine::Sched::St::pending)
+        engine_->sched_update_locked(world_rank_, Engine::Sched::St::blocked,
+                                     clock_);
+    }
+    if (engine_->abort_.load()) {
+      engine_->blocked_.fetch_sub(1);
+      throw AbortError();
+    }
+    if (st.cv.wait_for(lock, 200ms) == std::cv_status::timeout) {
+      waited_s += 0.2;
+      const std::uint64_t progress = engine_->deliveries_.load();
+      if (progress != last_progress) {
+        last_progress = progress;
+        waited_s = 0.0;
+      } else if (waited_s >= engine_->cfg_.watchdog_wall_timeout_s &&
+                 engine_->blocked_.load() >= engine_->alive_.load()) {
+        engine_->blocked_.fetch_sub(1);
+        engine_->record_error(std::make_exception_ptr(DeadlockError(
+            "all live ranks blocked with no message progress (rank " +
+            std::to_string(world_rank_) + " gave up)")));
+        engine_->abort_all();
+        throw AbortError();
+      }
+    }
+  }
+  engine_->blocked_.fetch_sub(1);
+}
+
+Status Ctx::recv_bytes(int src_world, const Comm& comm, int tag, CommKind kind,
+                       void* buf, std::size_t capacity) {
+  check(!comm.is_null(), "recv on null communicator");
+  check(comm.contains_world(world_rank_), "receiver not in communicator");
+  auto& st = engine_->rank_state(world_rank_);
+  Status status;
+  std::unique_lock lock(st.mutex);
+  if (match_and_complete(src_world, comm, tag, kind, buf, capacity, &status,
+                         true))
+    return status;
+  bool done = false;
+  wait_on_inbox(lock, [&] {
+    done = match_and_complete(src_world, comm, tag, kind, buf, capacity,
+                              &status, true);
+    return done;
+  });
+  return status;
+}
+
+bool Ctx::try_recv_bytes(int src_world, const Comm& comm, int tag,
+                         CommKind kind, void* buf, std::size_t capacity,
+                         Status* status) {
+  check(!comm.is_null(), "recv on null communicator");
+  if (engine_->abort_.load(std::memory_order_relaxed)) throw AbortError();
+  auto& st = engine_->rank_state(world_rank_);
+  std::unique_lock lock(st.mutex);
+  return match_and_complete(src_world, comm, tag, kind, buf, capacity, status,
+                            true);
+}
+
+bool Ctx::iprobe_bytes(int src_world, const Comm& comm, int tag, CommKind kind,
+                       Status* status) {
+  check(!comm.is_null(), "probe on null communicator");
+  if (engine_->abort_.load(std::memory_order_relaxed)) throw AbortError();
+  auto& st = engine_->rank_state(world_rank_);
+  std::unique_lock lock(st.mutex);
+  for (const auto& msg : st.inbox) {
+    if (pkt_matches(msg.info, src_world, comm.context_id(), tag, kind)) {
+      if (status != nullptr)
+        *status = Status{msg.info.src_world, msg.info.tag, msg.info.bytes};
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mpim::mpi

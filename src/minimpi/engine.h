@@ -1,0 +1,321 @@
+// The minimpi engine: a virtual-time MPI-subset runtime.
+//
+// Ranks are OS threads inside one process. Every rank owns a monotone
+// virtual clock that only advances through engine calls:
+//   - compute/sleep advance it directly,
+//   - a send charges the sender a small overhead (LogP "o") and stamps the
+//     message with arrival = sender_clock + alpha(link) + bytes/beta(link),
+//   - a receive completes at max(receiver_clock, arrival) + recv_overhead.
+// Timings are therefore deterministic functions of the program and the
+// cost model, independent of host scheduling (the host has a single core).
+//
+// Every packet that leaves a rank flows through one send hook carrying
+// (src, dst, bytes, kind, tag, context) -- the moral equivalent of Open
+// MPI's pml_monitoring component interposition point. Tool-kind traffic
+// (the monitoring library's own gathers) bypasses the hook, and optionally
+// simulated NIC hardware counters record every transfer that crosses a
+// node boundary.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "minimpi/comm.h"
+#include "minimpi/types.h"
+#include "netmodel/cost_model.h"
+#include "netmodel/nic_counters.h"
+#include "support/rng.h"
+#include "topo/topology.h"
+
+namespace mpim::mpi {
+
+/// Everything the monitoring layer learns about one packet.
+struct PktInfo {
+  int src_world = -1;
+  int dst_world = -1;
+  std::size_t bytes = 0;
+  CommKind kind = CommKind::p2p;
+  int tag = 0;
+  int context_id = -1;
+  double send_time_s = 0.0;  ///< sender's virtual clock at injection
+};
+
+/// Installed by the tool layer (mpit). Returns the number of monitoring
+/// records made so the engine can charge instrumentation overhead.
+using SendHook = std::function<int(const PktInfo&)>;
+
+enum class BcastAlgo { binomial, linear };
+enum class ReduceAlgo { binary_tree, binomial, linear };
+enum class AllreduceAlgo { recursive_doubling, reduce_bcast };
+enum class AllgatherAlgo { ring, bruck };
+enum class GatherAlgo { binomial, linear };
+enum class BarrierAlgo { dissemination, tree };
+enum class AlltoallAlgo { pairwise };
+
+/// Per-collective algorithm selection. Defaults match the paper's Fig. 5
+/// captions: binomial-tree broadcast, binary-tree reduce.
+struct CollAlgos {
+  BcastAlgo bcast = BcastAlgo::binomial;
+  ReduceAlgo reduce = ReduceAlgo::binary_tree;
+  AllreduceAlgo allreduce = AllreduceAlgo::recursive_doubling;
+  AllgatherAlgo allgather = AllgatherAlgo::ring;
+  GatherAlgo gather = GatherAlgo::binomial;
+  BarrierAlgo barrier = BarrierAlgo::dissemination;
+  AlltoallAlgo alltoall = AlltoallAlgo::pairwise;
+};
+
+struct EngineConfig {
+  net::CostModel cost_model;
+  /// world rank -> processing unit; size defines the world size.
+  topo::Placement placement;
+  CollAlgos coll{};
+  /// Receiver-side per-message software overhead (seconds).
+  double recv_overhead_s = 2.0e-7;
+  /// Virtual cost charged to the sender per monitoring record made while
+  /// at least one session is active; reproduces the paper's Fig. 4
+  /// "monitoring on vs off" contrast (< 5 us in the worst case there).
+  double monitor_event_cost_s = 4.0e-8;
+  /// Virtual seconds per floating-point operation (Ctx::compute_flops).
+  double flop_time_s = 5.0e-10;  // ~2 GFlop/s per core
+  /// Optional OS-noise model: every send additionally costs a uniform
+  /// 0..os_noise_s drawn from a per-rank deterministic stream seeded with
+  /// (noise_seed, rank, run number). Default off: fully deterministic
+  /// clocks. The Fig. 4 overhead experiment turns it on so its Welch
+  /// confidence intervals have real spread to work against.
+  double os_noise_s = 0.0;
+  unsigned long noise_seed = 0;
+  /// NIC contention model. When enabled, every inter-node message reserves
+  /// busy time on the sending node's tx port and the receiving node's rx
+  /// port (at the inter-node link bandwidth), so concurrent flows through
+  /// one NIC serialize -- the effect that makes rank reordering pay off in
+  /// the paper's Figures 5-7. To keep results deterministic, inter-node
+  /// sends are globally ordered by (virtual clock, rank): a sender
+  /// proceeds only when no other live, unblocked rank could still issue an
+  /// earlier send (conservative min-clock gate). Off by default: without
+  /// it the engine is embarrassingly parallel and clocks depend only on
+  /// per-message costs.
+  bool nic_contention = false;
+  /// Ratio of the NIC port's wire rate to the single-flow effective
+  /// bandwidth of the cost model (an Omni-Path port moves ~12.5 GB/s while
+  /// one flow sustains ~6 GB/s end to end). Port busy periods are
+  /// bytes / (beta * this); 1.0 means the port is no faster than a flow.
+  double nic_port_beta_scale = 1.0;
+  bool enable_nic_counters = true;
+  /// Wall-clock watchdog: if every live rank stays blocked this long with
+  /// no delivery progress, declare a deadlock in the simulated program.
+  double watchdog_wall_timeout_s = 20.0;
+};
+
+class Ctx;
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig cfg);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  int world_size() const { return static_cast<int>(cfg_.placement.size()); }
+  const EngineConfig& config() const { return cfg_; }
+  const net::CostModel& cost_model() const { return cfg_.cost_model; }
+  const topo::Topology& topology() const {
+    return cfg_.cost_model.topology();
+  }
+  net::NicCounters& nic() { return nic_; }
+  Comm world_comm() const { return world_comm_; }
+
+  /// Must be installed before run(); called on sender threads.
+  void set_send_hook(SendHook hook);
+
+  /// Opaque slot for the tool layer (mpit::Runtime) so user code can reach
+  /// the tool stack from inside rank threads without global state.
+  void set_tool_runtime(void* runtime) { tool_runtime_ = runtime; }
+  void* tool_runtime() const { return tool_runtime_; }
+
+  /// Spawns one thread per rank, runs `rank_main` in each, joins, and
+  /// rethrows the first exception any rank raised.
+  void run(const std::function<void(Ctx&)>& rank_main);
+
+  /// Highest virtual clock reached by any rank during the last run().
+  double max_virtual_time() const { return max_virtual_time_; }
+  /// Per-rank final clocks of the last run().
+  const std::vector<double>& final_clocks() const { return final_clocks_; }
+
+  /// Deterministic communicator interning: all ranks deriving a child
+  /// communicator compute the same key and receive the same impl.
+  Comm intern_comm(const std::string& key, std::vector<int> world_group);
+
+  /// Interning for tool-layer shared state (e.g. RMA windows): the first
+  /// rank to present `key` runs `factory`, everyone else gets the same
+  /// object. The registry is cleared at the start of each run().
+  std::shared_ptr<void> get_or_create_tool_object(
+      const std::string& key,
+      const std::function<std::shared_ptr<void>()>& factory);
+
+ private:
+  friend class Ctx;
+
+  struct InFlight {
+    PktInfo info;
+    double arrival_s = 0.0;
+    std::unique_ptr<std::byte[]> payload;  ///< null for timing-only messages
+  };
+
+  struct RankState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<InFlight> inbox;
+    std::uint64_t inbox_version = 0;  ///< bumped on every push
+  };
+
+  RankState& rank_state(int world_rank) {
+    return *ranks_[static_cast<std::size_t>(world_rank)];
+  }
+
+  void deliver(InFlight msg);
+  void record_error(std::exception_ptr err);
+  void abort_all();
+
+  // --- deterministic NIC-contention scheduler (cfg_.nic_contention) ------
+  struct Sched {
+    // `pending` marks a blocked rank that already has an unexamined
+    // delivery: it may wake and send as early as that delivery's arrival,
+    // so it re-enters the min-clock computation with that bound until its
+    // thread either matches (-> running) or rejects the message
+    // (-> blocked again).
+    enum class St : std::uint8_t { running, gate, blocked, pending, done };
+    struct Entry {
+      double clock = 0.0;  ///< lower bound of the rank's next send time
+      St st = St::running;
+    };
+    std::mutex mx;
+    std::vector<Entry> entries;
+    std::vector<std::unique_ptr<std::condition_variable>> cvs;
+    int min_rank = -1;  ///< arg-min (clock, rank) over running/gate entries
+  };
+
+  /// Requires sched_.mx held: updates one entry, recomputes the min and
+  /// wakes the new minimum if it is waiting at the gate.
+  void sched_update_locked(int rank, Sched::St st, double clock);
+
+  Sched sched_;
+  std::vector<double> nic_tx_busy_;  ///< per node, virtual seconds
+  std::vector<double> nic_rx_busy_;
+
+  EngineConfig cfg_;
+  SendHook send_hook_;
+  void* tool_runtime_ = nullptr;
+  net::NicCounters nic_;
+  Comm world_comm_;
+  std::vector<std::unique_ptr<RankState>> ranks_;
+
+  std::mutex comm_mutex_;
+  std::unordered_map<std::string, Comm> comm_registry_;
+  int next_context_id_ = 1;  // 0 is the world communicator
+
+  std::mutex tool_objects_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<void>> tool_objects_;
+
+  std::atomic<bool> abort_{false};
+  std::atomic<int> blocked_{0};
+  std::atomic<int> alive_{0};
+  std::atomic<std::uint64_t> deliveries_{0};
+
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+
+  double max_virtual_time_ = 0.0;
+  std::vector<double> final_clocks_;
+  std::uint64_t run_count_ = 0;
+};
+
+/// Thrown inside rank threads when another rank failed and the run is being
+/// torn down; run() reports the original error instead.
+class AbortError : public Error {
+ public:
+  AbortError() : Error("engine run aborted") {}
+};
+
+/// Per-rank execution context. Created by Engine::run for each rank thread;
+/// also reachable as Ctx::current() for the MPI-style free functions.
+class Ctx {
+ public:
+  int world_rank() const { return world_rank_; }
+  double now() const { return clock_; }
+  Engine& engine() { return *engine_; }
+  const Engine& engine() const { return *engine_; }
+  Comm world() const { return engine_->world_comm(); }
+
+  /// Advances the virtual clock (models computation or sleeping).
+  void advance(double seconds);
+  /// Advances the clock by flops * flop_time.
+  void compute_flops(double flops);
+
+  /// Transport used by api.cpp and the collective algorithms. `src_world`
+  /// may be kAnySource. Buffers may be null for timing-only traffic.
+  void send_bytes(int dst_world, const Comm& comm, int tag, CommKind kind,
+                  const void* buf, std::size_t bytes);
+  Status recv_bytes(int src_world, const Comm& comm, int tag, CommKind kind,
+                    void* buf, std::size_t capacity);
+  /// Non-blocking matching attempt; on success behaves exactly like
+  /// recv_bytes. No clock charge on failure.
+  bool try_recv_bytes(int src_world, const Comm& comm, int tag, CommKind kind,
+                      void* buf, std::size_t capacity, Status* status);
+  /// Non-consuming, non-blocking probe.
+  bool iprobe_bytes(int src_world, const Comm& comm, int tag, CommKind kind,
+                    Status* status);
+
+  /// One-sided transfer: charges the calling rank the modeled transfer
+  /// time, reports the traffic to the monitoring hook attributed to
+  /// `from_world` (for a get, the target transmits), and feeds the NIC
+  /// counters. No mailbox delivery: RMA moves data via shared memory.
+  void rma_transfer(int from_world, int to_world, const Comm& comm,
+                    std::size_t bytes);
+
+  /// Collective sequence number for a communicator: identical across all
+  /// member ranks because collectives execute in the same order on each.
+  std::uint32_t next_coll_seq(const Comm& comm);
+  /// Sequence for communicator-management epochs (split/dup).
+  std::uint32_t next_mgmt_seq(const Comm& comm);
+
+  /// The context of the calling rank thread; fails outside Engine::run.
+  static Ctx& current();
+
+ private:
+  friend class Engine;
+  Ctx(Engine* engine, int world_rank)
+      : engine_(engine), world_rank_(world_rank) {}
+
+  /// Predicate-checked blocking wait on this rank's inbox with watchdog.
+  template <typename Pred>
+  void wait_on_inbox(std::unique_lock<std::mutex>& lock, Pred&& ready);
+
+  /// NIC-contention path of an inter-node transfer: waits at the min-clock
+  /// gate, reserves the tx/rx ports and returns the arrival time (out
+  /// param: actual transmission start >= current clock).
+  double contended_transfer(int leaf_src, int leaf_dst, double tx_s,
+                            double alpha_s, double* tx_start);
+
+  bool match_and_complete(int src_world, const Comm& comm, int tag,
+                          CommKind kind, void* buf, std::size_t capacity,
+                          Status* status, bool consume_clock);
+
+  Engine* engine_;
+  int world_rank_;
+  double clock_ = 0.0;
+  Rng noise_rng_{0};
+  std::unordered_map<int, std::uint32_t> coll_seq_;
+  std::unordered_map<int, std::uint32_t> mgmt_seq_;
+};
+
+}  // namespace mpim::mpi

@@ -1,0 +1,97 @@
+#include "minimpi/osc.h"
+
+#include <cstring>
+#include <mutex>
+
+#include "minimpi/coll.h"
+#include "minimpi/engine.h"
+#include "support/error.h"
+
+namespace mpim::mpi {
+
+struct Win::Impl {
+  Comm comm;
+  struct Exposure {
+    std::byte* base = nullptr;
+    std::size_t bytes = 0;
+  };
+  std::vector<Exposure> exposures;  // indexed by group rank
+  std::mutex accumulate_mutex;      // serializes concurrent accumulates
+
+  explicit Impl(const Comm& c)
+      : comm(c), exposures(static_cast<std::size_t>(c.size())) {}
+};
+
+Win Win::create(void* base, std::size_t bytes, const Comm& comm) {
+  Ctx& ctx = Ctx::current();
+  const int myrank = comm.group_rank_of_world(ctx.world_rank());
+  check(myrank >= 0, "Win::create caller not in communicator");
+
+  const std::uint32_t epoch = ctx.next_mgmt_seq(comm);
+  const std::string key = "win:" + std::to_string(comm.context_id()) + ":" +
+                          std::to_string(epoch);
+  auto impl = std::static_pointer_cast<Impl>(
+      ctx.engine().get_or_create_tool_object(
+          key, [&] { return std::make_shared<Impl>(comm); }));
+  impl->exposures[static_cast<std::size_t>(myrank)] =
+      Impl::Exposure{static_cast<std::byte*>(base), bytes};
+  // All members must have registered their exposure before anyone accesses
+  // a remote window.
+  coll::barrier(ctx, comm, CommKind::tool);
+  return Win(std::move(impl));
+}
+
+const Comm& Win::comm() const { return impl_->comm; }
+
+void Win::fence() {
+  coll::barrier(Ctx::current(), impl_->comm, CommKind::tool);
+}
+
+struct WinAccess {
+  // Shared validation for put/get/accumulate.
+  static std::byte* region(Win::Impl& impl, int target_rank, std::size_t disp,
+                           std::size_t bytes) {
+    check(target_rank >= 0 && target_rank < impl.comm.size(),
+          "RMA target rank out of range");
+    const auto& exp = impl.exposures[static_cast<std::size_t>(target_rank)];
+    check(disp + bytes <= exp.bytes, "RMA access outside the target window");
+    return exp.base + disp;
+  }
+};
+
+void Win::put(const void* origin, std::size_t count, Type type,
+              int target_rank, std::size_t target_disp) {
+  Ctx& ctx = Ctx::current();
+  const std::size_t bytes = count * type_size(type);
+  std::byte* dst = WinAccess::region(*impl_, target_rank, target_disp, bytes);
+  ctx.rma_transfer(ctx.world_rank(), impl_->comm.world_rank_of(target_rank),
+                   impl_->comm, bytes);
+  if (origin != nullptr && bytes > 0) std::memcpy(dst, origin, bytes);
+}
+
+void Win::get(void* origin, std::size_t count, Type type, int target_rank,
+              std::size_t target_disp) {
+  Ctx& ctx = Ctx::current();
+  const std::size_t bytes = count * type_size(type);
+  const std::byte* src =
+      WinAccess::region(*impl_, target_rank, target_disp, bytes);
+  // The target's NIC transmits: attribute the traffic to it.
+  ctx.rma_transfer(impl_->comm.world_rank_of(target_rank), ctx.world_rank(),
+                   impl_->comm, bytes);
+  if (origin != nullptr && bytes > 0) std::memcpy(origin, src, bytes);
+}
+
+void Win::accumulate(const void* origin, std::size_t count, Type type, Op op,
+                     int target_rank, std::size_t target_disp) {
+  Ctx& ctx = Ctx::current();
+  const std::size_t bytes = count * type_size(type);
+  std::byte* dst = WinAccess::region(*impl_, target_rank, target_disp, bytes);
+  ctx.rma_transfer(ctx.world_rank(), impl_->comm.world_rank_of(target_rank),
+                   impl_->comm, bytes);
+  if (origin != nullptr && bytes > 0) {
+    std::lock_guard lock(impl_->accumulate_mutex);
+    reduce_in_place(dst, origin, count, type, op);
+  }
+}
+
+}  // namespace mpim::mpi

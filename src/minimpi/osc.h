@@ -1,0 +1,54 @@
+// One-sided communication (RMA windows).
+//
+// Fence-based epochs: Win::fence() is a (tool-tagged) barrier that also
+// synchronizes the members' virtual clocks; puts, gets and accumulates
+// inside an epoch move data directly (ranks share the address space) while
+// charging the origin the modeled transfer time and reporting the traffic
+// to the monitoring hook with CommKind::osc. Per MPI semantics, concurrent
+// conflicting accesses to the same window region within one epoch are a
+// user error.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "minimpi/comm.h"
+#include "minimpi/types.h"
+
+namespace mpim::mpi {
+
+class Ctx;
+
+class Win {
+ public:
+  /// Collective over `comm`: every member exposes `bytes` bytes at `base`.
+  static Win create(void* base, std::size_t bytes, const Comm& comm);
+
+  const Comm& comm() const;
+
+  /// Closes the current epoch / opens the next one (collective).
+  void fence();
+
+  /// Writes `count` elements of `type` from `origin` into the window of
+  /// `target_rank` at byte offset `target_disp`.
+  void put(const void* origin, std::size_t count, Type type, int target_rank,
+           std::size_t target_disp);
+
+  /// Reads `count` elements from the window of `target_rank`.
+  /// The transferred bytes are attributed to the *target* (it is the one
+  /// whose NIC transmits), as the pml-level monitoring would see it.
+  void get(void* origin, std::size_t count, Type type, int target_rank,
+           std::size_t target_disp);
+
+  /// inout(target) = op(target, origin), elementwise.
+  void accumulate(const void* origin, std::size_t count, Type type, Op op,
+                  int target_rank, std::size_t target_disp);
+
+  struct Impl;  // exposed for the implementation file only
+
+ private:
+  explicit Win(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace mpim::mpi

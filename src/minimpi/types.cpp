@@ -1,0 +1,149 @@
+#include "minimpi/types.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace mpim::mpi {
+
+std::size_t type_size(Type t) {
+  switch (t) {
+    case Type::Byte:
+    case Type::Char:
+      return 1;
+    case Type::Int:
+    case Type::Unsigned:
+    case Type::Float:
+      return 4;
+    case Type::Long:
+    case Type::UnsignedLong:
+    case Type::Double:
+      return 8;
+  }
+  fail("unknown datatype");
+}
+
+std::string type_name(Type t) {
+  switch (t) {
+    case Type::Byte: return "MPI_BYTE";
+    case Type::Char: return "MPI_CHAR";
+    case Type::Int: return "MPI_INT";
+    case Type::Unsigned: return "MPI_UNSIGNED";
+    case Type::Long: return "MPI_LONG";
+    case Type::UnsignedLong: return "MPI_UNSIGNED_LONG";
+    case Type::Float: return "MPI_FLOAT";
+    case Type::Double: return "MPI_DOUBLE";
+  }
+  fail("unknown datatype");
+}
+
+std::string op_name(Op op) {
+  switch (op) {
+    case Op::Sum: return "MPI_SUM";
+    case Op::Prod: return "MPI_PROD";
+    case Op::Max: return "MPI_MAX";
+    case Op::Min: return "MPI_MIN";
+    case Op::Land: return "MPI_LAND";
+    case Op::Lor: return "MPI_LOR";
+    case Op::Band: return "MPI_BAND";
+    case Op::Bor: return "MPI_BOR";
+  }
+  fail("unknown op");
+}
+
+std::string comm_kind_name(CommKind k) {
+  switch (k) {
+    case CommKind::p2p: return "p2p";
+    case CommKind::coll: return "coll";
+    case CommKind::osc: return "osc";
+    case CommKind::tool: return "tool";
+  }
+  fail("unknown comm kind");
+}
+
+namespace {
+
+template <typename T>
+void apply_arith(T* inout, const T* in, std::size_t count, Op op) {
+  switch (op) {
+    case Op::Sum:
+      for (std::size_t i = 0; i < count; ++i) inout[i] += in[i];
+      return;
+    case Op::Prod:
+      for (std::size_t i = 0; i < count; ++i) inout[i] *= in[i];
+      return;
+    case Op::Max:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = std::max(inout[i], in[i]);
+      return;
+    case Op::Min:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = std::min(inout[i], in[i]);
+      return;
+    default:
+      break;
+  }
+  if constexpr (std::is_integral_v<T>) {
+    switch (op) {
+      case Op::Land:
+        for (std::size_t i = 0; i < count; ++i)
+          inout[i] = static_cast<T>(inout[i] && in[i]);
+        return;
+      case Op::Lor:
+        for (std::size_t i = 0; i < count; ++i)
+          inout[i] = static_cast<T>(inout[i] || in[i]);
+        return;
+      case Op::Band:
+        for (std::size_t i = 0; i < count; ++i)
+          inout[i] = static_cast<T>(inout[i] & in[i]);
+        return;
+      case Op::Bor:
+        for (std::size_t i = 0; i < count; ++i)
+          inout[i] = static_cast<T>(inout[i] | in[i]);
+        return;
+      default:
+        break;
+    }
+  }
+  fail("reduction op not supported for this datatype");
+}
+
+}  // namespace
+
+void reduce_in_place(void* inout, const void* in, std::size_t count, Type t,
+                     Op op) {
+  switch (t) {
+    case Type::Byte:
+    case Type::Char:
+      apply_arith(static_cast<unsigned char*>(inout),
+                  static_cast<const unsigned char*>(in), count, op);
+      return;
+    case Type::Int:
+      apply_arith(static_cast<int*>(inout), static_cast<const int*>(in), count,
+                  op);
+      return;
+    case Type::Unsigned:
+      apply_arith(static_cast<unsigned*>(inout),
+                  static_cast<const unsigned*>(in), count, op);
+      return;
+    case Type::Long:
+      apply_arith(static_cast<long*>(inout), static_cast<const long*>(in),
+                  count, op);
+      return;
+    case Type::UnsignedLong:
+      apply_arith(static_cast<unsigned long*>(inout),
+                  static_cast<const unsigned long*>(in), count, op);
+      return;
+    case Type::Float:
+      apply_arith(static_cast<float*>(inout), static_cast<const float*>(in),
+                  count, op);
+      return;
+    case Type::Double:
+      apply_arith(static_cast<double*>(inout), static_cast<const double*>(in),
+                  count, op);
+      return;
+  }
+  fail("unknown datatype in reduction");
+}
+
+}  // namespace mpim::mpi

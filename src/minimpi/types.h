@@ -1,0 +1,63 @@
+// Elementary MPI-like types: datatypes, reduction operators, matching
+// wildcards and message status.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mpim::mpi {
+
+/// Subset of the MPI predefined datatypes. Only the element size matters to
+/// the transport; reductions additionally dispatch on the arithmetic type.
+enum class Type : std::uint8_t {
+  Byte,
+  Char,
+  Int,
+  Unsigned,
+  Long,
+  UnsignedLong,
+  Float,
+  Double,
+};
+
+std::size_t type_size(Type t);
+std::string type_name(Type t);
+
+/// Reduction operators (MPI_SUM, MPI_MAX, ...).
+enum class Op : std::uint8_t { Sum, Prod, Max, Min, Land, Lor, Band, Bor };
+
+std::string op_name(Op op);
+
+/// inout[i] = op(inout[i], in[i]) for `count` elements of type `t`.
+/// Logical/bitwise ops are rejected for floating-point types.
+void reduce_in_place(void* inout, const void* in, std::size_t count, Type t,
+                     Op op);
+
+/// How a message entered the transport. This is what the low-level
+/// monitoring component ("pml_monitoring") tags every packet with and what
+/// the MPI_M_* kind filters select on.
+enum class CommKind : std::uint8_t {
+  p2p,   ///< user-issued point-to-point traffic
+  coll,  ///< point-to-point messages a collective decomposed into
+  osc,   ///< one-sided (RMA) traffic
+  tool,  ///< traffic of the tool stack itself: never monitored
+};
+
+std::string comm_kind_name(CommKind k);
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+/// Largest tag available to applications; higher values are reserved for
+/// the collective and tool tag spaces.
+inline constexpr int kMaxUserTag = (1 << 28) - 1;
+
+struct Status {
+  int source = kAnySource;  ///< rank in the receive communicator
+  int tag = kAnyTag;
+  std::size_t bytes = 0;  ///< actual payload size
+
+  std::size_t count(Type t) const { return bytes / type_size(t); }
+};
+
+}  // namespace mpim::mpi

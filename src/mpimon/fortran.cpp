@@ -1,0 +1,107 @@
+#include "mpimon/fortran.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minimpi/engine.h"
+#include "mpimon/mpi_monitoring.h"
+
+namespace {
+
+using mpim::mpi::Comm;
+using mpim::mpi::Ctx;
+
+/// Per-rank table of Fortran communicator handles (MPI_Comm_f2c stand-in).
+struct FCommTable {
+  std::vector<Comm> comms;
+};
+
+FCommTable& fcomm_table() {
+  Ctx& ctx = Ctx::current();
+  auto obj = ctx.engine().get_or_create_tool_object(
+      "mpimon:fcomm:" + std::to_string(ctx.world_rank()),
+      [] { return std::make_shared<FCommTable>(); });
+  return *static_cast<FCommTable*>(obj.get());
+}
+
+Comm fcomm_lookup(int handle) {
+  FCommTable& table = fcomm_table();
+  if (handle < 0 || handle >= static_cast<int>(table.comms.size()))
+    return Comm();  // null communicator: the C layer reports the failure
+  return table.comms[static_cast<std::size_t>(handle)];
+}
+
+std::string fstring(const char* data, int len) {
+  // Fortran passes blank-padded, unterminated strings plus a hidden length.
+  std::string s(data, static_cast<std::size_t>(len));
+  while (!s.empty() && s.back() == ' ') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+extern "C" {
+
+int mpi_m_register_comm_f(const Comm& comm) {
+  FCommTable& table = fcomm_table();
+  table.comms.push_back(comm);
+  return static_cast<int>(table.comms.size()) - 1;
+}
+
+void mpi_m_init_(int* ierr) { *ierr = MPI_M_init(); }
+
+void mpi_m_finalize_(int* ierr) { *ierr = MPI_M_finalize(); }
+
+void mpi_m_start_(const int* comm_f, int* msid, int* ierr) {
+  *ierr = MPI_M_start(fcomm_lookup(*comm_f), msid);
+}
+
+void mpi_m_suspend_(const int* msid, int* ierr) {
+  *ierr = MPI_M_suspend(*msid);
+}
+
+void mpi_m_continue_(const int* msid, int* ierr) {
+  *ierr = MPI_M_continue(*msid);
+}
+
+void mpi_m_reset_(const int* msid, int* ierr) { *ierr = MPI_M_reset(*msid); }
+
+void mpi_m_free_(const int* msid, int* ierr) { *ierr = MPI_M_free(*msid); }
+
+void mpi_m_get_info_(const int* msid, int* provided, int* array_size,
+                     int* ierr) {
+  *ierr = MPI_M_get_info(*msid, provided, array_size);
+}
+
+void mpi_m_get_data_(const int* msid, unsigned long* msg_counts,
+                     unsigned long* msg_sizes, const int* flags, int* ierr) {
+  *ierr = MPI_M_get_data(*msid, msg_counts, msg_sizes, *flags);
+}
+
+void mpi_m_allgather_data_(const int* msid, unsigned long* matrix_counts,
+                           unsigned long* matrix_sizes, const int* flags,
+                           int* ierr) {
+  *ierr = MPI_M_allgather_data(*msid, matrix_counts, matrix_sizes, *flags);
+}
+
+void mpi_m_rootgather_data_(const int* msid, const int* root,
+                            unsigned long* matrix_counts,
+                            unsigned long* matrix_sizes, const int* flags,
+                            int* ierr) {
+  *ierr = MPI_M_rootgather_data(*msid, *root, matrix_counts, matrix_sizes,
+                                *flags);
+}
+
+void mpi_m_flush_(const int* msid, const char* filename, const int* flags,
+                  int* ierr, int filename_len) {
+  *ierr = MPI_M_flush(*msid, fstring(filename, filename_len).c_str(), *flags);
+}
+
+void mpi_m_rootflush_(const int* msid, const int* root, const char* filename,
+                      const int* flags, int* ierr, int filename_len) {
+  *ierr = MPI_M_rootflush(*msid, *root,
+                          fstring(filename, filename_len).c_str(), *flags);
+}
+
+}  // extern "C"

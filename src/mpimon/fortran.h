@@ -1,0 +1,46 @@
+// Fortran binding of the MPI_Monitoring library.
+//
+// As described in the paper: "the datatype MPI_M_msid is replaced by the
+// type integer, and each function possesses an additional parameter which
+// is used to transmit the return value". Symbols follow the classic
+// trailing-underscore Fortran mangling and take every argument by
+// reference; communicators are passed as integer handles registered with
+// mpi_m_register_comm_f.
+//
+// There is no Fortran compiler in this environment, so the binding is
+// exercised from C++ test code calling these shims directly -- which is
+// exactly what a Fortran object file would do.
+#pragma once
+
+#include "minimpi/comm.h"
+
+extern "C" {
+
+/// Registers a communicator and returns its Fortran integer handle.
+/// (A real MPI implementation gets this from MPI_Comm_c2f.)
+int mpi_m_register_comm_f(const mpim::mpi::Comm& comm);
+
+void mpi_m_init_(int* ierr);
+void mpi_m_finalize_(int* ierr);
+void mpi_m_start_(const int* comm_f, int* msid, int* ierr);
+void mpi_m_suspend_(const int* msid, int* ierr);
+void mpi_m_continue_(const int* msid, int* ierr);
+void mpi_m_reset_(const int* msid, int* ierr);
+void mpi_m_free_(const int* msid, int* ierr);
+void mpi_m_get_info_(const int* msid, int* provided, int* array_size,
+                     int* ierr);
+void mpi_m_get_data_(const int* msid, unsigned long* msg_counts,
+                     unsigned long* msg_sizes, const int* flags, int* ierr);
+void mpi_m_allgather_data_(const int* msid, unsigned long* matrix_counts,
+                           unsigned long* matrix_sizes, const int* flags,
+                           int* ierr);
+void mpi_m_rootgather_data_(const int* msid, const int* root,
+                            unsigned long* matrix_counts,
+                            unsigned long* matrix_sizes, const int* flags,
+                            int* ierr);
+void mpi_m_flush_(const int* msid, const char* filename, const int* flags,
+                  int* ierr, int filename_len);
+void mpi_m_rootflush_(const int* msid, const int* root, const char* filename,
+                      const int* flags, int* ierr, int filename_len);
+
+}  // extern "C"

@@ -1,0 +1,452 @@
+#include "mpimon/mpi_monitoring.h"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "minimpi/coll.h"
+#include "minimpi/engine.h"
+#include "mpit/runtime.h"
+
+namespace {
+
+using mpim::mpi::Comm;
+using mpim::mpi::CommKind;
+using mpim::mpi::Ctx;
+using mpim::mpi::Type;
+
+constexpr int kThreadLevelProvided = 3;  // MPI_THREAD_MULTIPLE
+
+struct MonSession {
+  enum class St { active, suspended, freed };
+  St state = St::freed;
+  Comm comm;
+  int tsession = -1;
+  /// mpit handle per pvar index (0..5, see mpit/pvar.cpp).
+  std::array<int, 6> handles{};
+};
+
+struct MonState {
+  bool initialized = false;
+  std::vector<MonSession> sessions;
+};
+
+MonState& mon_state() {
+  Ctx& ctx = Ctx::current();
+  auto obj = ctx.engine().get_or_create_tool_object(
+      "mpimon:rank:" + std::to_string(ctx.world_rank()),
+      [] { return std::make_shared<MonState>(); });
+  return *static_cast<MonState*>(obj.get());
+}
+
+/// Maps exceptions of the layers below to the paper's error codes. Engine
+/// teardown (AbortError) keeps propagating so the failing rank unwinds.
+template <typename Fn>
+int guarded(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const mpim::mpi::AbortError&) {
+    throw;
+  } catch (const mpim::mpit::MpitError&) {
+    return MPI_M_MPIT_FAIL;
+  } catch (const std::bad_alloc&) {
+    return MPI_M_INTERNAL_FAIL;
+  } catch (...) {
+    return MPI_M_INTERNAL_FAIL;
+  }
+}
+
+bool flags_valid(int flags) {
+  return flags != 0 && (flags & ~MPI_M_ALL_COMM) == 0;
+}
+
+/// msid lookup for single-session operations (ALL_MSID rejected).
+int resolve_msid(MonState& st, MPI_M_msid msid, MonSession** out) {
+  if (!st.initialized) return MPI_M_MISSING_INIT;
+  if (msid == MPI_M_ALL_MSID || msid < 0 ||
+      msid >= static_cast<int>(st.sessions.size()))
+    return MPI_M_INVALID_MSID;
+  MonSession& s = st.sessions[static_cast<std::size_t>(msid)];
+  if (s.state == MonSession::St::freed) return MPI_M_INVALID_MSID;
+  *out = &s;
+  return MPI_M_SUCCESS;
+}
+
+mpim::mpit::Runtime& runtime() {
+  return mpim::mpit::Runtime::of(Ctx::current().engine());
+}
+
+void stop_all_handles(MonSession& s) {
+  auto& rt = runtime();
+  for (int h : s.handles) rt.handle_stop(s.tsession, h);
+}
+
+void start_all_handles(MonSession& s) {
+  auto& rt = runtime();
+  for (int h : s.handles) rt.handle_start(s.tsession, h);
+}
+
+/// Accumulates the selected traffic classes of one metric into `out`
+/// (length n). metric 0 = counts, 1 = sizes.
+void read_metric(MonSession& s, int flags, int metric,
+                 std::vector<unsigned long>& out) {
+  auto& rt = runtime();
+  const std::size_t n = static_cast<std::size_t>(s.comm.size());
+  out.assign(n, 0ul);
+  std::vector<unsigned long> tmp(n);
+  for (int bit = 0; bit < 3; ++bit) {
+    if (!(flags & (1 << bit))) continue;
+    const int pvar = 2 * bit + metric;
+    rt.handle_read(s.tsession, s.handles[static_cast<std::size_t>(pvar)],
+                   tmp.data(), static_cast<int>(n));
+    for (std::size_t i = 0; i < n; ++i) out[i] += tmp[i];
+  }
+}
+
+std::string flags_string(int flags) {
+  std::string out;
+  auto append = [&](const char* name) {
+    if (!out.empty()) out += "|";
+    out += name;
+  };
+  if (flags & MPI_M_P2P_ONLY) append("p2p");
+  if (flags & MPI_M_COLL_ONLY) append("coll");
+  if (flags & MPI_M_OSC_ONLY) append("osc");
+  return out;
+}
+
+}  // namespace
+
+const char* MPI_M_error_string(int code) {
+  switch (code) {
+    case MPI_M_SUCCESS: return "MPI_M_SUCCESS";
+    case MPI_M_INTERNAL_FAIL: return "MPI_M_INTERNAL_FAIL";
+    case MPI_M_MPIT_FAIL: return "MPI_M_MPIT_FAIL";
+    case MPI_M_MISSING_INIT: return "MPI_M_MISSING_INIT";
+    case MPI_M_SESSION_STILL_ACTIVE: return "MPI_M_SESSION_STILL_ACTIVE";
+    case MPI_M_SESSION_NOT_SUSPENDED: return "MPI_M_SESSION_NOT_SUSPENDED";
+    case MPI_M_INVALID_MSID: return "MPI_M_INVALID_MSID";
+    case MPI_M_SESSION_OVERFLOW: return "MPI_M_SESSION_OVERFLOW";
+    case MPI_M_MULTIPLE_CALL: return "MPI_M_MULTIPLE_CALL";
+    case MPI_M_INVALID_ROOT: return "MPI_M_INVALID_ROOT";
+    case MPI_M_INVALID_FLAGS: return "MPI_M_INVALID_FLAGS";
+    default: return "(unknown MPI_M error code)";
+  }
+}
+
+int MPI_M_init() {
+  return guarded([&] {
+    runtime();  // throws MpitError when no tool runtime is attached
+    MonState& st = mon_state();
+    if (st.initialized) return MPI_M_MULTIPLE_CALL;
+    st.initialized = true;
+    return MPI_M_SUCCESS;
+  });
+}
+
+int MPI_M_finalize() {
+  return guarded([&] {
+    MonState& st = mon_state();
+    if (!st.initialized) return MPI_M_MISSING_INIT;
+    for (const MonSession& s : st.sessions)
+      if (s.state == MonSession::St::active)
+        return MPI_M_SESSION_STILL_ACTIVE;
+    auto& rt = runtime();
+    for (MonSession& s : st.sessions) {
+      if (s.state == MonSession::St::suspended) {
+        rt.session_free(s.tsession);
+        s.state = MonSession::St::freed;
+      }
+    }
+    st.sessions.clear();
+    st.initialized = false;
+    return MPI_M_SUCCESS;
+  });
+}
+
+int MPI_M_start(Comm comm, MPI_M_msid* msid) {
+  return guarded([&] {
+    MonState& st = mon_state();
+    if (!st.initialized) return MPI_M_MISSING_INIT;
+    if (msid == nullptr || comm.is_null()) return MPI_M_INTERNAL_FAIL;
+    if (!comm.contains_world(Ctx::current().world_rank()))
+      return MPI_M_INTERNAL_FAIL;
+
+    // Reuse the first freed slot; cap the number of live sessions.
+    int slot = -1;
+    int live = 0;
+    for (std::size_t i = 0; i < st.sessions.size(); ++i) {
+      if (st.sessions[i].state == MonSession::St::freed) {
+        if (slot < 0) slot = static_cast<int>(i);
+      } else {
+        ++live;
+      }
+    }
+    if (live >= MPI_M_MAX_SESSIONS) return MPI_M_SESSION_OVERFLOW;
+    if (slot < 0) {
+      st.sessions.emplace_back();
+      slot = static_cast<int>(st.sessions.size()) - 1;
+    }
+
+    auto& rt = runtime();
+    MonSession s;
+    s.comm = comm;
+    s.tsession = rt.session_create();
+    for (int pvar = 0; pvar < 6; ++pvar)
+      s.handles[static_cast<std::size_t>(pvar)] =
+          rt.handle_alloc(s.tsession, pvar, comm);
+    s.state = MonSession::St::active;
+    start_all_handles(s);
+    st.sessions[static_cast<std::size_t>(slot)] = s;
+    *msid = slot;
+    return MPI_M_SUCCESS;
+  });
+}
+
+namespace {
+
+/// Shared shape of suspend/continue/reset/free: single-session transition
+/// with an ALL_MSID broadcast variant that silently skips sessions in a
+/// non-applicable state.
+template <typename ApplicableFn, typename ApplyFn>
+int session_op(MPI_M_msid msid, int wrong_state_error,
+               ApplicableFn&& applicable, ApplyFn&& apply) {
+  return guarded([&] {
+    MonState& st = mon_state();
+    if (!st.initialized) return MPI_M_MISSING_INIT;
+    if (msid == MPI_M_ALL_MSID) {
+      for (MonSession& s : st.sessions)
+        if (s.state != MonSession::St::freed && applicable(s)) apply(s);
+      return MPI_M_SUCCESS;
+    }
+    MonSession* s = nullptr;
+    if (int rc = resolve_msid(st, msid, &s); rc != MPI_M_SUCCESS) return rc;
+    if (!applicable(*s)) return wrong_state_error;
+    apply(*s);
+    return MPI_M_SUCCESS;
+  });
+}
+
+}  // namespace
+
+int MPI_M_suspend(MPI_M_msid msid) {
+  return session_op(
+      msid, MPI_M_MULTIPLE_CALL,
+      [](const MonSession& s) { return s.state == MonSession::St::active; },
+      [](MonSession& s) {
+        stop_all_handles(s);
+        s.state = MonSession::St::suspended;
+      });
+}
+
+int MPI_M_continue(MPI_M_msid msid) {
+  return session_op(
+      msid, MPI_M_MULTIPLE_CALL,
+      [](const MonSession& s) {
+        return s.state == MonSession::St::suspended;
+      },
+      [](MonSession& s) {
+        start_all_handles(s);
+        s.state = MonSession::St::active;
+      });
+}
+
+int MPI_M_reset(MPI_M_msid msid) {
+  return session_op(
+      msid, MPI_M_SESSION_NOT_SUSPENDED,
+      [](const MonSession& s) {
+        return s.state == MonSession::St::suspended;
+      },
+      [](MonSession& s) {
+        auto& rt = runtime();
+        for (int h : s.handles) rt.handle_reset(s.tsession, h);
+      });
+}
+
+int MPI_M_free(MPI_M_msid msid) {
+  return session_op(
+      msid, MPI_M_SESSION_NOT_SUSPENDED,
+      [](const MonSession& s) {
+        return s.state == MonSession::St::suspended;
+      },
+      [](MonSession& s) {
+        runtime().session_free(s.tsession);
+        s.state = MonSession::St::freed;
+      });
+}
+
+int MPI_M_get_info(MPI_M_msid msid, int* provided, int* array_size) {
+  return guarded([&] {
+    MonState& st = mon_state();
+    MonSession* s = nullptr;
+    if (int rc = resolve_msid(st, msid, &s); rc != MPI_M_SUCCESS) return rc;
+    if (provided != MPI_M_INT_IGNORE) *provided = kThreadLevelProvided;
+    if (array_size != MPI_M_INT_IGNORE) *array_size = s->comm.size();
+    return MPI_M_SUCCESS;
+  });
+}
+
+int MPI_M_get_data(MPI_M_msid msid, unsigned long* msg_counts,
+                   unsigned long* msg_sizes, int flags) {
+  return guarded([&] {
+    MonState& st = mon_state();
+    MonSession* s = nullptr;
+    if (int rc = resolve_msid(st, msid, &s); rc != MPI_M_SUCCESS) return rc;
+    if (s->state != MonSession::St::suspended)
+      return MPI_M_SESSION_NOT_SUSPENDED;
+    if (!flags_valid(flags)) return MPI_M_INVALID_FLAGS;
+
+    std::vector<unsigned long> row;
+    if (msg_counts != MPI_M_DATA_IGNORE) {
+      read_metric(*s, flags, 0, row);
+      std::copy(row.begin(), row.end(), msg_counts);
+    }
+    if (msg_sizes != MPI_M_DATA_IGNORE) {
+      read_metric(*s, flags, 1, row);
+      std::copy(row.begin(), row.end(), msg_sizes);
+    }
+    return MPI_M_SUCCESS;
+  });
+}
+
+namespace {
+
+/// Gathers one metric matrix to everyone (root < 0) or to `root`.
+/// Traffic independent of the output pointer: a process that ignores the
+/// result still contributes its row through scratch space.
+void gather_metric(MonSession& s, int flags, int metric, int root,
+                   unsigned long* out) {
+  Ctx& ctx = Ctx::current();
+  const std::size_t n = static_cast<std::size_t>(s.comm.size());
+  std::vector<unsigned long> row;
+  read_metric(s, flags, metric, row);
+
+  std::vector<unsigned long> scratch;
+  unsigned long* recv = out;
+  const int myrank = s.comm.group_rank_of_world(ctx.world_rank());
+  const bool receives = (root < 0) || (myrank == root);
+  if (receives && recv == nullptr) {
+    scratch.assign(n * n, 0ul);
+    recv = scratch.data();
+  }
+  if (root < 0) {
+    mpim::mpi::coll::allgather(ctx, row.data(), n, Type::UnsignedLong, recv,
+                               s.comm, CommKind::tool);
+  } else {
+    mpim::mpi::coll::gather(ctx, row.data(), n, Type::UnsignedLong, recv,
+                            root, s.comm, CommKind::tool);
+  }
+}
+
+int gather_data_common(MPI_M_msid msid, int root, unsigned long* matrix_counts,
+                       unsigned long* matrix_sizes, int flags) {
+  return guarded([&] {
+    MonState& st = mon_state();
+    MonSession* s = nullptr;
+    if (int rc = resolve_msid(st, msid, &s); rc != MPI_M_SUCCESS) return rc;
+    if (s->state != MonSession::St::suspended)
+      return MPI_M_SESSION_NOT_SUSPENDED;
+    if (!flags_valid(flags)) return MPI_M_INVALID_FLAGS;
+    if (root >= s->comm.size()) return MPI_M_INVALID_ROOT;
+    gather_metric(*s, flags, 0, root, matrix_counts);
+    gather_metric(*s, flags, 1, root, matrix_sizes);
+    return MPI_M_SUCCESS;
+  });
+}
+
+}  // namespace
+
+int MPI_M_allgather_data(MPI_M_msid msid, unsigned long* matrix_counts,
+                         unsigned long* matrix_sizes, int flags) {
+  return gather_data_common(msid, /*root=*/-1, matrix_counts, matrix_sizes,
+                            flags);
+}
+
+int MPI_M_rootgather_data(MPI_M_msid msid, int root,
+                          unsigned long* matrix_counts,
+                          unsigned long* matrix_sizes, int flags) {
+  if (root < 0) return MPI_M_INVALID_ROOT;
+  return gather_data_common(msid, root, matrix_counts, matrix_sizes, flags);
+}
+
+int MPI_M_flush(MPI_M_msid msid, const char* filename, int flags) {
+  return guarded([&] {
+    MonState& st = mon_state();
+    MonSession* s = nullptr;
+    if (int rc = resolve_msid(st, msid, &s); rc != MPI_M_SUCCESS) return rc;
+    if (s->state != MonSession::St::suspended)
+      return MPI_M_SESSION_NOT_SUSPENDED;
+    if (!flags_valid(flags)) return MPI_M_INVALID_FLAGS;
+    if (filename == nullptr) return MPI_M_INTERNAL_FAIL;
+
+    const int myrank =
+        s->comm.group_rank_of_world(Ctx::current().world_rank());
+    std::vector<unsigned long> counts, sizes;
+    read_metric(*s, flags, 0, counts);
+    read_metric(*s, flags, 1, sizes);
+
+    std::ofstream os(std::string(filename) + "." + std::to_string(myrank) +
+                     ".prof");
+    if (!os.good()) return MPI_M_INTERNAL_FAIL;
+    os << "# MPI_Monitoring profile (per-peer messages sent)\n";
+    os << "# rank " << myrank << " of " << s->comm.size() << ", flags "
+       << flags_string(flags) << "\n";
+    os << "# peer count bytes\n";
+    for (std::size_t peer = 0; peer < counts.size(); ++peer)
+      os << peer << " " << counts[peer] << " " << sizes[peer] << "\n";
+    return os.good() ? MPI_M_SUCCESS : MPI_M_INTERNAL_FAIL;
+  });
+}
+
+int MPI_M_rootflush(MPI_M_msid msid, int root, const char* filename,
+                    int flags) {
+  if (root < 0) return MPI_M_INVALID_ROOT;
+  return guarded([&] {
+    MonState& st = mon_state();
+    MonSession* s = nullptr;
+    if (int rc = resolve_msid(st, msid, &s); rc != MPI_M_SUCCESS) return rc;
+    if (s->state != MonSession::St::suspended)
+      return MPI_M_SESSION_NOT_SUSPENDED;
+    if (!flags_valid(flags)) return MPI_M_INVALID_FLAGS;
+    if (filename == nullptr) return MPI_M_INTERNAL_FAIL;
+    if (root >= s->comm.size()) return MPI_M_INVALID_ROOT;
+
+    Ctx& ctx = Ctx::current();
+    const int myrank = s->comm.group_rank_of_world(ctx.world_rank());
+    const std::size_t n = static_cast<std::size_t>(s->comm.size());
+    std::vector<unsigned long> counts(myrank == root ? n * n : 0);
+    std::vector<unsigned long> sizes(myrank == root ? n * n : 0);
+    gather_metric(*s, flags, 0, root,
+                  myrank == root ? counts.data() : nullptr);
+    gather_metric(*s, flags, 1, root,
+                  myrank == root ? sizes.data() : nullptr);
+    if (myrank != root) return MPI_M_SUCCESS;
+
+    // [rank] in the file names is the root's rank in MPI_COMM_WORLD.
+    const std::string world_rank = std::to_string(ctx.world_rank());
+    auto write_matrix = [&](const std::string& path,
+                            const std::vector<unsigned long>& m) {
+      std::ofstream os(path);
+      if (!os.good()) return false;
+      os << "# MPI_Monitoring matrix, order " << n << ", flags "
+         << flags_string(flags) << "\n";
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j) os << " ";
+          os << m[i * n + j];
+        }
+        os << "\n";
+      }
+      return os.good();
+    };
+    const bool ok =
+        write_matrix(std::string(filename) + "_counts." + world_rank +
+                         ".prof",
+                     counts) &&
+        write_matrix(std::string(filename) + "_sizes." + world_rank + ".prof",
+                     sizes);
+    return ok ? MPI_M_SUCCESS : MPI_M_INTERNAL_FAIL;
+  });
+}

@@ -1,0 +1,138 @@
+// MPI_Monitoring -- the introspection monitoring library of the paper.
+//
+// High-level sessions over the low-level MPI_T pvars (mpit::Runtime):
+//
+//   MPI_M_msid id;
+//   MPI_M_init();
+//   MPI_M_start(comm, &id);            // session active: traffic recorded
+//   ... code to watch ...
+//   MPI_M_suspend(id);                 // data readable while suspended
+//   MPI_M_allgather_data(id, counts, sizes, MPI_M_ALL_COMM);
+//   MPI_M_free(id);
+//   MPI_M_finalize();
+//
+// Semantics reproduced from the paper (Section 4):
+//  * a session is attached to a communicator and records the messages whose
+//    sender AND receiver belong to it, even when the traffic travels over a
+//    different communicator;
+//  * collectives are recorded AFTER decomposition into point-to-point
+//    messages, with their own traffic class (MPI_M_COLL_ONLY);
+//  * sessions are independent: they may overlap and nest freely;
+//  * recording happens only in the "active" state; data access (get/gather/
+//    flush/reset) requires the "suspended" state;
+//  * all functions are thread-safe, return MPI_M_SUCCESS or one of the
+//    error codes below, and must be called by every process of the
+//    session's communicator (get_info excepted);
+//  * the library's own gathers use tool-class traffic that no session ever
+//    records.
+#pragma once
+
+#include "minimpi/comm.h"
+
+/// Monitoring Session IDentifier. Opaque: only meaningful to MPI_M_* calls.
+using MPI_M_msid = int;
+
+// --- special values ----------------------------------------------------------
+
+/// Acts on every session currently active or suspended (suspend, continue,
+/// reset, free only).
+inline constexpr MPI_M_msid MPI_M_ALL_MSID = -1;
+
+/// Pass for unwanted int output parameters.
+inline int* const MPI_M_INT_IGNORE = nullptr;
+/// Pass for unwanted unsigned long* output parameters.
+inline unsigned long* const MPI_M_DATA_IGNORE = nullptr;
+
+// --- kind-filter flags (bitwise-combinable) ----------------------------------
+
+inline constexpr int MPI_M_P2P_ONLY = 1 << 0;
+inline constexpr int MPI_M_COLL_ONLY = 1 << 1;
+inline constexpr int MPI_M_OSC_ONLY = 1 << 2;
+inline constexpr int MPI_M_ALL_COMM =
+    MPI_M_P2P_ONLY | MPI_M_COLL_ONLY | MPI_M_OSC_ONLY;
+
+// --- return codes -------------------------------------------------------------
+
+inline constexpr int MPI_M_SUCCESS = 0;
+/// An internal error occurred (allocation or system call failed).
+inline constexpr int MPI_M_INTERNAL_FAIL = 1;
+/// An MPI or MPI_T function failed.
+inline constexpr int MPI_M_MPIT_FAIL = 2;
+/// No call to MPI_M_init has been done.
+inline constexpr int MPI_M_MISSING_INIT = 3;
+/// At least one session has not been suspended (finalize).
+inline constexpr int MPI_M_SESSION_STILL_ACTIVE = 4;
+/// The session has not been suspended (data access / reset / free).
+inline constexpr int MPI_M_SESSION_NOT_SUSPENDED = 5;
+/// The msid does not refer to a live session, or is MPI_M_ALL_MSID where
+/// that is not allowed.
+inline constexpr int MPI_M_INVALID_MSID = 6;
+/// The maximum number of simultaneous sessions has been reached.
+inline constexpr int MPI_M_SESSION_OVERFLOW = 7;
+/// init or continue (resp. suspend) called more than once without suspend
+/// (resp. continue).
+inline constexpr int MPI_M_MULTIPLE_CALL = 8;
+/// The root parameter is invalid.
+inline constexpr int MPI_M_INVALID_ROOT = 9;
+/// The flags parameter is not a combination of the MPI_M_*_ONLY flags.
+inline constexpr int MPI_M_INVALID_FLAGS = 10;
+
+/// Maximum number of simultaneously live sessions per process.
+inline constexpr int MPI_M_MAX_SESSIONS = 256;
+
+/// Human-readable error-code name ("MPI_M_INVALID_MSID"...).
+const char* MPI_M_error_string(int code);
+
+// --- environment ---------------------------------------------------------------
+
+/// Sets the monitoring environment. Call between MPI_Init and MPI_Finalize
+/// (here: inside Engine::run, after attaching an mpit::Runtime).
+int MPI_M_init();
+/// Finalizes the monitoring environment; every session must be suspended or
+/// freed beforehand (suspended ones are freed).
+int MPI_M_finalize();
+
+// --- session control -------------------------------------------------------------
+
+/// Creates and starts a monitoring session on `comm`. Counts and sizes of
+/// messages between any two processes of `comm` are recorded, whatever
+/// communicator carries them.
+int MPI_M_start(mpim::mpi::Comm comm, MPI_M_msid* msid);
+/// Suspends an active session, making its data available.
+int MPI_M_suspend(MPI_M_msid msid);
+/// Restarts a suspended session.
+int MPI_M_continue(MPI_M_msid msid);
+/// Zeroes the data of a suspended session.
+int MPI_M_reset(MPI_M_msid msid);
+/// Frees a suspended session (data no longer available).
+int MPI_M_free(MPI_M_msid msid);
+
+// --- data access ------------------------------------------------------------------
+
+/// provided: level of thread support (always "multiple" here);
+/// array_size: length of the get_data arrays / order of the gather matrices.
+int MPI_M_get_info(MPI_M_msid msid, int* provided, int* array_size);
+
+/// Copies the calling process's per-peer sent counts/bytes. Collective over
+/// the session communicator by convention, though no traffic is generated.
+int MPI_M_get_data(MPI_M_msid msid, unsigned long* msg_counts,
+                   unsigned long* msg_sizes, int flags);
+
+/// get_data + allgather: every process receives the full size x size
+/// matrices (row-major, row i = messages sent by rank i).
+int MPI_M_allgather_data(MPI_M_msid msid, unsigned long* matrix_counts,
+                         unsigned long* matrix_sizes, int flags);
+
+/// Like allgather_data but only `root` receives; others may pass NULL.
+int MPI_M_rootgather_data(MPI_M_msid msid, int root,
+                          unsigned long* matrix_counts,
+                          unsigned long* matrix_sizes, int flags);
+
+/// Each process writes its own row to "<filename>.<rank>.prof" (rank in the
+/// session communicator).
+int MPI_M_flush(MPI_M_msid msid, const char* filename, int flags);
+
+/// `root` gathers everything and writes "<filename>_counts.<rank>.prof" and
+/// "<filename>_sizes.<rank>.prof" (rank of root in MPI_COMM_WORLD).
+int MPI_M_rootflush(MPI_M_msid msid, int root, const char* filename,
+                    int flags);

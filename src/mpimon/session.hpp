@@ -1,0 +1,110 @@
+// C++ RAII convenience wrapper over the C API.
+//
+// Not part of the paper's interface, but what a C++ downstream user would
+// reach for: a Session that suspends+frees itself on scope exit and returns
+// matrices as mpim::CommMatrix values.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "mpimon/mpi_monitoring.h"
+#include "support/error.h"
+#include "support/matrix.h"
+
+namespace mpim::mon {
+
+/// Throws mpim::Error when an MPI_M_* call does not return MPI_M_SUCCESS.
+inline void check_rc(int rc, const char* what) {
+  if (rc != MPI_M_SUCCESS)
+    fail(std::string(what) + " failed: " + MPI_M_error_string(rc));
+}
+
+/// Scoped monitoring environment (MPI_M_init/MPI_M_finalize pair).
+class Environment {
+ public:
+  Environment() { check_rc(MPI_M_init(), "MPI_M_init"); }
+  ~Environment() { MPI_M_finalize(); }
+  Environment(const Environment&) = delete;
+  Environment& operator=(const Environment&) = delete;
+};
+
+class Session {
+ public:
+  /// Creates and starts a session on `comm`.
+  explicit Session(const mpi::Comm& comm) : comm_(comm) {
+    check_rc(MPI_M_start(comm, &msid_), "MPI_M_start");
+    active_ = true;
+  }
+
+  ~Session() {
+    if (msid_ < 0) return;
+    if (active_) MPI_M_suspend(msid_);
+    MPI_M_free(msid_);
+  }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  Session(Session&& other) noexcept
+      : comm_(other.comm_), msid_(other.msid_), active_(other.active_) {
+    other.msid_ = -1;
+  }
+
+  MPI_M_msid id() const { return msid_; }
+  bool active() const { return active_; }
+
+  void suspend() {
+    check_rc(MPI_M_suspend(msid_), "MPI_M_suspend");
+    active_ = false;
+  }
+  void resume() {
+    check_rc(MPI_M_continue(msid_), "MPI_M_continue");
+    active_ = true;
+  }
+  void reset() { check_rc(MPI_M_reset(msid_), "MPI_M_reset"); }
+
+  /// Per-peer bytes sent by this process (session must be suspended).
+  std::vector<unsigned long> local_sizes(int flags = MPI_M_ALL_COMM) const {
+    std::vector<unsigned long> out(array_size());
+    check_rc(MPI_M_get_data(msid_, MPI_M_DATA_IGNORE, out.data(), flags),
+             "MPI_M_get_data");
+    return out;
+  }
+
+  std::vector<unsigned long> local_counts(int flags = MPI_M_ALL_COMM) const {
+    std::vector<unsigned long> out(array_size());
+    check_rc(MPI_M_get_data(msid_, out.data(), MPI_M_DATA_IGNORE, flags),
+             "MPI_M_get_data");
+    return out;
+  }
+
+  /// Full bytes matrix on every rank.
+  CommMatrix gather_sizes(int flags = MPI_M_ALL_COMM) const {
+    CommMatrix m = CommMatrix::square(array_size());
+    check_rc(MPI_M_allgather_data(msid_, MPI_M_DATA_IGNORE, m.data(), flags),
+             "MPI_M_allgather_data");
+    return m;
+  }
+
+  CommMatrix gather_counts(int flags = MPI_M_ALL_COMM) const {
+    CommMatrix m = CommMatrix::square(array_size());
+    check_rc(MPI_M_allgather_data(msid_, m.data(), MPI_M_DATA_IGNORE, flags),
+             "MPI_M_allgather_data");
+    return m;
+  }
+
+  std::size_t array_size() const {
+    int n = 0;
+    check_rc(MPI_M_get_info(msid_, MPI_M_INT_IGNORE, &n), "MPI_M_get_info");
+    return static_cast<std::size_t>(n);
+  }
+
+  const mpi::Comm& comm() const { return comm_; }
+
+ private:
+  mpi::Comm comm_;
+  MPI_M_msid msid_ = -1;
+  bool active_ = false;
+};
+
+}  // namespace mpim::mon

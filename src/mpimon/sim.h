@@ -1,0 +1,44 @@
+// Convenience bundle: engine + tool runtime wired together.
+//
+// Applications, examples and benchmarks construct a Sim and call run();
+// inside the rank function the full stack is available (mpi::* calls, the
+// MPI_M_* monitoring API, NIC counters).
+#pragma once
+
+#include <functional>
+
+#include "minimpi/api.h"
+#include "minimpi/engine.h"
+#include "mpit/runtime.h"
+
+namespace mpim {
+
+class Sim {
+ public:
+  explicit Sim(mpi::EngineConfig cfg)
+      : engine_(std::move(cfg)), tool_(engine_) {}
+
+  /// PlaFRIM-like cluster with round-robin placement and `nranks` ranks.
+  static Sim plafrim(int nodes, int nranks_or_all = -1) {
+    auto cost = net::CostModel::plafrim_like(nodes);
+    const int nranks =
+        nranks_or_all < 0 ? cost.topology().num_leaves() : nranks_or_all;
+    mpi::EngineConfig cfg{
+        .cost_model = cost,
+        .placement = topo::round_robin_placement(nranks, cost.topology())};
+    return Sim(std::move(cfg));
+  }
+
+  mpi::Engine& engine() { return engine_; }
+  mpit::Runtime& tool() { return tool_; }
+
+  void run(const std::function<void(mpi::Ctx&)>& rank_main) {
+    engine_.run(rank_main);
+  }
+
+ private:
+  mpi::Engine engine_;
+  mpit::Runtime tool_;
+};
+
+}  // namespace mpim

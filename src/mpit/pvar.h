@@ -1,0 +1,38 @@
+// MPI Tool Information Interface (MPI_T) performance-variable registry.
+//
+// Mirrors the pvars the Open MPI pml/coll/osc monitoring components export
+// (Bosilca et al., EuroPar'17): per-peer message counts and cumulated sizes
+// for each traffic class. The introspection library (mpimon) is written
+// against this interface only -- porting it to another runtime means
+// reimplementing this file's backend, which is the portability argument the
+// paper closes with.
+#pragma once
+
+#include <string>
+
+#include "minimpi/types.h"
+#include "support/error.h"
+
+namespace mpim::mpit {
+
+/// Raised on MPI_T-level misuse (bad handle, wrong state...). The mpimon
+/// layer maps it to MPI_M_MPIT_FAIL.
+class MpitError : public Error {
+ public:
+  explicit MpitError(const std::string& what) : Error(what) {}
+};
+
+struct PvarInfo {
+  const char* name;
+  const char* description;
+  mpi::CommKind kind;  ///< traffic class this pvar accounts
+  bool is_size;        ///< false: message count, true: cumulated bytes
+};
+
+/// Fixed registry, indexed 0..pvar_get_num()-1.
+int pvar_get_num();
+const PvarInfo& pvar_info(int index);
+/// -1 when unknown (MPI_T_ERR_INVALID_NAME equivalent).
+int pvar_index_by_name(const std::string& name);
+
+}  // namespace mpim::mpit

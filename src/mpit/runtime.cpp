@@ -1,0 +1,155 @@
+#include "mpit/runtime.h"
+
+#include <algorithm>
+
+namespace mpim::mpit {
+
+Runtime::Runtime(mpi::Engine& engine) : engine_(engine) {
+  ranks_.reserve(static_cast<std::size_t>(engine.world_size()));
+  for (int r = 0; r < engine.world_size(); ++r)
+    ranks_.push_back(std::make_unique<RankState>());
+  engine_.set_send_hook(
+      [this](const mpi::PktInfo& pkt) { return on_send(pkt); });
+  engine_.set_tool_runtime(this);
+}
+
+Runtime::~Runtime() {
+  engine_.set_send_hook(nullptr);
+  engine_.set_tool_runtime(nullptr);
+}
+
+Runtime& Runtime::of(mpi::Engine& engine) {
+  auto* rt = static_cast<Runtime*>(engine.tool_runtime());
+  if (rt == nullptr)
+    throw MpitError("no mpit::Runtime attached to this engine");
+  return *rt;
+}
+
+Runtime::RankState& Runtime::my_rank_state() {
+  return *ranks_[static_cast<std::size_t>(mpi::Ctx::current().world_rank())];
+}
+
+int Runtime::on_send(const mpi::PktInfo& pkt) {
+  for (const EventListener& listener : listeners_) listener(pkt);
+  RankState& rs = *ranks_[static_cast<std::size_t>(pkt.src_world)];
+  std::lock_guard lock(rs.mutex);
+  int recorded = 0;
+  for (Session& session : rs.sessions) {
+    if (session.freed) continue;
+    for (Handle& handle : session.handles) {
+      if (handle.freed || !handle.started || handle.kind != pkt.kind)
+        continue;
+      const int dst = handle.comm.group_rank_of_world(pkt.dst_world);
+      if (dst < 0 || !handle.comm.contains_world(pkt.src_world)) continue;
+      handle.values[static_cast<std::size_t>(dst)] +=
+          handle.is_size ? static_cast<unsigned long>(pkt.bytes) : 1ul;
+      ++recorded;
+    }
+  }
+  return recorded;
+}
+
+int Runtime::session_create() {
+  RankState& rs = my_rank_state();
+  std::lock_guard lock(rs.mutex);
+  rs.sessions.emplace_back();
+  return static_cast<int>(rs.sessions.size()) - 1;
+}
+
+void Runtime::session_free(int session) {
+  RankState& rs = my_rank_state();
+  std::lock_guard lock(rs.mutex);
+  if (session < 0 || session >= static_cast<int>(rs.sessions.size()) ||
+      rs.sessions[static_cast<std::size_t>(session)].freed)
+    throw MpitError("invalid pvar session");
+  auto& s = rs.sessions[static_cast<std::size_t>(session)];
+  s.freed = true;
+  s.handles.clear();
+}
+
+Runtime::Handle& Runtime::resolve(RankState& rs, int session, int handle) {
+  if (session < 0 || session >= static_cast<int>(rs.sessions.size()))
+    throw MpitError("invalid pvar session");
+  Session& s = rs.sessions[static_cast<std::size_t>(session)];
+  if (s.freed) throw MpitError("pvar session already freed");
+  if (handle < 0 || handle >= static_cast<int>(s.handles.size()))
+    throw MpitError("invalid pvar handle");
+  Handle& h = s.handles[static_cast<std::size_t>(handle)];
+  if (h.freed) throw MpitError("pvar handle already freed");
+  return h;
+}
+
+int Runtime::handle_alloc(int session, int pvar_index, const mpi::Comm& comm) {
+  const PvarInfo& info = pvar_info(pvar_index);
+  if (comm.is_null()) throw MpitError("handle_alloc on null communicator");
+  RankState& rs = my_rank_state();
+  std::lock_guard lock(rs.mutex);
+  if (session < 0 || session >= static_cast<int>(rs.sessions.size()) ||
+      rs.sessions[static_cast<std::size_t>(session)].freed)
+    throw MpitError("invalid pvar session");
+  Session& s = rs.sessions[static_cast<std::size_t>(session)];
+  Handle h;
+  h.comm = comm;
+  h.kind = info.kind;
+  h.is_size = info.is_size;
+  h.values.assign(static_cast<std::size_t>(comm.size()), 0ul);
+  s.handles.push_back(std::move(h));
+  return static_cast<int>(s.handles.size()) - 1;
+}
+
+void Runtime::handle_free(int session, int handle) {
+  RankState& rs = my_rank_state();
+  std::lock_guard lock(rs.mutex);
+  Handle& h = resolve(rs, session, handle);
+  h.freed = true;
+  h.values.clear();
+  h.values.shrink_to_fit();
+}
+
+void Runtime::handle_start(int session, int handle) {
+  RankState& rs = my_rank_state();
+  std::lock_guard lock(rs.mutex);
+  Handle& h = resolve(rs, session, handle);
+  if (h.started) throw MpitError("pvar handle already started");
+  h.started = true;
+}
+
+void Runtime::handle_stop(int session, int handle) {
+  RankState& rs = my_rank_state();
+  std::lock_guard lock(rs.mutex);
+  Handle& h = resolve(rs, session, handle);
+  if (!h.started) throw MpitError("pvar handle not started");
+  h.started = false;
+}
+
+int Runtime::handle_read(int session, int handle, unsigned long* out,
+                         int capacity) {
+  RankState& rs = my_rank_state();
+  std::lock_guard lock(rs.mutex);
+  Handle& h = resolve(rs, session, handle);
+  const int n = static_cast<int>(h.values.size());
+  if (out != nullptr) {
+    if (capacity < n) throw MpitError("pvar read buffer too small");
+    std::copy(h.values.begin(), h.values.end(), out);
+  }
+  return n;
+}
+
+void Runtime::handle_reset(int session, int handle) {
+  RankState& rs = my_rank_state();
+  std::lock_guard lock(rs.mutex);
+  Handle& h = resolve(rs, session, handle);
+  std::fill(h.values.begin(), h.values.end(), 0ul);
+}
+
+void Runtime::add_event_listener(EventListener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+int Runtime::handle_count(int session, int handle) {
+  RankState& rs = my_rank_state();
+  std::lock_guard lock(rs.mutex);
+  return static_cast<int>(resolve(rs, session, handle).values.size());
+}
+
+}  // namespace mpim::mpit

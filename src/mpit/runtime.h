@@ -1,0 +1,94 @@
+// MPI_T-like tool runtime: pvar sessions and handles.
+//
+// One Runtime attaches to one Engine. It installs the engine's send hook
+// (the pml_monitoring interposition point) and owns, per rank, the pvar
+// sessions and the handles bound to communicators. A started handle
+// accumulates, per peer of its communicator, the count or cumulated size of
+// every message of its traffic class whose *sender* is the owning rank --
+// including messages that travelled over a different communicator, as long
+// as both endpoints belong to the bound one (the paper's Section 4.1
+// even/odd example).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "minimpi/comm.h"
+#include "minimpi/engine.h"
+#include "mpit/pvar.h"
+
+namespace mpim::mpit {
+
+class Runtime {
+ public:
+  /// Installs the send hook; must be constructed before Engine::run.
+  explicit Runtime(mpi::Engine& engine);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// The runtime attached to an engine; throws MpitError when absent.
+  static Runtime& of(mpi::Engine& engine);
+
+  mpi::Engine& engine() { return engine_; }
+
+  // All calls below act on the state of the *calling rank* (Ctx::current())
+  // like MPI_T, which is process-local.
+
+  /// MPI_T_pvar_session_create.
+  int session_create();
+  void session_free(int session);
+
+  /// MPI_T_pvar_handle_alloc: binds pvar `pvar_index` to `comm`; the
+  /// value is an array with one slot per communicator peer.
+  int handle_alloc(int session, int pvar_index, const mpi::Comm& comm);
+  void handle_free(int session, int handle);
+
+  void handle_start(int session, int handle);
+  void handle_stop(int session, int handle);
+  /// Copies the per-peer values; `capacity` is the element count of `out`.
+  /// Returns the number of values written (= comm size).
+  int handle_read(int session, int handle, unsigned long* out, int capacity);
+  void handle_reset(int session, int handle);
+
+  /// Number of values of a handle (= size of the bound communicator).
+  int handle_count(int session, int handle);
+
+  /// Per-event listeners (trace tools): called on the sending thread for
+  /// every monitored packet, after the pvar accounting. Install before
+  /// Engine::run; listeners cannot be removed (disable inside instead).
+  using EventListener = std::function<void(const mpi::PktInfo&)>;
+  void add_event_listener(EventListener listener);
+
+ private:
+  struct Handle {
+    mpi::Comm comm;
+    mpi::CommKind kind = mpi::CommKind::p2p;
+    bool is_size = false;
+    bool started = false;
+    bool freed = false;
+    std::vector<unsigned long> values;
+  };
+  struct Session {
+    bool freed = false;
+    std::vector<Handle> handles;
+  };
+  struct RankState {
+    std::mutex mutex;  ///< guards sessions: recording may come from peers
+    std::vector<Session> sessions;
+  };
+
+  /// Engine send hook; returns the number of records made (overhead model).
+  int on_send(const mpi::PktInfo& pkt);
+
+  Handle& resolve(RankState& rs, int session, int handle);
+  RankState& my_rank_state();
+
+  mpi::Engine& engine_;
+  std::vector<std::unique_ptr<RankState>> ranks_;
+  std::vector<EventListener> listeners_;
+};
+
+}  // namespace mpim::mpit

@@ -1,0 +1,107 @@
+#include "netmodel/cost_model.h"
+
+#include "support/error.h"
+
+namespace mpim::net {
+
+CostModel::CostModel(topo::Topology topology, std::vector<LinkParams> params,
+                     double send_overhead_s)
+    : topo_(std::move(topology)),
+      params_(std::move(params)),
+      send_overhead_s_(send_overhead_s) {
+  check(static_cast<int>(params_.size()) == topo_.depth() + 1,
+        "CostModel needs topology.depth()+1 link parameter sets");
+  for (const auto& p : params_) {
+    check(p.alpha_s >= 0.0, "negative latency");
+    check(p.beta_bytes_s > 0.0, "non-positive bandwidth");
+  }
+  check(send_overhead_s_ >= 0.0, "negative send overhead");
+}
+
+CostModel CostModel::plafrim_like(int nodes, int sockets_per_node,
+                                  int cores_per_socket) {
+  auto topology =
+      topo::Topology::cluster(nodes, sockets_per_node, cores_per_socket);
+  std::vector<LinkParams> params = {
+      {1.5e-6, 6.0e9},   // depth 0: different nodes (per-flow Omni-Path)
+      {0.7e-6, 8.0e9},   // depth 1: same node, different sockets
+      {0.3e-6, 11.0e9},  // depth 2: same socket, different cores
+      {0.05e-6, 20.0e9}, // depth 3: same PU
+  };
+  return CostModel(std::move(topology), std::move(params));
+}
+
+const LinkParams& CostModel::params_at_depth(int d) const {
+  check(d >= 0 && d <= topo_.depth(), "link depth out of range");
+  return params_[static_cast<std::size_t>(d)];
+}
+
+double CostModel::transfer_time(int leaf_a, int leaf_b,
+                                std::size_t bytes) const {
+  return latency(leaf_a, leaf_b) + serialization_time(leaf_a, leaf_b, bytes);
+}
+
+double CostModel::latency(int leaf_a, int leaf_b) const {
+  return params_at_depth(topo_.common_ancestor_depth(leaf_a, leaf_b)).alpha_s;
+}
+
+double CostModel::serialization_time(int leaf_a, int leaf_b,
+                                     std::size_t bytes) const {
+  const auto& p =
+      params_at_depth(topo_.common_ancestor_depth(leaf_a, leaf_b));
+  return static_cast<double>(bytes) / p.beta_bytes_s;
+}
+
+bool CostModel::crosses_network(int leaf_a, int leaf_b) const {
+  return topo_.common_ancestor_depth(leaf_a, leaf_b) == 0;
+}
+
+double CostModel::pattern_cost(const mpim::Matrix<unsigned long>& bytes_matrix,
+                               const topo::Placement& placement) const {
+  check(bytes_matrix.rows() == bytes_matrix.cols(),
+        "pattern_cost wants a square matrix");
+  check(bytes_matrix.rows() == placement.size(),
+        "pattern_cost: placement size mismatch");
+  double total = 0.0;
+  const std::size_t n = placement.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const unsigned long bytes = bytes_matrix(i, j);
+      if (i == j || bytes == 0) continue;
+      total += transfer_time(placement[i], placement[j], bytes);
+    }
+  }
+  return total;
+}
+
+double CostModel::nic_load_cost(const mpim::Matrix<unsigned long>& bytes_matrix,
+                                const topo::Placement& placement) const {
+  check(bytes_matrix.rows() == bytes_matrix.cols(),
+        "nic_load_cost wants a square matrix");
+  check(bytes_matrix.rows() == placement.size(),
+        "nic_load_cost: placement size mismatch");
+  const int nodes = topo_.depth() >= 1 ? topo_.arities()[0] : 1;
+  std::vector<double> tx(static_cast<std::size_t>(nodes), 0.0);
+  std::vector<double> rx(static_cast<std::size_t>(nodes), 0.0);
+  const std::size_t n = placement.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const unsigned long bytes = bytes_matrix(i, j);
+      if (bytes == 0 || !crosses_network(placement[i], placement[j]))
+        continue;
+      tx[static_cast<std::size_t>(topo_.node_of(placement[i]))] +=
+          static_cast<double>(bytes);
+      rx[static_cast<std::size_t>(topo_.node_of(placement[j]))] +=
+          static_cast<double>(bytes);
+    }
+  }
+  double worst_bytes = 0.0;
+  for (int b = 0; b < nodes; ++b) {
+    worst_bytes = std::max(worst_bytes, tx[static_cast<std::size_t>(b)]);
+    worst_bytes = std::max(worst_bytes, rx[static_cast<std::size_t>(b)]);
+  }
+  return worst_bytes / params_.front().beta_bytes_s;
+}
+
+}  // namespace mpim::net

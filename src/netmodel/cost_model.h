@@ -1,0 +1,91 @@
+// Hockney-style communication cost model over the topology tree.
+//
+// The cost of moving `m` bytes between two processing units whose deepest
+// common ancestor sits at tree depth `d` is
+//
+//     T(m, d) = alpha[d] + m / beta[d]
+//
+// with one (alpha, beta) pair per topology level plus one for the "same
+// leaf" case (d == depth). Rank-reordering gains in the paper come entirely
+// from the contrast between intra-node and inter-node parameters; the
+// defaults below are calibrated to a PlaFRIM-like machine (Omni-Path
+// 100 Gb/s shared by 24 ranks per node, dual-socket Haswell).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/matrix.h"
+#include "topo/topology.h"
+
+namespace mpim::net {
+
+struct LinkParams {
+  double alpha_s;        ///< latency in seconds
+  double beta_bytes_s;   ///< bandwidth in bytes/second
+};
+
+class CostModel {
+ public:
+  /// `params[d]` applies when the deepest common ancestor is at depth d;
+  /// must provide topology.depth() + 1 entries (the last one is "same PU",
+  /// used for self-messages, essentially free).
+  CostModel(topo::Topology topology, std::vector<LinkParams> params,
+            double send_overhead_s = 4.0e-7);
+
+  /// PlaFRIM-like defaults for a cluster(nodes, 2, 12) topology:
+  ///   inter-node  : alpha = 1.5 us, beta = 6.0 GB/s (single-flow; the NIC
+  ///                 contention model of the engine shares it among flows)
+  ///   inter-socket: alpha = 0.7 us, beta = 8.0 GB/s
+  ///   intra-socket: alpha = 0.3 us, beta = 11  GB/s
+  ///   same PU     : alpha = 0.05 us, beta = 20 GB/s
+  static CostModel plafrim_like(int nodes, int sockets_per_node = 2,
+                                int cores_per_socket = 12);
+
+  const topo::Topology& topology() const { return topo_; }
+
+  /// Total transfer time for `bytes` between leaves a and b (seconds):
+  /// latency + serialization.
+  double transfer_time(int leaf_a, int leaf_b, std::size_t bytes) const;
+
+  /// Wire latency alpha of the link class between two leaves.
+  double latency(int leaf_a, int leaf_b) const;
+
+  /// Serialization time bytes/beta: the time the *sender* stays busy
+  /// pushing the message out (store-and-forward at the injection point).
+  /// Without this, a linear broadcast would pipeline for free and beat
+  /// every tree algorithm.
+  double serialization_time(int leaf_a, int leaf_b, std::size_t bytes) const;
+
+  /// Time the *sender* stays busy per message (LogP "o"): after this it may
+  /// issue the next send while the message is in flight.
+  double send_overhead() const { return send_overhead_s_; }
+
+  const LinkParams& params_at_depth(int d) const;
+
+  /// True iff the two leaves live on different depth-1 entities (nodes);
+  /// such transfers are counted by the NIC counters.
+  bool crosses_network(int leaf_a, int leaf_b) const;
+
+  /// Static cost of a whole communication pattern: sum over i,j of
+  /// T(matrix(i,j), link(place[i], place[j])). This is the objective
+  /// TreeMatch-style reordering reduces; used by tests and ablations.
+  double pattern_cost(const mpim::Matrix<unsigned long>& bytes_matrix,
+                      const topo::Placement& placement) const;
+
+  /// First-order NIC-contention bound of a pattern: the heaviest node port
+  /// must drain all its inter-node traffic at the network bandwidth,
+  ///   max over nodes of max(tx_bytes, rx_bytes) / beta(inter-node).
+  /// pattern_cost + nic_load_cost ranks mappings the way the contention-
+  /// aware engine times them; the reordering uses it to decide whether a
+  /// proposed permutation actually beats the current one.
+  double nic_load_cost(const mpim::Matrix<unsigned long>& bytes_matrix,
+                       const topo::Placement& placement) const;
+
+ private:
+  topo::Topology topo_;
+  std::vector<LinkParams> params_;
+  double send_overhead_s_;
+};
+
+}  // namespace mpim::net

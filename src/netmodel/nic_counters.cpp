@@ -1,0 +1,51 @@
+#include "netmodel/nic_counters.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace mpim::net {
+
+NicCounters::NicCounters(int num_nodes)
+    : logs_(static_cast<std::size_t>(num_nodes)) {
+  check(num_nodes >= 1, "NicCounters needs at least one node");
+}
+
+void NicCounters::record_tx(int node, double time_s, std::uint64_t bytes) {
+  auto& slot = logs_.at(static_cast<std::size_t>(node));
+  std::lock_guard lock(slot.mutex);
+  slot.records.push_back(TxRecord{time_s, bytes});
+}
+
+std::uint64_t NicCounters::bytes_until(int node, double time_s) const {
+  std::uint64_t acc = 0;
+  for (const TxRecord& r : log(node))
+    if (r.time_s <= time_s) acc += r.bytes;
+  return acc;
+}
+
+std::vector<TxRecord> NicCounters::log(int node) const {
+  const auto& slot = logs_.at(static_cast<std::size_t>(node));
+  std::lock_guard lock(slot.mutex);
+  std::vector<TxRecord> copy = slot.records;
+  std::sort(copy.begin(), copy.end(),
+            [](const TxRecord& a, const TxRecord& b) {
+              return a.time_s < b.time_s;
+            });
+  return copy;
+}
+
+std::uint64_t NicCounters::total_bytes(int node) const {
+  std::uint64_t acc = 0;
+  for (const TxRecord& r : log(node)) acc += r.bytes;
+  return acc;
+}
+
+void NicCounters::reset() {
+  for (auto& slot : logs_) {
+    std::lock_guard lock(slot.mutex);
+    slot.records.clear();
+  }
+}
+
+}  // namespace mpim::net

@@ -1,0 +1,111 @@
+#include "predict/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace mpim::predict {
+
+UsagePredictor::UsagePredictor(PredictorConfig cfg) : cfg_(cfg) {
+  check(cfg_.window >= 4, "predictor window too small");
+  check(cfg_.ewma_alpha > 0.0 && cfg_.ewma_alpha <= 1.0,
+        "ewma_alpha in (0,1]");
+  check(cfg_.min_period >= 1 && cfg_.min_period < cfg_.max_period,
+        "bad period search range");
+}
+
+void UsagePredictor::add_sample(double bytes) {
+  check(bytes >= 0.0, "negative traffic sample");
+  ewma_ = (total_samples_ == 0)
+              ? bytes
+              : cfg_.ewma_alpha * bytes + (1.0 - cfg_.ewma_alpha) * ewma_;
+  window_.push_back(bytes);
+  if (window_.size() > cfg_.window) window_.pop_front();
+  ++total_samples_;
+}
+
+double UsagePredictor::last_sample() const {
+  check(!window_.empty(), "no samples yet");
+  return window_.back();
+}
+
+double UsagePredictor::window_mean() const {
+  if (window_.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : window_) acc += v;
+  return acc / static_cast<double>(window_.size());
+}
+
+double UsagePredictor::window_stddev() const {
+  if (window_.size() < 2) return 0.0;
+  const double m = window_mean();
+  double acc = 0.0;
+  for (double v : window_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(window_.size()));
+}
+
+double UsagePredictor::trend_slope() const {
+  const std::size_t n = window_.size();
+  if (n < 2) return 0.0;
+  // Least squares of value against sample index 0..n-1.
+  const double mean_x = static_cast<double>(n - 1) / 2.0;
+  const double mean_y = window_mean();
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = static_cast<double>(i) - mean_x;
+    sxy += dx * (window_[i] - mean_y);
+    sxx += dx * dx;
+  }
+  return sxx == 0.0 ? 0.0 : sxy / sxx;
+}
+
+double UsagePredictor::autocorrelation(std::size_t lag) const {
+  const std::size_t n = window_.size();
+  if (lag == 0 || lag >= n) return 0.0;
+  const double mean = window_mean();
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = window_[i] - mean;
+    den += d * d;
+    if (i + lag < n) num += d * (window_[i + lag] - mean);
+  }
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+std::optional<std::size_t> UsagePredictor::detected_period() const {
+  const std::size_t n = window_.size();
+  if (n < 3 * cfg_.min_period) return std::nullopt;
+  const std::size_t hi = std::min(cfg_.max_period, n / 2);
+  double best_corr = 0.0;
+  std::size_t best_lag = 0;
+  for (std::size_t lag = cfg_.min_period; lag <= hi; ++lag) {
+    const double corr = autocorrelation(lag);
+    if (corr > best_corr) {
+      best_corr = corr;
+      best_lag = lag;
+    }
+  }
+  if (best_lag == 0 || best_corr < cfg_.period_confidence)
+    return std::nullopt;
+  return best_lag;
+}
+
+double UsagePredictor::predict_next() const {
+  if (window_.empty()) return 0.0;
+  if (const auto period = detected_period()) {
+    // One full period ago is the best estimate of "the same phase next".
+    const std::size_t n = window_.size();
+    if (*period <= n) return window_[n - *period];
+  }
+  return std::max(0.0, ewma_ + trend_slope());
+}
+
+bool UsagePredictor::underutilized_next(double fraction) const {
+  if (window_.empty()) return true;
+  const double peak = *std::max_element(window_.begin(), window_.end());
+  if (peak == 0.0) return true;
+  return predict_next() < fraction * peak;
+}
+
+}  // namespace mpim::predict

@@ -1,0 +1,72 @@
+// Network-usage prediction from introspection samples.
+//
+// Section 7 of the paper points to a follow-up use of the library
+// (Tseng et al., EuroPar'19): sample the monitored traffic periodically
+// and predict near-future network utilization, e.g. to schedule
+// checkpoint transfers into under-utilized windows. This module implements
+// that idea with transparent, deterministic estimators instead of an
+// opaque learned model:
+//   * an exponentially weighted moving average (short-horizon level),
+//   * a least-squares trend over a sliding window,
+//   * an autocorrelation-based period detector (iterative MPI applications
+//     produce near-periodic traffic), which, when confident, predicts the
+//     next sample from one period ago.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+namespace mpim::predict {
+
+struct PredictorConfig {
+  std::size_t window = 256;     ///< sliding window length (samples)
+  double ewma_alpha = 0.25;     ///< EWMA smoothing factor
+  std::size_t min_period = 2;   ///< search range for the period detector
+  std::size_t max_period = 64;
+  /// Autocorrelation needed before the periodic predictor takes over.
+  double period_confidence = 0.6;
+};
+
+class UsagePredictor {
+ public:
+  explicit UsagePredictor(PredictorConfig cfg = {});
+
+  /// Feed the traffic volume of one sampling interval (bytes).
+  void add_sample(double bytes);
+
+  std::size_t sample_count() const { return total_samples_; }
+  double last_sample() const;
+  double ewma() const { return ewma_; }
+
+  /// Mean and (population) standard deviation over the current window.
+  double window_mean() const;
+  double window_stddev() const;
+
+  /// Least-squares slope over the window (bytes per interval²).
+  double trend_slope() const;
+
+  /// Detected dominant period in samples, if the autocorrelation at that
+  /// lag exceeds the confidence threshold.
+  std::optional<std::size_t> detected_period() const;
+
+  /// Predicted volume of the next interval: the periodic predictor when a
+  /// confident period exists, otherwise EWMA + trend extrapolation
+  /// (clamped at zero).
+  double predict_next() const;
+
+  /// True when the predicted next-interval volume stays below
+  /// `fraction` of the window's peak -- an under-utilized window suitable
+  /// for background transfers (the checkpoint-fetch use case).
+  bool underutilized_next(double fraction = 0.25) const;
+
+ private:
+  double autocorrelation(std::size_t lag) const;
+
+  PredictorConfig cfg_;
+  std::deque<double> window_;
+  double ewma_ = 0.0;
+  std::size_t total_samples_ = 0;
+};
+
+}  // namespace mpim::predict

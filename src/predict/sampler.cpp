@@ -1,0 +1,32 @@
+#include "predict/sampler.h"
+
+#include <vector>
+
+#include "mpimon/session.hpp"
+
+namespace mpim::predict {
+
+TrafficSampler::TrafficSampler(const mpi::Comm& comm, int flags)
+    : comm_(comm), flags_(flags) {
+  mon::check_rc(MPI_M_start(comm, &msid_), "MPI_M_start");
+}
+
+TrafficSampler::~TrafficSampler() {
+  if (msid_ < 0) return;
+  MPI_M_suspend(msid_);
+  MPI_M_free(msid_);
+}
+
+std::uint64_t TrafficSampler::sample() {
+  mon::check_rc(MPI_M_suspend(msid_), "MPI_M_suspend");
+  std::vector<unsigned long> row(static_cast<std::size_t>(comm_.size()));
+  mon::check_rc(MPI_M_get_data(msid_, MPI_M_DATA_IGNORE, row.data(), flags_),
+                "MPI_M_get_data");
+  mon::check_rc(MPI_M_reset(msid_), "MPI_M_reset");
+  mon::check_rc(MPI_M_continue(msid_), "MPI_M_continue");
+  std::uint64_t acc = 0;
+  for (unsigned long v : row) acc += v;
+  return acc;
+}
+
+}  // namespace mpim::predict

@@ -1,0 +1,33 @@
+// Bridges monitoring sessions to the predictor: periodic read-and-reset
+// sampling of a rank's outgoing traffic, the pattern of the paper's
+// Section 6.1 sampler packaged as a reusable component.
+#pragma once
+
+#include <cstdint>
+
+#include "minimpi/comm.h"
+#include "mpimon/mpi_monitoring.h"
+
+namespace mpim::predict {
+
+class TrafficSampler {
+ public:
+  /// Starts a monitoring session on `comm` (per-rank local state; create
+  /// on every rank that samples). `flags` selects the traffic classes.
+  explicit TrafficSampler(const mpi::Comm& comm, int flags = MPI_M_ALL_COMM);
+  ~TrafficSampler();
+
+  TrafficSampler(const TrafficSampler&) = delete;
+  TrafficSampler& operator=(const TrafficSampler&) = delete;
+
+  /// Bytes this rank sent (to peers inside the session communicator) since
+  /// the previous sample() call; uses the session's reset feature.
+  std::uint64_t sample();
+
+ private:
+  mpi::Comm comm_;
+  MPI_M_msid msid_ = -1;
+  int flags_;
+};
+
+}  // namespace mpim::predict

@@ -1,0 +1,136 @@
+#include "reorder/reorder.h"
+
+#include <chrono>
+#include <ctime>
+
+#include "minimpi/engine.h"
+#include "mpimon/mpi_monitoring.h"
+#include "mpimon/session.hpp"
+#include "support/error.h"
+#include "treematch/treematch.h"
+
+namespace mpim::reorder {
+
+namespace {
+
+/// CPU time consumed by the calling thread (seconds).
+double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace
+
+std::vector<int> compute_reordering(const CommMatrix& bytes,
+                                    const topo::Topology& topo,
+                                    const topo::Placement& placement,
+                                    const net::CostModel* cost) {
+  const std::size_t n = bytes.rows();
+  check(bytes.cols() == n, "communication matrix must be square");
+  check(placement.size() == n, "placement size mismatch");
+
+  // Slot s is the processing unit of the process currently ranked s.
+  // TreeMatch assigns each *role* (a row of the matrix: what old rank j
+  // does) to a slot; the process owning that slot must take over the role,
+  // i.e. new_rank(process s[j]) = j.
+  const std::vector<int> role_to_slot =
+      tm::treematch_slots(bytes, topo, placement);
+  std::vector<int> k(n, -1);
+  for (std::size_t role = 0; role < n; ++role) {
+    const auto slot = static_cast<std::size_t>(role_to_slot[role]);
+    check(k[slot] == -1, "treematch produced a non-injective slot map");
+    k[slot] = static_cast<int>(role);
+  }
+  if (cost != nullptr) {
+    // Keep the current mapping when the proposal does not actually lower
+    // the modeled (contention-aware) cost -- an already well-placed job
+    // must not be churned by a heuristic local optimum.
+    auto decision_cost = [&](const std::vector<int>& perm) {
+      topo::Placement effective(n);
+      for (std::size_t p = 0; p < n; ++p)
+        effective[static_cast<std::size_t>(perm[p])] = placement[p];
+      return cost->pattern_cost(bytes, effective) +
+             cost->nic_load_cost(bytes, effective);
+    };
+    // 3% hysteresis: permuting every rank of a running application is not
+    // free, so marginal modeled improvements are not worth acting on.
+    if (decision_cost(k) >= 0.97 * decision_cost(identity_k(n)))
+      return identity_k(n);
+  }
+  return k;
+}
+
+std::vector<int> identity_k(std::size_t n) {
+  std::vector<int> k(n);
+  for (std::size_t i = 0; i < n; ++i) k[i] = static_cast<int>(i);
+  return k;
+}
+
+double reordered_cost(const CommMatrix& bytes, const std::vector<int>& k,
+                      const net::CostModel& cost,
+                      const topo::Placement& placement) {
+  check(k.size() == placement.size(), "k/placement size mismatch");
+  topo::Placement effective(placement.size());
+  for (std::size_t p = 0; p < k.size(); ++p)
+    effective[static_cast<std::size_t>(k[p])] = placement[p];
+  return cost.pattern_cost(bytes, effective);
+}
+
+ReorderResult reorder_ranks(int msid, const mpi::Comm& comm) {
+  mpi::Ctx& ctx = mpi::Ctx::current();
+  const int n = comm.size();
+  const int myrank = mpi::comm_rank(comm);
+
+  std::vector<unsigned long> size_mat(
+      myrank == 0 ? static_cast<std::size_t>(n) * static_cast<std::size_t>(n)
+                  : 0);
+  mon::check_rc(
+      MPI_M_rootgather_data(msid, 0, MPI_M_DATA_IGNORE,
+                            myrank == 0 ? size_mat.data() : nullptr,
+                            MPI_M_ALL_COMM),
+      "MPI_M_rootgather_data");
+
+  std::vector<int> k(static_cast<std::size_t>(n));
+  if (myrank == 0) {
+    CommMatrix bytes = CommMatrix::square(static_cast<std::size_t>(n));
+    std::copy(size_mat.begin(), size_mat.end(), bytes.flat().begin());
+
+    topo::Placement placement(static_cast<std::size_t>(n));
+    const auto& world_placement = ctx.engine().config().placement;
+    for (int j = 0; j < n; ++j)
+      placement[static_cast<std::size_t>(j)] =
+          world_placement[static_cast<std::size_t>(comm.world_rank_of(j))];
+
+    // The mapping algorithm runs on the host: charge its CPU cost to
+    // rank 0's virtual clock (this is the t2 the paper's Fig. 6 and
+    // Table 1 account for). Thread CPU time, not wall time: the simulator
+    // oversubscribes one core with many rank threads.
+    const double host0 = thread_cpu_seconds();
+    k = compute_reordering(bytes, ctx.engine().topology(), placement,
+                           &ctx.engine().cost_model());
+    ctx.advance(thread_cpu_seconds() - host0);
+  }
+  mpi::bcast(k.data(), static_cast<std::size_t>(n), mpi::Type::Int, 0, comm);
+
+  ReorderResult out;
+  out.k = k;
+  out.opt_comm =
+      mpi::comm_split(comm, 0, k[static_cast<std::size_t>(myrank)]);
+  return out;
+}
+
+ReorderResult monitor_and_reorder(
+    const mpi::Comm& comm,
+    const std::function<void(const mpi::Comm&)>& monitored_step) {
+  MPI_M_msid id = -1;
+  mon::check_rc(MPI_M_start(comm, &id), "MPI_M_start");
+  monitored_step(comm);
+  mon::check_rc(MPI_M_suspend(id), "MPI_M_suspend");
+  ReorderResult out = reorder_ranks(id, comm);
+  mon::check_rc(MPI_M_free(id), "MPI_M_free");
+  return out;
+}
+
+}  // namespace mpim::reorder

@@ -1,0 +1,61 @@
+// Dynamic rank reordering (the paper's Section 5 / Figure 1 algorithm),
+// packaged as reusable routines.
+//
+// compute_reordering() is the pure algorithmic core: given the monitored
+// byte matrix (old-rank space), the machine and the current placement, it
+// returns the array k such that -- to minimize communication -- the process
+// of current rank i should take rank k[i] in the optimized communicator
+// (obtained with comm_split(comm, 0, k[myrank])).
+//
+// reorder_ranks() is the full distributed Figure-1 step: suspend-read an
+// existing monitoring session, gather at rank 0, run TreeMatch, broadcast
+// k and split. monitor_and_reorder() additionally wraps the monitored
+// first iteration.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "minimpi/api.h"
+#include "netmodel/cost_model.h"
+#include "support/matrix.h"
+#include "topo/topology.h"
+
+namespace mpim::reorder {
+
+/// Pure core: k[i] = new rank of the process currently ranked i. When a
+/// cost model is supplied, the identity is returned whenever TreeMatch's
+/// proposal does not lower the contention-aware modeled cost (pattern cost
+/// plus NIC load bound): the current mapping is never made worse.
+std::vector<int> compute_reordering(const CommMatrix& bytes,
+                                    const topo::Topology& topo,
+                                    const topo::Placement& placement,
+                                    const net::CostModel* cost = nullptr);
+
+/// The no-op reordering (k[i] = i), baseline for cost comparisons.
+std::vector<int> identity_k(std::size_t n);
+
+/// Modeled communication cost of pattern `bytes` if rank i's row were
+/// executed by the process holding new rank assignment k (k = identity
+/// gives the current cost). Used by tests and the ablation bench.
+double reordered_cost(const CommMatrix& bytes, const std::vector<int>& k,
+                      const net::CostModel& cost,
+                      const topo::Placement& placement);
+
+struct ReorderResult {
+  mpi::Comm opt_comm;       ///< the optimized communicator
+  std::vector<int> k;       ///< old rank -> new rank (valid on all ranks)
+};
+
+/// Distributed Figure-1 step on an *already monitored, suspended* session:
+/// rank 0 gathers the size matrix, computes k with TreeMatch, broadcasts it
+/// and every rank splits. Collective over `comm`. `msid` must identify a
+/// suspended session attached to `comm`.
+ReorderResult reorder_ranks(int msid, const mpi::Comm& comm);
+
+/// Convenience: runs `monitored_step` under a fresh session (the paper's
+/// "first iteration"), then performs the reordering step above.
+ReorderResult monitor_and_reorder(
+    const mpi::Comm& comm, const std::function<void(const mpi::Comm&)>& monitored_step);
+
+}  // namespace mpim::reorder

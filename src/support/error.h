@@ -1,0 +1,47 @@
+// Error handling primitives shared by every module.
+//
+// The library proper (mpimon) reports errors through MPI-style integer
+// return codes; everything underneath (engine, topology, placement) uses
+// exceptions for programming errors and unrecoverable states.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace mpim {
+
+/// Thrown for unrecoverable internal errors (broken invariants, misuse of
+/// the simulator API). User-facing MPI_M_* calls never let this escape.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when the engine detects that every rank is blocked and no message
+/// can ever arrive (global deadlock in the simulated program).
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+[[noreturn]] inline void fail(const std::string& msg,
+                              std::source_location loc =
+                                  std::source_location::current()) {
+  throw Error(std::string(loc.file_name()) + ":" +
+              std::to_string(loc.line()) + ": " + msg);
+}
+
+/// Internal invariant check. Cheap enough to keep enabled in release
+/// builds: the simulator is correctness-first.
+inline void check(bool cond, const char* msg,
+                  std::source_location loc = std::source_location::current()) {
+  if (!cond) fail(msg, loc);
+}
+
+inline void check(bool cond, const std::string& msg,
+                  std::source_location loc = std::source_location::current()) {
+  if (!cond) fail(msg, loc);
+}
+
+}  // namespace mpim

@@ -1,0 +1,82 @@
+// Dense row-major matrix. Used for communication matrices gathered from the
+// monitoring library and by TreeMatch aggregation at small/medium orders.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/error.h"
+
+namespace mpim {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix square(std::size_t n, T fill = T{}) {
+    return Matrix(n, n, fill);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    check(r < rows_ && c < cols_, "Matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    check(r < rows_ && c < cols_, "Matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  /// Row-major flat view (the layout the MPI_M_*gather_data calls use).
+  std::span<T> flat() { return data_; }
+  std::span<const T> flat() const { return data_; }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  std::span<T> row(std::size_t r) {
+    check(r < rows_, "Matrix row out of range");
+    return std::span<T>(data_).subspan(r * cols_, cols_);
+  }
+  std::span<const T> row(std::size_t r) const {
+    check(r < rows_, "Matrix row out of range");
+    return std::span<const T>(data_).subspan(r * cols_, cols_);
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  T sum() const {
+    T acc{};
+    for (const T& v : data_) acc += v;
+    return acc;
+  }
+
+  /// Returns w with w(i,j) = (*this)(i,j) + (*this)(j,i); TreeMatch works on
+  /// symmetrized affinity.
+  Matrix symmetrized() const {
+    check(rows_ == cols_, "symmetrized() needs a square matrix");
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = 0; j < cols_; ++j)
+        out(i, j) = (*this)(i, j) + (*this)(j, i);
+    return out;
+  }
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using CommMatrix = Matrix<unsigned long>;  // counts or bytes, as in the paper
+using DoubleMatrix = Matrix<double>;
+
+}  // namespace mpim

@@ -1,0 +1,97 @@
+// Deterministic pseudo-random number generation.
+//
+// All experiments in this repository must be reproducible bit-for-bit, so
+// nothing may use std::random_device or rely on unseeded global state.
+// Xoshiro256** is small, fast and has well-understood statistical quality.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "support/error.h"
+
+namespace mpim {
+
+/// SplitMix64, used to expand a single seed into xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1234abcdULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Uses rejection to avoid
+  /// modulo bias.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+    check(lo <= hi, "uniform_u64: empty range");
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return (*this)();  // full 64-bit range
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t draw;
+    do {
+      draw = (*this)();
+    } while (draw >= limit);
+    return lo + draw % span;
+  }
+
+  int uniform_int(int lo, int hi) {
+    return static_cast<int>(
+        uniform_u64(0, static_cast<std::uint64_t>(hi - lo))) + lo;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// Fisher-Yates shuffle with a deterministic Rng.
+template <typename Container>
+void shuffle(Container& items, Rng& rng) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_u64(0, i - 1));
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+}  // namespace mpim

@@ -1,0 +1,119 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/error.h"
+
+namespace mpim::stats {
+
+double mean(std::span<const double> xs) {
+  check(!xs.empty(), "mean of empty sample");
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  check(xs.size() >= 2, "variance needs at least two samples");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double median(std::span<const double> xs) {
+  check(!xs.empty(), "median of empty sample");
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  const std::size_t n = copy.size();
+  return (n % 2 == 1) ? copy[n / 2] : 0.5 * (copy[n / 2 - 1] + copy[n / 2]);
+}
+
+double normal_quantile(double p) {
+  check(p > 0.0 && p < 1.0, "normal_quantile: p must lie in (0,1)");
+  // Peter Acklam's rational approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > p_high) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double t_quantile(double p, double df) {
+  check(df > 0.0, "t_quantile: df must be positive");
+  const double z = normal_quantile(p);
+  // Cornish-Fisher expansion of the t quantile in powers of 1/df
+  // (Abramowitz & Stegun 26.7.5).
+  const double z3 = z * z * z;
+  const double z5 = z3 * z * z;
+  const double z7 = z5 * z * z;
+  const double g1 = (z3 + z) / 4.0;
+  const double g2 = (5.0 * z5 + 16.0 * z3 + 3.0 * z) / 96.0;
+  const double g3 = (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) / 384.0;
+  return z + g1 / df + g2 / (df * df) + g3 / (df * df * df);
+}
+
+WelchResult welch_interval(std::span<const double> a,
+                           std::span<const double> b, double confidence) {
+  check(a.size() >= 2 && b.size() >= 2,
+        "welch_interval needs >=2 samples per group");
+  check(confidence > 0.0 && confidence < 1.0, "confidence in (0,1)");
+
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double va = variance(a) / na;
+  const double vb = variance(b) / nb;
+  const double se2 = va + vb;
+
+  WelchResult out;
+  out.mean_diff = mean(a) - mean(b);
+  if (se2 == 0.0) {
+    // Degenerate samples: identical constants in each group.
+    out.df = na + nb - 2.0;
+    out.ci_half = 0.0;
+    out.t_stat = (out.mean_diff == 0.0) ? 0.0
+                                        : std::copysign(1e300, out.mean_diff);
+    out.significant = out.mean_diff != 0.0;
+    return out;
+  }
+  out.df = se2 * se2 /
+           (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+  const double se = std::sqrt(se2);
+  const double tq = t_quantile(0.5 + confidence / 2.0, out.df);
+  out.ci_half = tq * se;
+  out.t_stat = out.mean_diff / se;
+  out.significant = std::abs(out.mean_diff) > out.ci_half;
+  return out;
+}
+
+}  // namespace mpim::stats

@@ -1,0 +1,40 @@
+// Descriptive statistics and the Welch unpaired t confidence interval used
+// by the Fig. 4 overhead experiment ("95% confidence interval computed with
+// the student T test using unpaired measures and unequal variance").
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace mpim::stats {
+
+double mean(std::span<const double> xs);
+/// Unbiased sample variance (n-1 denominator). Requires xs.size() >= 2.
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+double median(std::span<const double> xs);  // copies and sorts internally
+
+/// Quantile of the standard normal distribution (Acklam's algorithm,
+/// relative error < 1.15e-9). p in (0, 1).
+double normal_quantile(double p);
+
+/// Quantile of Student's t distribution with `df` degrees of freedom
+/// (Cornish-Fisher expansion around the normal quantile; accurate to a few
+/// 1e-4 for df >= 3, exact limit as df -> inf). p in (0, 1).
+double t_quantile(double p, double df);
+
+struct WelchResult {
+  double mean_diff = 0.0;   ///< mean(a) - mean(b)
+  double ci_half = 0.0;     ///< half-width of the confidence interval
+  double df = 0.0;          ///< Welch-Satterthwaite degrees of freedom
+  double t_stat = 0.0;      ///< t statistic of the difference
+  bool significant = false; ///< true iff 0 lies outside the interval
+};
+
+/// Two-sample Welch test: difference of means with a `confidence`
+/// (e.g. 0.95) interval, unequal variances, unpaired samples.
+WelchResult welch_interval(std::span<const double> a,
+                           std::span<const double> b,
+                           double confidence = 0.95);
+
+}  // namespace mpim::stats

@@ -1,0 +1,60 @@
+// Text-table and CSV emission for the benchmark harnesses. Every bench
+// binary prints the rows/series of the corresponding paper table or figure
+// through this printer so the output format stays uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mpim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with operator<< semantics.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    add_row({to_cell(cells)...});
+  }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Column-aligned plain text.
+  void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void write_csv(std::ostream& os) const;
+  void write_csv_file(const std::string& path) const;
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  template <typename T>
+  static std::string to_cell(const T& v);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (trailing-zero free).
+std::string format_sig(double v, int digits = 4);
+
+/// Human-readable byte count ("1.5 MB").
+std::string format_bytes(double bytes);
+
+/// Human-readable seconds ("12.3 ms", "4.5 us").
+std::string format_seconds(double s);
+
+template <typename T>
+std::string Table::to_cell(const T& v) {
+  if constexpr (std::is_floating_point_v<T>) {
+    return format_sig(static_cast<double>(v));
+  } else {
+    return std::to_string(v);
+  }
+}
+
+}  // namespace mpim

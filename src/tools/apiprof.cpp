@@ -1,0 +1,124 @@
+#include "tools/apiprof.h"
+
+#include <ostream>
+
+#include "support/error.h"
+#include "support/table.h"
+
+namespace mpim::tools {
+
+const char* api_op_name(ApiOp op) {
+  switch (op) {
+    case ApiOp::send: return "MPI_Send";
+    case ApiOp::recv: return "MPI_Recv";
+    case ApiOp::sendrecv: return "MPI_Sendrecv";
+    case ApiOp::bcast: return "MPI_Bcast";
+    case ApiOp::reduce: return "MPI_Reduce";
+    case ApiOp::allreduce: return "MPI_Allreduce";
+    case ApiOp::gather: return "MPI_Gather";
+    case ApiOp::scatter: return "MPI_Scatter";
+    case ApiOp::allgather: return "MPI_Allgather";
+    case ApiOp::alltoall: return "MPI_Alltoall";
+    case ApiOp::barrier: return "MPI_Barrier";
+    case ApiOp::kCount: break;
+  }
+  fail("unknown ApiOp");
+}
+
+Profiler::Profiler(const mpi::Comm& comm)
+    : p2p_bytes_(static_cast<std::size_t>(comm.size()), 0) {}
+
+template <typename Fn>
+void Profiler::timed_op(ApiOp op, std::uint64_t bytes, Fn&& fn) {
+  auto& s = stats_[static_cast<std::size_t>(op)];
+  const double t0 = mpi::wtime();
+  fn();
+  s.time_s += mpi::wtime() - t0;
+  ++s.calls;
+  s.bytes += bytes;
+}
+
+void Profiler::send(const void* buf, std::size_t count, mpi::Type type,
+                    int dst, int tag, const mpi::Comm& comm) {
+  const std::uint64_t bytes = count * mpi::type_size(type);
+  timed_op(ApiOp::send, bytes,
+           [&] { mpi::send(buf, count, type, dst, tag, comm); });
+  if (dst >= 0 && dst < static_cast<int>(p2p_bytes_.size()))
+    p2p_bytes_[static_cast<std::size_t>(dst)] += bytes;
+}
+
+mpi::Status Profiler::recv(void* buf, std::size_t count, mpi::Type type,
+                           int src, int tag, const mpi::Comm& comm) {
+  mpi::Status st;
+  timed_op(ApiOp::recv, count * mpi::type_size(type),
+           [&] { st = mpi::recv(buf, count, type, src, tag, comm); });
+  return st;
+}
+
+void Profiler::bcast(void* buf, std::size_t count, mpi::Type type, int root,
+                     const mpi::Comm& comm) {
+  timed_op(ApiOp::bcast, count * mpi::type_size(type),
+           [&] { mpi::bcast(buf, count, type, root, comm); });
+}
+
+void Profiler::reduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                      mpi::Type type, mpi::Op op, int root,
+                      const mpi::Comm& comm) {
+  timed_op(ApiOp::reduce, count * mpi::type_size(type), [&] {
+    mpi::reduce(sendbuf, recvbuf, count, type, op, root, comm);
+  });
+}
+
+void Profiler::allreduce(const void* sendbuf, void* recvbuf,
+                         std::size_t count, mpi::Type type, mpi::Op op,
+                         const mpi::Comm& comm) {
+  timed_op(ApiOp::allreduce, count * mpi::type_size(type), [&] {
+    mpi::allreduce(sendbuf, recvbuf, count, type, op, comm);
+  });
+}
+
+void Profiler::allgather(const void* sendbuf, std::size_t count,
+                         mpi::Type type, void* recvbuf,
+                         const mpi::Comm& comm) {
+  timed_op(ApiOp::allgather, count * mpi::type_size(type), [&] {
+    mpi::allgather(sendbuf, count, type, recvbuf, comm);
+  });
+}
+
+void Profiler::barrier(const mpi::Comm& comm) {
+  timed_op(ApiOp::barrier, 0, [&] { mpi::barrier(comm); });
+}
+
+const OpStats& Profiler::stats(ApiOp op) const {
+  check(op != ApiOp::kCount, "invalid op");
+  return stats_[static_cast<std::size_t>(op)];
+}
+
+double Profiler::total_time_s() const {
+  double acc = 0.0;
+  for (const auto& s : stats_) acc += s.time_s;
+  return acc;
+}
+
+std::uint64_t Profiler::total_calls() const {
+  std::uint64_t acc = 0;
+  for (const auto& s : stats_) acc += s.calls;
+  return acc;
+}
+
+void Profiler::write_report(std::ostream& os, int rank) const {
+  os << "# apiprof report, rank " << rank << " (API-level view: collectives"
+     << " are opaque calls)\n";
+  Table table({"operation", "calls", "arg bytes", "time"});
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    const auto& s = stats_[i];
+    if (s.calls == 0) continue;
+    table.add(api_op_name(static_cast<ApiOp>(i)), s.calls, s.bytes,
+              format_seconds(s.time_s));
+  }
+  table.print(os);
+  os << "total: " << total_calls() << " calls, "
+     << format_seconds(total_time_s()) << " in MPI\n";
+}
+
+}  // namespace mpim::tools

@@ -1,0 +1,91 @@
+// An API-level profiler in the spirit of the paper's related work
+// (PMPI-based tools such as mpiP and DUMPI, Section 2).
+//
+// It wraps the user-facing MPI calls, counting invocations, bytes and
+// virtual time per operation *above* the collective decomposition. Its
+// point in this repository is the contrast: apiprof sees "one bcast of
+// 4 MB" while the introspection library sees the binomial tree of
+// point-to-point messages underneath -- the distinction the paper builds
+// its case on (and the ablation bench quantifies).
+//
+// Usage: construct a Profiler per rank, route the communication through
+// its wrappers (prof.send(...), prof.bcast(...)), then write_report().
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "minimpi/api.h"
+
+namespace mpim::tools {
+
+enum class ApiOp : std::uint8_t {
+  send,
+  recv,
+  sendrecv,
+  bcast,
+  reduce,
+  allreduce,
+  gather,
+  scatter,
+  allgather,
+  alltoall,
+  barrier,
+  kCount,
+};
+
+const char* api_op_name(ApiOp op);
+
+struct OpStats {
+  std::uint64_t calls = 0;
+  std::uint64_t bytes = 0;    ///< payload bytes of the *call arguments*
+  double time_s = 0.0;        ///< virtual time spent inside the call
+};
+
+class Profiler {
+ public:
+  /// Per-rank object; `comm` only scopes the per-peer p2p accounting.
+  explicit Profiler(const mpi::Comm& comm);
+
+  // --- wrapped operations ----------------------------------------------
+  void send(const void* buf, std::size_t count, mpi::Type type, int dst,
+            int tag, const mpi::Comm& comm);
+  mpi::Status recv(void* buf, std::size_t count, mpi::Type type, int src,
+                   int tag, const mpi::Comm& comm);
+  void bcast(void* buf, std::size_t count, mpi::Type type, int root,
+             const mpi::Comm& comm);
+  void reduce(const void* sendbuf, void* recvbuf, std::size_t count,
+              mpi::Type type, mpi::Op op, int root, const mpi::Comm& comm);
+  void allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                 mpi::Type type, mpi::Op op, const mpi::Comm& comm);
+  void allgather(const void* sendbuf, std::size_t count, mpi::Type type,
+                 void* recvbuf, const mpi::Comm& comm);
+  void barrier(const mpi::Comm& comm);
+
+  // --- results -----------------------------------------------------------
+  const OpStats& stats(ApiOp op) const;
+  /// Per-peer bytes this rank *explicitly addressed* with point-to-point
+  /// sends. Collectives contribute nothing here: the API level cannot
+  /// attribute their traffic to peers -- that is the whole point.
+  const std::vector<std::uint64_t>& p2p_bytes_by_peer() const {
+    return p2p_bytes_;
+  }
+
+  double total_time_s() const;
+  std::uint64_t total_calls() const;
+
+  /// mpiP-style per-operation report.
+  void write_report(std::ostream& os, int rank) const;
+
+ private:
+  template <typename Fn>
+  void timed_op(ApiOp op, std::uint64_t bytes, Fn&& fn);
+
+  std::array<OpStats, static_cast<std::size_t>(ApiOp::kCount)> stats_{};
+  std::vector<std::uint64_t> p2p_bytes_;
+};
+
+}  // namespace mpim::tools

@@ -1,0 +1,99 @@
+#include "tools/prof_reader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace mpim::tools {
+
+RankProfile read_rank_profile(const std::string& path) {
+  std::ifstream is(path);
+  check(is.good(), "cannot open profile file: " + path);
+  RankProfile out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# rank R of N, flags f" header carries the metadata.
+      std::istringstream hs(line);
+      std::string word;
+      while (hs >> word) {
+        if (word == "rank") hs >> out.rank;
+        else if (word == "of") {
+          std::string n;
+          hs >> n;
+          if (!n.empty() && n.back() == ',') n.pop_back();
+          out.comm_size = std::stoi(n);
+        } else if (word == "flags") {
+          hs >> out.flags;
+        }
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    std::size_t peer = 0;
+    unsigned long count = 0, bytes = 0;
+    check(static_cast<bool>(ls >> peer >> count >> bytes),
+          "malformed profile row in " + path);
+    check(peer == out.counts.size(), "non-sequential peer index in " + path);
+    out.counts.push_back(count);
+    out.sizes.push_back(bytes);
+  }
+  check(!out.counts.empty(), "empty profile file: " + path);
+  if (out.comm_size == 0) out.comm_size = static_cast<int>(out.counts.size());
+  check(out.counts.size() == static_cast<std::size_t>(out.comm_size),
+        "row count does not match communicator size in " + path);
+  return out;
+}
+
+CommMatrix read_matrix_profile(const std::string& path) {
+  std::ifstream is(path);
+  check(is.good(), "cannot open profile file: " + path);
+  std::vector<std::vector<unsigned long>> rows;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::vector<unsigned long> row;
+    unsigned long v;
+    while (ls >> v) row.push_back(v);
+    check(!row.empty(), "empty matrix row in " + path);
+    rows.push_back(std::move(row));
+  }
+  check(!rows.empty(), "no matrix rows in " + path);
+  const std::size_t n = rows.size();
+  for (const auto& row : rows)
+    check(row.size() == n, "matrix in " + path + " is not square");
+  CommMatrix m = CommMatrix::square(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = rows[i][j];
+  return m;
+}
+
+MatrixSummary summarize(const CommMatrix& m) {
+  MatrixSummary out;
+  std::size_t nonzero = 0;
+  const std::size_t n = m.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const unsigned long v = m(i, j);
+      out.total += v;
+      if (v > 0) ++nonzero;
+      if (v > out.heaviest_value) {
+        out.heaviest_value = v;
+        out.heaviest_src = i;
+        out.heaviest_dst = j;
+      }
+    }
+  }
+  const std::size_t off_diag = n * n - n;
+  out.density = off_diag == 0
+                    ? 0.0
+                    : static_cast<double>(nonzero) /
+                          static_cast<double>(off_diag);
+  return out;
+}
+
+}  // namespace mpim::tools

@@ -1,0 +1,39 @@
+// Reader for the .prof files written by MPI_M_flush / MPI_M_rootflush,
+// used by the profview CLI and by tests that round-trip flushed data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/matrix.h"
+
+namespace mpim::tools {
+
+/// One per-rank flush file (MPI_M_flush): rows of "peer count bytes".
+struct RankProfile {
+  int rank = -1;
+  int comm_size = 0;
+  std::string flags;
+  std::vector<unsigned long> counts;
+  std::vector<unsigned long> sizes;
+};
+
+/// Parses "<base>.<rank>.prof". Throws mpim::Error on malformed input.
+RankProfile read_rank_profile(const std::string& path);
+
+/// Parses a rootflush matrix file ("<base>_counts.<rank>.prof" or
+/// "<base>_sizes.<rank>.prof").
+CommMatrix read_matrix_profile(const std::string& path);
+
+/// Human summary of a matrix: total volume, heaviest sender/receiver
+/// pair, fraction of non-zero entries.
+struct MatrixSummary {
+  unsigned long total = 0;
+  std::size_t heaviest_src = 0;
+  std::size_t heaviest_dst = 0;
+  unsigned long heaviest_value = 0;
+  double density = 0.0;  ///< non-zero off-diagonal fraction
+};
+MatrixSummary summarize(const CommMatrix& m);
+
+}  // namespace mpim::tools

@@ -1,0 +1,71 @@
+// profview: pretty-print .prof files written by MPI_M_flush/rootflush.
+//
+//   profview <base>.<rank>.prof            per-rank row profile
+//   profview --matrix <base>_sizes.N.prof  rootflush matrix + summary
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "support/table.h"
+#include "tools/prof_reader.h"
+
+int main(int argc, char** argv) {
+  using namespace mpim;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s [--matrix] <file.prof>\n"
+                 "  default: per-rank profile (MPI_M_flush output)\n"
+                 "  --matrix: n x n matrix (MPI_M_rootflush output)\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    if (std::strcmp(argv[1], "--matrix") == 0) {
+      if (argc < 3) {
+        std::fprintf(stderr, "--matrix needs a file\n");
+        return 2;
+      }
+      const CommMatrix m = tools::read_matrix_profile(argv[2]);
+      const auto s = tools::summarize(m);
+      std::printf("matrix order %zu\n", m.rows());
+      std::printf("total volume        : %s\n",
+                  format_bytes(static_cast<double>(s.total)).c_str());
+      std::printf("heaviest pair       : %zu -> %zu (%s)\n", s.heaviest_src,
+                  s.heaviest_dst,
+                  format_bytes(static_cast<double>(s.heaviest_value)).c_str());
+      std::printf("off-diagonal density: %.1f%%\n", 100.0 * s.density);
+      Table t({"sender", "total sent", "heaviest peer"});
+      for (std::size_t i = 0; i < m.rows(); ++i) {
+        unsigned long row_total = 0, best_v = 0;
+        std::size_t best_j = 0;
+        for (std::size_t j = 0; j < m.cols(); ++j) {
+          row_total += m(i, j);
+          if (m(i, j) > best_v) {
+            best_v = m(i, j);
+            best_j = j;
+          }
+        }
+        if (row_total)
+          t.add(i, format_bytes(static_cast<double>(row_total)),
+                std::to_string(best_j) + " (" +
+                    format_bytes(static_cast<double>(best_v)) + ")");
+      }
+      t.print(std::cout);
+      return 0;
+    }
+
+    const auto prof = tools::read_rank_profile(argv[1]);
+    std::printf("rank %d of %d, flags %s\n", prof.rank, prof.comm_size,
+                prof.flags.c_str());
+    Table t({"peer", "messages", "bytes"});
+    for (std::size_t p = 0; p < prof.counts.size(); ++p)
+      if (prof.counts[p] || prof.sizes[p])
+        t.add(p, prof.counts[p],
+              format_bytes(static_cast<double>(prof.sizes[p])));
+    t.print(std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "profview: %s\n", e.what());
+    return 1;
+  }
+}

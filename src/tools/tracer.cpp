@@ -1,0 +1,86 @@
+#include "tools/tracer.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "support/error.h"
+
+namespace mpim::tools {
+
+Tracer::Tracer(mpit::Runtime& runtime) {
+  per_rank_.reserve(static_cast<std::size_t>(runtime.engine().world_size()));
+  for (int r = 0; r < runtime.engine().world_size(); ++r)
+    per_rank_.push_back(std::make_unique<PerRank>());
+  runtime.add_event_listener([this](const mpi::PktInfo& pkt) {
+    if (!enabled_) return;
+    auto& slot = *per_rank_[static_cast<std::size_t>(pkt.src_world)];
+    std::lock_guard lock(slot.mutex);
+    slot.events.push_back(TraceEvent{pkt.send_time_s, pkt.src_world,
+                                     pkt.dst_world, pkt.bytes, pkt.kind,
+                                     pkt.tag});
+  });
+}
+
+void Tracer::clear() {
+  for (auto& slot : per_rank_) {
+    std::lock_guard lock(slot->mutex);
+    slot->events.clear();
+  }
+}
+
+std::vector<TraceEvent> Tracer::merged_events() const {
+  std::vector<TraceEvent> out;
+  for (const auto& slot : per_rank_) {
+    std::lock_guard lock(slot->mutex);
+    out.insert(out.end(), slot->events.begin(), slot->events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.time_s != b.time_s) return a.time_s < b.time_s;
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  return out;
+}
+
+std::size_t Tracer::event_count() const {
+  std::size_t acc = 0;
+  for (const auto& slot : per_rank_) {
+    std::lock_guard lock(slot->mutex);
+    acc += slot->events.size();
+  }
+  return acc;
+}
+
+Tracer::Stats Tracer::stats() const {
+  Stats out;
+  bool first = true;
+  for (const auto& slot : per_rank_) {
+    std::lock_guard lock(slot->mutex);
+    for (const TraceEvent& e : slot->events) {
+      ++out.events;
+      out.total_bytes += e.bytes;
+      const auto kind_idx = static_cast<std::size_t>(e.kind);
+      if (kind_idx < 3) ++out.by_kind_events[kind_idx];
+      if (first || e.time_s < out.first_time_s) out.first_time_s = e.time_s;
+      if (first || e.time_s > out.last_time_s) out.last_time_s = e.time_s;
+      first = false;
+    }
+  }
+  out.mean_bytes = out.events == 0 ? 0.0
+                                   : static_cast<double>(out.total_bytes) /
+                                         static_cast<double>(out.events);
+  return out;
+}
+
+void Tracer::write_trace(const std::string& path) const {
+  std::ofstream os(path);
+  check(os.good(), "cannot open trace output: " + path);
+  os << "# time_s src dst bytes kind tag\n";
+  for (const TraceEvent& e : merged_events())
+    os << e.time_s << " " << e.src << " " << e.dst << " " << e.bytes << " "
+       << mpi::comm_kind_name(e.kind) << " " << e.tag << "\n";
+  check(os.good(), "trace write failed: " + path);
+}
+
+}  // namespace mpim::tools

@@ -1,0 +1,70 @@
+// Post-mortem event tracer: the EZtrace-style baseline from the paper's
+// related work (Section 2). Records every monitored packet with its
+// virtual timestamp, per sending rank, and can dump a merged trace file
+// and summary statistics after the run.
+//
+// Contrast with the introspection library: the trace is complete but only
+// usable *post mortem* — the application cannot query it cheaply at
+// runtime to, e.g., reorder its ranks. (It also grows with the message
+// count, whereas sessions are O(peers).)
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "minimpi/engine.h"
+#include "mpit/runtime.h"
+
+namespace mpim::tools {
+
+struct TraceEvent {
+  double time_s = 0.0;
+  int src = -1;
+  int dst = -1;
+  std::uint64_t bytes = 0;
+  mpi::CommKind kind = mpi::CommKind::p2p;
+  int tag = 0;
+};
+
+class Tracer {
+ public:
+  /// Registers an event listener with the runtime. The Tracer must
+  /// outlive every Engine::run it observes.
+  explicit Tracer(mpit::Runtime& runtime);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+  void clear();
+
+  /// All recorded events merged and sorted by (time, src, dst).
+  std::vector<TraceEvent> merged_events() const;
+  std::size_t event_count() const;
+
+  struct Stats {
+    std::uint64_t events = 0;
+    std::uint64_t total_bytes = 0;
+    std::uint64_t by_kind_events[3] = {0, 0, 0};  ///< p2p, coll, osc
+    double first_time_s = 0.0;
+    double last_time_s = 0.0;
+    double mean_bytes = 0.0;
+  };
+  Stats stats() const;
+
+  /// Writes a text trace: "time src dst bytes kind tag" per line, sorted.
+  void write_trace(const std::string& path) const;
+
+ private:
+  struct PerRank {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+  };
+  std::vector<std::unique_ptr<PerRank>> per_rank_;
+  bool enabled_ = true;
+};
+
+}  // namespace mpim::tools

@@ -1,0 +1,106 @@
+#include "topo/topology.h"
+
+#include <numeric>
+#include <unordered_set>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace mpim::topo {
+
+Topology::Topology(std::vector<int> arities,
+                   std::vector<std::string> level_names)
+    : arities_(std::move(arities)), level_names_(std::move(level_names)) {
+  check(!arities_.empty(), "topology needs at least one level");
+  check(arities_.size() == level_names_.size(),
+        "one level name per arity required");
+  for (int a : arities_) check(a >= 1, "topology arity must be >= 1");
+  subtree_leaves_.assign(arities_.size() + 1, 1);
+  for (int d = static_cast<int>(arities_.size()) - 1; d >= 0; --d)
+    subtree_leaves_[d] = arities_[static_cast<std::size_t>(d)] *
+                         subtree_leaves_[static_cast<std::size_t>(d) + 1];
+}
+
+int Topology::subtree_leaves(int d) const {
+  check(d >= 0 && d <= depth(), "subtree depth out of range");
+  return subtree_leaves_[static_cast<std::size_t>(d)];
+}
+
+int Topology::common_ancestor_depth(int leaf_a, int leaf_b) const {
+  const int n = num_leaves();
+  check(leaf_a >= 0 && leaf_a < n && leaf_b >= 0 && leaf_b < n,
+        "leaf index out of range");
+  for (int d = depth(); d >= 1; --d) {
+    const int span = subtree_leaves(d);
+    if (leaf_a / span == leaf_b / span) return d;
+  }
+  return 0;
+}
+
+int Topology::ancestor_index(int leaf, int d) const {
+  check(leaf >= 0 && leaf < num_leaves(), "leaf index out of range");
+  check(d >= 0 && d <= depth(), "ancestor depth out of range");
+  return leaf / subtree_leaves(d);
+}
+
+std::string Topology::describe() const {
+  std::string out;
+  for (std::size_t d = 0; d < arities_.size(); ++d) {
+    if (d) out += " x ";
+    out += std::to_string(arities_[d]) + " " + level_names_[d];
+  }
+  out += " (" + std::to_string(num_leaves()) + " PUs)";
+  return out;
+}
+
+Topology Topology::cluster(int nodes, int sockets_per_node,
+                           int cores_per_socket) {
+  return Topology({nodes, sockets_per_node, cores_per_socket},
+                  {"node", "socket", "core"});
+}
+
+Placement round_robin_placement(int nranks, const Topology& topo) {
+  check(nranks >= 1 && nranks <= topo.num_leaves(),
+        "more ranks than processing units");
+  Placement p(static_cast<std::size_t>(nranks));
+  std::iota(p.begin(), p.end(), 0);
+  return p;
+}
+
+Placement bynode_placement(int nranks, const Topology& topo) {
+  check(nranks >= 1 && nranks <= topo.num_leaves(),
+        "more ranks than processing units");
+  const int nodes = topo.arities()[0];
+  const int per_node = topo.subtree_leaves(1);
+  Placement p;
+  p.reserve(static_cast<std::size_t>(nranks));
+  std::vector<int> next_core(static_cast<std::size_t>(nodes), 0);
+  int node = 0;
+  while (static_cast<int>(p.size()) < nranks) {
+    auto& cursor = next_core[static_cast<std::size_t>(node)];
+    if (cursor < per_node) {
+      p.push_back(node * per_node + cursor);
+      ++cursor;
+    }
+    node = (node + 1) % nodes;
+  }
+  return p;
+}
+
+Placement random_placement(int nranks, const Topology& topo,
+                           unsigned long seed) {
+  Placement p = round_robin_placement(nranks, topo);
+  Rng rng(seed);
+  shuffle(p, rng);
+  return p;
+}
+
+void validate_placement(const Placement& placement, const Topology& topo) {
+  std::unordered_set<int> used;
+  for (int leaf : placement) {
+    check(leaf >= 0 && leaf < topo.num_leaves(), "placement leaf out of range");
+    check(used.insert(leaf).second, "placement maps two ranks to one PU");
+  }
+}
+
+}  // namespace mpim::topo

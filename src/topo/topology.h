@@ -1,0 +1,75 @@
+// Hardware topology model.
+//
+// The machine is a balanced tree: root = whole machine, then one tree level
+// per hardware hierarchy level (node, socket, core...). Leaves are the
+// processing units onto which MPI ranks are placed. This is the same
+// abstraction TreeMatch consumes (a tt_tree of arities) and the network
+// model uses the depth of the deepest common ancestor of two leaves to pick
+// latency/bandwidth parameters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mpim::topo {
+
+class Topology {
+ public:
+  /// `arities[d]` = number of children of every depth-d internal vertex;
+  /// `level_names[d]` names the entity created by that split (e.g. "node").
+  Topology(std::vector<int> arities, std::vector<std::string> level_names);
+
+  /// PlaFRIM-like cluster: `nodes` x `sockets` x `cores`.
+  /// The paper's testbed is 2 sockets x 12 cores (Haswell E5-2680v3).
+  static Topology cluster(int nodes, int sockets_per_node = 2,
+                          int cores_per_socket = 12);
+
+  int depth() const { return static_cast<int>(arities_.size()); }
+  const std::vector<int>& arities() const { return arities_; }
+  const std::string& level_name(int d) const { return level_names_.at(d); }
+
+  int num_leaves() const { return subtree_leaves_[0]; }
+
+  /// Number of leaves under one subtree rooted at depth d (d = depth()
+  /// gives 1: a leaf itself).
+  int subtree_leaves(int d) const;
+
+  /// Depth of the deepest common ancestor of two leaves: 0 = only the root
+  /// is shared, depth() = identical leaf.
+  int common_ancestor_depth(int leaf_a, int leaf_b) const;
+
+  /// Index of the enclosing depth-d entity of a leaf (e.g. node number).
+  int ancestor_index(int leaf, int d) const;
+
+  /// Convenience for cluster() topologies.
+  int node_of(int leaf) const { return ancestor_index(leaf, 1); }
+
+  std::string describe() const;
+
+ private:
+  std::vector<int> arities_;
+  std::vector<std::string> level_names_;
+  /// subtree_leaves_[d] = leaves under one depth-d vertex;
+  /// subtree_leaves_[0] is the whole machine, subtree_leaves_[depth()] == 1.
+  std::vector<int> subtree_leaves_;
+};
+
+/// A placement assigns each MPI world rank a leaf (processing unit).
+using Placement = std::vector<int>;
+
+/// Rank i on the i-th leftmost core ("RR" in the paper's Fig. 7).
+Placement round_robin_placement(int nranks, const Topology& topo);
+
+/// Ranks scattered cyclically across nodes ("standard": the unbound default
+/// of many launchers, which spreads by node rather than packing).
+Placement bynode_placement(int nranks, const Topology& topo);
+
+/// Deterministic random permutation of the round-robin placement
+/// ("random" initial mapping in the paper's Fig. 7).
+Placement random_placement(int nranks, const Topology& topo,
+                           unsigned long seed);
+
+/// Throws unless the placement is injective and within the leaf range.
+void validate_placement(const Placement& placement, const Topology& topo);
+
+}  // namespace mpim::topo

@@ -1,0 +1,102 @@
+#include "treematch/affinity.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/error.h"
+
+namespace mpim::tm {
+
+AffinityGraph::AffinityGraph(std::size_t n) : adjacency_(n) {}
+
+AffinityGraph AffinityGraph::from_dense(const CommMatrix& m) {
+  check(m.rows() == m.cols(), "affinity needs a square matrix");
+  AffinityGraph g(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = i + 1; j < m.cols(); ++j) {
+      const double w =
+          static_cast<double>(m(i, j)) + static_cast<double>(m(j, i));
+      if (w > 0.0)
+        g.add_edge(static_cast<int>(i), static_cast<int>(j), w);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+void AffinityGraph::add_edge(int u, int v, double w) {
+  check(!finalized_, "add_edge after finalize");
+  check(u >= 0 && v >= 0 && u < static_cast<int>(size()) &&
+            v < static_cast<int>(size()),
+        "affinity vertex out of range");
+  check(w >= 0.0, "negative affinity weight");
+  if (u == v || w == 0.0) return;
+  if (u > v) std::swap(u, v);
+  edges_.push_back(Edge{u, v, w});
+}
+
+void AffinityGraph::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  // Merge duplicate pairs deterministically.
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < edges_.size();) {
+    Edge merged = edges_[i];
+    std::size_t j = i + 1;
+    while (j < edges_.size() && edges_[j].u == merged.u &&
+           edges_[j].v == merged.v) {
+      merged.w += edges_[j].w;
+      ++j;
+    }
+    edges_[out++] = merged;
+    i = j;
+  }
+  edges_.resize(out);
+  for (const Edge& e : edges_) {
+    adjacency_[static_cast<std::size_t>(e.u)].emplace_back(e.v, e.w);
+    adjacency_[static_cast<std::size_t>(e.v)].emplace_back(e.u, e.w);
+  }
+}
+
+const std::vector<Edge>& AffinityGraph::edges() const {
+  check(finalized_, "graph not finalized");
+  return edges_;
+}
+
+const std::vector<std::pair<int, double>>& AffinityGraph::neighbors(
+    int u) const {
+  check(finalized_, "graph not finalized");
+  return adjacency_.at(static_cast<std::size_t>(u));
+}
+
+double AffinityGraph::degree_weight(int u) const {
+  double acc = 0.0;
+  for (const auto& [v, w] : neighbors(u)) {
+    (void)v;
+    acc += w;
+  }
+  return acc;
+}
+
+AffinityGraph AffinityGraph::induced(const std::vector<int>& vertices) const {
+  check(finalized_, "graph not finalized");
+  std::unordered_map<int, int> local;
+  local.reserve(vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i)
+    local.emplace(vertices[i], static_cast<int>(i));
+  AffinityGraph g(vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (const auto& [v, w] : neighbors(vertices[i])) {
+      auto it = local.find(v);
+      if (it != local.end() && static_cast<int>(i) < it->second)
+        g.add_edge(static_cast<int>(i), it->second, w);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace mpim::tm

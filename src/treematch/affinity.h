@@ -1,0 +1,59 @@
+// Symmetric weighted affinity graph between processes.
+//
+// TreeMatch consumes the *affinity* of processes: how many bytes (or
+// messages) each pair exchanged, direction ignored. Dense communication
+// matrices (what MPI_M_allgather_data returns) convert losslessly; very
+// large instances (Table 1 goes to order 65 536) use the sparse edge form
+// directly.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "support/matrix.h"
+
+namespace mpim::tm {
+
+struct Edge {
+  int u = 0;
+  int v = 0;
+  double w = 0.0;
+};
+
+class AffinityGraph {
+ public:
+  explicit AffinityGraph(std::size_t n);
+
+  /// Symmetrizes: w(i,j) = m(i,j) + m(j,i). Zero entries are skipped.
+  static AffinityGraph from_dense(const CommMatrix& m);
+
+  std::size_t size() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Accumulates weight on the undirected pair {u, v}; u == v is ignored
+  /// (self-traffic never moves between PUs).
+  void add_edge(int u, int v, double w);
+
+  /// Call once after the last add_edge (merges duplicate pairs, builds
+  /// adjacency). Idempotent.
+  void finalize();
+
+  const std::vector<Edge>& edges() const;  ///< finalized, unordered pairs u<v
+  /// Neighbors of u with weights (finalized).
+  const std::vector<std::pair<int, double>>& neighbors(int u) const;
+
+  /// Total affinity of one vertex (sum of incident edge weights).
+  double degree_weight(int u) const;
+
+  /// Subgraph induced by `vertices` (global ids), renumbered 0..k-1 in the
+  /// order given.
+  AffinityGraph induced(const std::vector<int>& vertices) const;
+
+ private:
+  bool finalized_ = false;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::pair<int, double>>> adjacency_;
+};
+
+}  // namespace mpim::tm

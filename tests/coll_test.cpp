@@ -1,0 +1,366 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "minimpi/api.h"
+#include "minimpi/engine.h"
+
+namespace mpim::mpi {
+namespace {
+
+EngineConfig cfg_for(int nranks, CollAlgos algos = {}) {
+  topo::Topology t({4, 1, 8}, {"node", "socket", "core"});
+  std::vector<net::LinkParams> params = {
+      {1e-5, 1e8}, {1e-6, 1e9}, {1e-7, 1e10}, {0.0, 1e12}};
+  net::CostModel cost(t, params, 1e-7);
+  EngineConfig cfg{.cost_model = cost,
+                   .placement = topo::round_robin_placement(nranks, t)};
+  cfg.coll = algos;
+  cfg.watchdog_wall_timeout_s = 5.0;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized over communicator sizes (including awkward non-powers of 2)
+// and over the algorithm choices for each collective.
+
+struct CollCase {
+  int nranks;
+  BcastAlgo bcast;
+  ReduceAlgo reduce;
+  AllreduceAlgo allreduce;
+  AllgatherAlgo allgather;
+  GatherAlgo gather;
+  BarrierAlgo barrier;
+};
+
+std::vector<CollCase> all_cases() {
+  std::vector<CollCase> cases;
+  for (int n : {1, 2, 3, 4, 7, 8, 13, 16}) {
+    cases.push_back({n, BcastAlgo::binomial, ReduceAlgo::binary_tree,
+                     AllreduceAlgo::recursive_doubling, AllgatherAlgo::ring,
+                     GatherAlgo::binomial, BarrierAlgo::dissemination});
+    cases.push_back({n, BcastAlgo::linear, ReduceAlgo::binomial,
+                     AllreduceAlgo::reduce_bcast, AllgatherAlgo::bruck,
+                     GatherAlgo::linear, BarrierAlgo::tree});
+    cases.push_back({n, BcastAlgo::binomial, ReduceAlgo::linear,
+                     AllreduceAlgo::recursive_doubling, AllgatherAlgo::bruck,
+                     GatherAlgo::binomial, BarrierAlgo::dissemination});
+  }
+  return cases;
+}
+
+class CollectiveP : public ::testing::TestWithParam<CollCase> {
+ protected:
+  Engine make_engine() const {
+    const CollCase& c = GetParam();
+    CollAlgos algos;
+    algos.bcast = c.bcast;
+    algos.reduce = c.reduce;
+    algos.allreduce = c.allreduce;
+    algos.allgather = c.allgather;
+    algos.gather = c.gather;
+    algos.barrier = c.barrier;
+    return Engine(cfg_for(c.nranks, algos));
+  }
+  int nranks() const { return GetParam().nranks; }
+};
+
+TEST_P(CollectiveP, BcastDeliversRootValueToAll) {
+  auto eng = make_engine();
+  const int root = nranks() / 2;
+  eng.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    std::vector<int> buf(16, -1);
+    if (comm_rank(world) == root)
+      std::iota(buf.begin(), buf.end(), 100);
+    bcast(buf.data(), buf.size(), Type::Int, root, world);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(buf[i], 100 + i);
+  });
+}
+
+TEST_P(CollectiveP, ReduceSumsAtRoot) {
+  auto eng = make_engine();
+  const int root = nranks() - 1;
+  eng.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = comm_rank(world);
+    const int n = comm_size(world);
+    std::vector<long> mine(8), result(8, -1);
+    for (int i = 0; i < 8; ++i) mine[i] = r + i;
+    reduce(mine.data(), result.data(), 8, Type::Long, Op::Sum, root, world);
+    if (r == root) {
+      const long base = static_cast<long>(n) * (n - 1) / 2;
+      for (int i = 0; i < 8; ++i) EXPECT_EQ(result[i], base + long{n} * i);
+    }
+  });
+}
+
+TEST_P(CollectiveP, ReduceMaxAndMin) {
+  auto eng = make_engine();
+  eng.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = comm_rank(world);
+    const int n = comm_size(world);
+    double v = static_cast<double>(r);
+    double mx = -1, mn = -1;
+    reduce(&v, &mx, 1, Type::Double, Op::Max, 0, world);
+    reduce(&v, &mn, 1, Type::Double, Op::Min, 0, world);
+    if (r == 0) {
+      EXPECT_DOUBLE_EQ(mx, n - 1);
+      EXPECT_DOUBLE_EQ(mn, 0.0);
+    }
+  });
+}
+
+TEST_P(CollectiveP, AllreduceAgreesEverywhere) {
+  auto eng = make_engine();
+  eng.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = comm_rank(world);
+    const int n = comm_size(world);
+    std::vector<int> mine{r, 2 * r};
+    std::vector<int> out(2, -1);
+    allreduce(mine.data(), out.data(), 2, Type::Int, Op::Sum, world);
+    EXPECT_EQ(out[0], n * (n - 1) / 2);
+    EXPECT_EQ(out[1], n * (n - 1));
+  });
+}
+
+TEST_P(CollectiveP, GatherCollectsInRankOrder) {
+  auto eng = make_engine();
+  const int root = 0;
+  eng.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = comm_rank(world);
+    const int n = comm_size(world);
+    std::array<int, 2> mine{r, r * r};
+    std::vector<int> all(static_cast<std::size_t>(2 * n), -1);
+    gather(mine.data(), 2, Type::Int, r == root ? all.data() : nullptr, root,
+           world);
+    if (r == root) {
+      for (int j = 0; j < n; ++j) {
+        EXPECT_EQ(all[static_cast<std::size_t>(2 * j)], j);
+        EXPECT_EQ(all[static_cast<std::size_t>(2 * j + 1)], j * j);
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveP, GatherToNonzeroRoot) {
+  auto eng = make_engine();
+  const int root = nranks() - 1;
+  eng.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = comm_rank(world);
+    const int n = comm_size(world);
+    int mine = 7 + r;
+    std::vector<int> all(static_cast<std::size_t>(n), -1);
+    gather(&mine, 1, Type::Int, r == root ? all.data() : nullptr, root,
+           world);
+    if (r == root) {
+      for (int j = 0; j < n; ++j)
+        EXPECT_EQ(all[static_cast<std::size_t>(j)], 7 + j);
+    }
+  });
+}
+
+TEST_P(CollectiveP, ScatterDistributesBlocks) {
+  auto eng = make_engine();
+  eng.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = comm_rank(world);
+    const int n = comm_size(world);
+    std::vector<int> blocks;
+    if (r == 0) {
+      blocks.resize(static_cast<std::size_t>(3 * n));
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < 3; ++i)
+          blocks[static_cast<std::size_t>(3 * j + i)] = 10 * j + i;
+    }
+    std::array<int, 3> mine{-1, -1, -1};
+    scatter(r == 0 ? blocks.data() : nullptr, 3, Type::Int, mine.data(), 0,
+            world);
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(mine[static_cast<std::size_t>(i)], 10 * r + i);
+  });
+}
+
+TEST_P(CollectiveP, AllgatherGivesEveryoneEveryBlock) {
+  auto eng = make_engine();
+  eng.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = comm_rank(world);
+    const int n = comm_size(world);
+    std::array<long, 2> mine{r, -r};
+    std::vector<long> all(static_cast<std::size_t>(2 * n), -99);
+    allgather(mine.data(), 2, Type::Long, all.data(), world);
+    for (int j = 0; j < n; ++j) {
+      EXPECT_EQ(all[static_cast<std::size_t>(2 * j)], j);
+      EXPECT_EQ(all[static_cast<std::size_t>(2 * j + 1)], -j);
+    }
+  });
+}
+
+TEST_P(CollectiveP, AlltoallTransposesBlocks) {
+  auto eng = make_engine();
+  eng.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = comm_rank(world);
+    const int n = comm_size(world);
+    std::vector<int> sendb(static_cast<std::size_t>(n));
+    std::vector<int> recvb(static_cast<std::size_t>(n), -1);
+    for (int j = 0; j < n; ++j)
+      sendb[static_cast<std::size_t>(j)] = 100 * r + j;
+    alltoall(sendb.data(), 1, Type::Int, recvb.data(), world);
+    for (int j = 0; j < n; ++j)
+      EXPECT_EQ(recvb[static_cast<std::size_t>(j)], 100 * j + r);
+  });
+}
+
+TEST_P(CollectiveP, ScanComputesInclusivePrefix) {
+  auto eng = make_engine();
+  eng.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = comm_rank(world);
+    std::array<long, 2> mine{r + 1, 2 * r};
+    std::array<long, 2> out{-1, -1};
+    scan(mine.data(), out.data(), 2, Type::Long, Op::Sum, world);
+    long expect0 = 0, expect1 = 0;
+    for (int j = 0; j <= r; ++j) {
+      expect0 += j + 1;
+      expect1 += 2 * j;
+    }
+    EXPECT_EQ(out[0], expect0);
+    EXPECT_EQ(out[1], expect1);
+  });
+}
+
+TEST_P(CollectiveP, ExscanComputesExclusivePrefix) {
+  auto eng = make_engine();
+  eng.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = comm_rank(world);
+    long mine = r + 1;
+    long out = -42;
+    exscan(&mine, &out, 1, Type::Long, Op::Sum, world);
+    if (r == 0) {
+      EXPECT_EQ(out, -42);  // untouched at rank 0
+    } else {
+      EXPECT_EQ(out, static_cast<long>(r) * (r + 1) / 2);
+    }
+  });
+}
+
+TEST_P(CollectiveP, ScanMaxIsRunningMaximum) {
+  auto eng = make_engine();
+  eng.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = comm_rank(world);
+    const int n = comm_size(world);
+    // Values descending: running max is always rank 0's value.
+    double mine = static_cast<double>(n - r);
+    double out = -1;
+    scan(&mine, &out, 1, Type::Double, Op::Max, world);
+    EXPECT_DOUBLE_EQ(out, static_cast<double>(n));
+  });
+}
+
+TEST_P(CollectiveP, ReduceScatterBlockDistributesReduction) {
+  auto eng = make_engine();
+  eng.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = comm_rank(world);
+    const int n = comm_size(world);
+    // Rank r contributes blocks: block j = {100*j + r, -(100*j + r)}.
+    std::vector<int> sendb(static_cast<std::size_t>(2 * n));
+    for (int j = 0; j < n; ++j) {
+      sendb[static_cast<std::size_t>(2 * j)] = 100 * j + r;
+      sendb[static_cast<std::size_t>(2 * j + 1)] = -(100 * j + r);
+    }
+    std::array<int, 2> out{0, 0};
+    reduce_scatter_block(sendb.data(), out.data(), 2, Type::Int, Op::Sum,
+                         world);
+    const int expect = 100 * r * n + n * (n - 1) / 2;
+    EXPECT_EQ(out[0], expect);
+    EXPECT_EQ(out[1], -expect);
+  });
+}
+
+TEST_P(CollectiveP, BarrierSynchronizesVirtualClocks) {
+  auto eng = make_engine();
+  eng.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = comm_rank(world);
+    compute(1e-3 * (r + 1));  // deliberately skewed clocks
+    barrier(world);
+    // After the barrier no clock may be below the largest pre-barrier one.
+    if (comm_size(world) > 1) {
+      EXPECT_GE(ctx.now(), 1e-3 * comm_size(world));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndAlgorithms, CollectiveP, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<CollCase>& param_info) {
+      const CollCase& c = param_info.param;
+      std::string name = "n" + std::to_string(c.nranks);
+      name += c.bcast == BcastAlgo::binomial ? "_binomBcast" : "_linBcast";
+      name += c.reduce == ReduceAlgo::binary_tree  ? "_btreeRed"
+              : c.reduce == ReduceAlgo::binomial ? "_binomRed"
+                                                   : "_linRed";
+      name += c.allgather == AllgatherAlgo::ring ? "_ringAg" : "_bruckAg";
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+
+TEST(Collectives, InPlaceReduceAllowsAliasedBuffers) {
+  Engine eng(cfg_for(4));
+  eng.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    std::vector<int> buf{comm_rank(world)};
+    reduce(buf.data(), buf.data(), 1, Type::Int, Op::Sum, 0, world);
+    if (comm_rank(world) == 0) {
+      EXPECT_EQ(buf[0], 6);
+    }
+  });
+}
+
+TEST(Collectives, TimingOnlyCollectivesAdvanceClocks) {
+  Engine eng(cfg_for(8));
+  std::vector<double> clocks;
+  eng.run([](Ctx& ctx) {
+    bcast(nullptr, 1 << 16, Type::Int, 0, ctx.world());
+    reduce(nullptr, nullptr, 1 << 16, Type::Int, Op::Sum, 0, ctx.world());
+    allgather(nullptr, 1 << 10, Type::Int, nullptr, ctx.world());
+    EXPECT_GT(ctx.now(), 0.0);
+  });
+}
+
+TEST(Collectives, BinomialBcastFasterThanLinearForManyRanks) {
+  const std::size_t count = 1 << 18;
+  auto run_with = [&](BcastAlgo algo) {
+    CollAlgos algos;
+    algos.bcast = algo;
+    Engine eng(cfg_for(32, algos));
+    eng.run([&](Ctx& ctx) {
+      bcast(nullptr, count, Type::Int, 0, ctx.world());
+    });
+    double mx = 0;
+    for (double c : eng.final_clocks()) mx = std::max(mx, c);
+    return mx;
+  };
+  EXPECT_LT(run_with(BcastAlgo::binomial), run_with(BcastAlgo::linear));
+}
+
+TEST(Collectives, RootRangeChecked) {
+  Engine eng(cfg_for(4));
+  EXPECT_THROW(eng.run([](Ctx& ctx) {
+    bcast(nullptr, 1, Type::Int, 9, ctx.world());
+  }),
+               Error);
+}
+
+}  // namespace
+}  // namespace mpim::mpi

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "minimpi/api.h"
+#include "minimpi/engine.h"
+
+namespace mpim::mpi {
+namespace {
+
+EngineConfig cfg8() {
+  topo::Topology t({2, 1, 4}, {"node", "socket", "core"});
+  std::vector<net::LinkParams> params = {
+      {1e-5, 1e8}, {1e-6, 1e9}, {1e-7, 1e10}, {0.0, 1e12}};
+  net::CostModel cost(t, params, 1e-7);
+  EngineConfig cfg{.cost_model = cost,
+                   .placement = topo::round_robin_placement(8, t)};
+  cfg.watchdog_wall_timeout_s = 3.0;
+  return cfg;
+}
+
+TEST(Comm, WorldHasAllRanksInOrder) {
+  Engine eng(cfg8());
+  eng.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    EXPECT_EQ(comm_size(world), 8);
+    EXPECT_EQ(comm_rank(world), ctx.world_rank());
+    EXPECT_EQ(world.world_rank_of(5), 5);
+    EXPECT_EQ(world.context_id(), 0);
+  });
+}
+
+TEST(Comm, SplitByParityGroupsCorrectly) {
+  Engine eng(cfg8());
+  eng.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = comm_rank(world);
+    const Comm half = comm_split(world, r % 2, r);
+    EXPECT_EQ(comm_size(half), 4);
+    EXPECT_EQ(comm_rank(half), r / 2);
+    EXPECT_EQ(half.world_rank_of(comm_rank(half)), r);
+    // Communication inside the sub-communicator.
+    int token = r;
+    const int peer = (comm_rank(half) + 1) % comm_size(half);
+    const int src = (comm_rank(half) + 3) % comm_size(half);
+    sendrecv(&token, 1, Type::Int, peer, 0, &token, 1, src, 0, half);
+    EXPECT_EQ(token, half.world_rank_of(src));
+  });
+}
+
+TEST(Comm, SplitKeyControlsNewRankOrder) {
+  Engine eng(cfg8());
+  eng.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = comm_rank(world);
+    // Reverse the ranks: key = -rank.
+    const Comm rev = comm_split(world, 0, -r);
+    EXPECT_EQ(comm_rank(rev), 7 - r);
+    EXPECT_EQ(rev.world_rank_of(0), 7);
+  });
+}
+
+TEST(Comm, SplitKeyTiesBreakByParentRank) {
+  Engine eng(cfg8());
+  eng.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const Comm same = comm_split(world, 0, 0);  // all keys equal
+    EXPECT_EQ(comm_rank(same), comm_rank(world));
+  });
+}
+
+TEST(Comm, SplitUndefinedColorGivesNull) {
+  Engine eng(cfg8());
+  eng.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = comm_rank(world);
+    const Comm c = comm_split(world, r == 0 ? -1 : 1, r);
+    if (r == 0) {
+      EXPECT_TRUE(c.is_null());
+    } else {
+      EXPECT_EQ(comm_size(c), 7);
+    }
+  });
+}
+
+TEST(Comm, RepeatedSplitsAreIndependent) {
+  Engine eng(cfg8());
+  eng.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = comm_rank(world);
+    const Comm a = comm_split(world, r % 2, r);
+    const Comm b = comm_split(world, r % 2, r);
+    EXPECT_NE(a.context_id(), b.context_id());
+    // A message on `a` must not be received via `b`.
+    if (comm_rank(a) == 0) {
+      int v = 1;
+      send(&v, 1, Type::Int, 1, 0, a);
+    }
+    if (comm_rank(b) == 1) {
+      EXPECT_FALSE(iprobe(0, 0, b));
+    }
+    if (comm_rank(a) == 1) {
+      int v = 0;
+      recv(&v, 1, Type::Int, 0, 0, a);
+      EXPECT_EQ(v, 1);
+    }
+  });
+}
+
+TEST(Comm, NestedSplitOfSplit) {
+  Engine eng(cfg8());
+  eng.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = comm_rank(world);
+    const Comm half = comm_split(world, r / 4, r);   // {0..3}, {4..7}
+    const Comm pair = comm_split(half, comm_rank(half) / 2, r);
+    EXPECT_EQ(comm_size(pair), 2);
+    int sum = 0;
+    int mine = r;
+    allreduce(&mine, &sum, 1, Type::Int, Op::Sum, pair);
+    const int base = (r / 2) * 2;
+    EXPECT_EQ(sum, base + base + 1);
+  });
+}
+
+TEST(Comm, DupIsSeparateContextSameGroup) {
+  Engine eng(cfg8());
+  eng.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const Comm dup = comm_dup(world);
+    EXPECT_EQ(dup.group(), world.group());
+    EXPECT_NE(dup.context_id(), world.context_id());
+    // Collective on the dup works.
+    int v = comm_rank(dup), sum = 0;
+    allreduce(&v, &sum, 1, Type::Int, Op::Sum, dup);
+    EXPECT_EQ(sum, 28);
+  });
+}
+
+TEST(Comm, CrossCommunicatorTrafficKeepsWorldVisible) {
+  // Messages sent on a sub-communicator are still between world ranks --
+  // the property the monitoring's "both endpoints in the session comm"
+  // rule relies on.
+  Engine eng(cfg8());
+  eng.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = comm_rank(world);
+    const Comm evens = comm_split(world, r % 2 == 0 ? 0 : -1, r);
+    if (r % 2 == 0) {
+      const int er = comm_rank(evens);
+      if (er == 0) {
+        int v = 5;
+        send(&v, 1, Type::Int, 1, 0, evens);  // world rank 2
+      } else if (er == 1) {
+        int v = 0;
+        const Status st = recv(&v, 1, Type::Int, 0, 0, evens);
+        EXPECT_EQ(st.source, 0);           // rank in `evens`
+        EXPECT_EQ(ctx.world_rank(), 2);    // we are world rank 2
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace mpim::mpi

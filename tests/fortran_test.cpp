@@ -1,0 +1,138 @@
+// Exercises the Fortran binding shims the way a Fortran object file would:
+// integer handles, every argument by reference, hidden string lengths,
+// trailing ierr out-parameter.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "minimpi/api.h"
+#include "mpimon/fortran.h"
+#include "mpimon/mpi_monitoring.h"
+#include "mpimon/sim.h"
+
+namespace mpim {
+namespace {
+
+Sim make_sim(int nranks = 2) {
+  topo::Topology t({2, 1, 2}, {"node", "socket", "core"});
+  std::vector<net::LinkParams> params = {
+      {1e-5, 1e8}, {1e-6, 1e9}, {1e-7, 1e10}, {0.0, 1e12}};
+  net::CostModel cost(t, params, 1e-7);
+  mpi::EngineConfig cfg{.cost_model = cost,
+                        .placement = topo::round_robin_placement(nranks, t)};
+  cfg.watchdog_wall_timeout_s = 3.0;
+  return Sim(std::move(cfg));
+}
+
+TEST(Fortran, FullSessionLifecycle) {
+  Sim sim = make_sim(2);
+  sim.run([](mpi::Ctx& ctx) {
+    const mpi::Comm world = ctx.world();
+    int ierr = -1;
+    mpi_m_init_(&ierr);
+    ASSERT_EQ(ierr, MPI_M_SUCCESS);
+
+    const int fcomm = mpi_m_register_comm_f(world);
+    int msid = -1;
+    mpi_m_start_(&fcomm, &msid, &ierr);
+    ASSERT_EQ(ierr, MPI_M_SUCCESS);
+
+    if (ctx.world_rank() == 0) {
+      std::vector<std::byte> b(64);
+      mpi::send(b.data(), 64, mpi::Type::Byte, 1, 0, world);
+    } else {
+      std::vector<std::byte> b(64);
+      mpi::recv(b.data(), 64, mpi::Type::Byte, 0, 0, world);
+    }
+
+    mpi_m_suspend_(&msid, &ierr);
+    ASSERT_EQ(ierr, MPI_M_SUCCESS);
+
+    int provided = -1, n = -1;
+    mpi_m_get_info_(&msid, &provided, &n, &ierr);
+    ASSERT_EQ(ierr, MPI_M_SUCCESS);
+    EXPECT_EQ(n, 2);
+
+    const int flags = MPI_M_P2P_ONLY;
+    unsigned long counts[2], sizes[2];
+    mpi_m_get_data_(&msid, counts, sizes, &flags, &ierr);
+    ASSERT_EQ(ierr, MPI_M_SUCCESS);
+    if (ctx.world_rank() == 0) {
+      EXPECT_EQ(counts[1], 1u);
+      EXPECT_EQ(sizes[1], 64u);
+    }
+
+    unsigned long mat_counts[4], mat_sizes[4];
+    mpi_m_allgather_data_(&msid, mat_counts, mat_sizes, &flags, &ierr);
+    ASSERT_EQ(ierr, MPI_M_SUCCESS);
+    EXPECT_EQ(mat_sizes[1], 64u);  // row 0, column 1
+
+    mpi_m_reset_(&msid, &ierr);
+    ASSERT_EQ(ierr, MPI_M_SUCCESS);
+    mpi_m_continue_(&msid, &ierr);
+    ASSERT_EQ(ierr, MPI_M_SUCCESS);
+    mpi_m_suspend_(&msid, &ierr);
+    ASSERT_EQ(ierr, MPI_M_SUCCESS);
+    mpi_m_free_(&msid, &ierr);
+    ASSERT_EQ(ierr, MPI_M_SUCCESS);
+    mpi_m_finalize_(&ierr);
+    ASSERT_EQ(ierr, MPI_M_SUCCESS);
+  });
+}
+
+TEST(Fortran, ErrorCodesPropagate) {
+  Sim sim = make_sim(1);
+  sim.run([](mpi::Ctx&) {
+    int ierr = -1;
+    const int bogus = 77;
+    mpi_m_suspend_(&bogus, &ierr);
+    EXPECT_EQ(ierr, MPI_M_MISSING_INIT);
+    mpi_m_init_(&ierr);
+    mpi_m_suspend_(&bogus, &ierr);
+    EXPECT_EQ(ierr, MPI_M_INVALID_MSID);
+    mpi_m_finalize_(&ierr);
+  });
+}
+
+TEST(Fortran, FlushHandlesBlankPaddedNames) {
+  namespace fs = std::filesystem;
+  const std::string base = (fs::temp_directory_path() / "mpim_f").string();
+  // Fortran CHARACTER(len=...) strings arrive blank-padded, unterminated.
+  std::string padded = base + "   ";
+  Sim sim = make_sim(1);
+  sim.run([&](mpi::Ctx& ctx) {
+    int ierr = -1;
+    mpi_m_init_(&ierr);
+    const int fcomm = mpi_m_register_comm_f(ctx.world());
+    int msid = -1;
+    mpi_m_start_(&fcomm, &msid, &ierr);
+    mpi_m_suspend_(&msid, &ierr);
+    const int flags = MPI_M_ALL_COMM;
+    mpi_m_flush_(&msid, padded.data(), &flags, &ierr,
+                 static_cast<int>(padded.size()));
+    EXPECT_EQ(ierr, MPI_M_SUCCESS);
+    mpi_m_free_(&msid, &ierr);
+    mpi_m_finalize_(&ierr);
+  });
+  const std::string path = base + ".0.prof";
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << path;
+  std::remove(path.c_str());
+}
+
+TEST(Fortran, InvalidCommHandleFails) {
+  Sim sim = make_sim(1);
+  sim.run([](mpi::Ctx&) {
+    int ierr = -1;
+    mpi_m_init_(&ierr);
+    const int bad_comm = 12345;
+    int msid = -1;
+    mpi_m_start_(&bad_comm, &msid, &ierr);
+    EXPECT_EQ(ierr, MPI_M_INTERNAL_FAIL);  // null communicator
+    mpi_m_finalize_(&ierr);
+  });
+}
+
+}  // namespace
+}  // namespace mpim

@@ -1,0 +1,732 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "minimpi/api.h"
+#include "minimpi/osc.h"
+#include "mpimon/mpi_monitoring.h"
+#include "mpimon/session.hpp"
+#include "mpimon/sim.h"
+
+namespace mpim {
+namespace {
+
+using mpi::Comm;
+using mpi::Ctx;
+using mpi::Type;
+
+Sim make_sim(int nranks = 4) {
+  topo::Topology t({2, 1, 2}, {"node", "socket", "core"});
+  std::vector<net::LinkParams> params = {
+      {1e-5, 1e8}, {1e-6, 1e9}, {1e-7, 1e10}, {0.0, 1e12}};
+  net::CostModel cost(t, params, 1e-7);
+  mpi::EngineConfig cfg{.cost_model = cost,
+                        .placement = topo::round_robin_placement(nranks, t)};
+  cfg.watchdog_wall_timeout_s = 5.0;
+  return Sim(std::move(cfg));
+}
+
+void exchange_ring(const Comm& comm, std::size_t bytes, int rounds = 1) {
+  const int r = mpi::comm_rank(comm);
+  const int n = mpi::comm_size(comm);
+  std::vector<std::byte> buf(bytes);
+  for (int i = 0; i < rounds; ++i) {
+    mpi::send(buf.data(), bytes, Type::Byte, (r + 1) % n, 0, comm);
+    mpi::recv(buf.data(), bytes, Type::Byte, (r + n - 1) % n, 0, comm);
+  }
+}
+
+// --- lifecycle ----------------------------------------------------------------
+
+TEST(MpiMon, InitFinalizeLifecycle) {
+  Sim sim = make_sim(1);
+  sim.run([](Ctx&) {
+    EXPECT_EQ(MPI_M_finalize(), MPI_M_MISSING_INIT);
+    EXPECT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_init(), MPI_M_MULTIPLE_CALL);
+    EXPECT_EQ(MPI_M_finalize(), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_init(), MPI_M_SUCCESS);  // re-init after finalize is fine
+    EXPECT_EQ(MPI_M_finalize(), MPI_M_SUCCESS);
+  });
+}
+
+TEST(MpiMon, CallsBeforeInitReportMissingInit) {
+  Sim sim = make_sim(1);
+  sim.run([](Ctx& ctx) {
+    MPI_M_msid id = 0;
+    EXPECT_EQ(MPI_M_start(ctx.world(), &id), MPI_M_MISSING_INIT);
+    EXPECT_EQ(MPI_M_suspend(0), MPI_M_MISSING_INIT);
+    EXPECT_EQ(MPI_M_get_data(0, nullptr, nullptr, MPI_M_ALL_COMM),
+              MPI_M_MISSING_INIT);
+  });
+}
+
+TEST(MpiMon, FinalizeWithActiveSessionFails) {
+  Sim sim = make_sim(1);
+  sim.run([](Ctx& ctx) {
+    (void)ctx;
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    ASSERT_EQ(MPI_M_start(ctx.world(), &id), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_finalize(), MPI_M_SESSION_STILL_ACTIVE);
+    EXPECT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_finalize(), MPI_M_SUCCESS);  // frees the suspended one
+  });
+}
+
+// --- state machine --------------------------------------------------------------
+
+TEST(MpiMon, SuspendContinueStateMachine) {
+  Sim sim = make_sim(1);
+  sim.run([](Ctx& ctx) {
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    ASSERT_EQ(MPI_M_start(ctx.world(), &id), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_continue(id), MPI_M_MULTIPLE_CALL);  // already active
+    EXPECT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_suspend(id), MPI_M_MULTIPLE_CALL);  // already suspended
+    EXPECT_EQ(MPI_M_continue(id), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_free(id), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_suspend(id), MPI_M_INVALID_MSID);  // freed
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, ResetAndFreeRequireSuspended) {
+  Sim sim = make_sim(1);
+  sim.run([](Ctx& ctx) {
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    ASSERT_EQ(MPI_M_start(ctx.world(), &id), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_reset(id), MPI_M_SESSION_NOT_SUSPENDED);
+    EXPECT_EQ(MPI_M_free(id), MPI_M_SESSION_NOT_SUSPENDED);
+    ASSERT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_reset(id), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_free(id), MPI_M_SUCCESS);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, InvalidMsidRejected) {
+  Sim sim = make_sim(1);
+  sim.run([](Ctx& ctx) {
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_suspend(42), MPI_M_INVALID_MSID);
+    EXPECT_EQ(MPI_M_get_info(-7, nullptr, nullptr), MPI_M_INVALID_MSID);
+    // ALL_MSID rejected where a single session is required.
+    EXPECT_EQ(MPI_M_get_info(MPI_M_ALL_MSID, nullptr, nullptr),
+              MPI_M_INVALID_MSID);
+    EXPECT_EQ(
+        MPI_M_get_data(MPI_M_ALL_MSID, nullptr, nullptr, MPI_M_ALL_COMM),
+        MPI_M_INVALID_MSID);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, AllMsidActsOnApplicableSessions) {
+  Sim sim = make_sim(1);
+  sim.run([](Ctx& ctx) {
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid a, b;
+    ASSERT_EQ(MPI_M_start(ctx.world(), &a), MPI_M_SUCCESS);
+    ASSERT_EQ(MPI_M_start(ctx.world(), &b), MPI_M_SUCCESS);
+    ASSERT_EQ(MPI_M_suspend(b), MPI_M_SUCCESS);
+    // Suspends `a`, skips already-suspended `b`.
+    EXPECT_EQ(MPI_M_suspend(MPI_M_ALL_MSID), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_suspend(a), MPI_M_MULTIPLE_CALL);  // proof it happened
+    EXPECT_EQ(MPI_M_reset(MPI_M_ALL_MSID), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_free(MPI_M_ALL_MSID), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_suspend(a), MPI_M_INVALID_MSID);
+    EXPECT_EQ(MPI_M_suspend(b), MPI_M_INVALID_MSID);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, SessionOverflowAndSlotReuse) {
+  Sim sim = make_sim(1);
+  sim.run([](Ctx& ctx) {
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    std::vector<MPI_M_msid> ids(MPI_M_MAX_SESSIONS);
+    for (auto& id : ids)
+      ASSERT_EQ(MPI_M_start(ctx.world(), &id), MPI_M_SUCCESS);
+    MPI_M_msid extra;
+    EXPECT_EQ(MPI_M_start(ctx.world(), &extra), MPI_M_SESSION_OVERFLOW);
+    // Free one, the slot becomes available again.
+    ASSERT_EQ(MPI_M_suspend(ids[0]), MPI_M_SUCCESS);
+    ASSERT_EQ(MPI_M_free(ids[0]), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_start(ctx.world(), &extra), MPI_M_SUCCESS);
+    EXPECT_EQ(extra, ids[0]);  // reused slot
+    MPI_M_suspend(MPI_M_ALL_MSID);
+    MPI_M_finalize();
+  });
+}
+
+// --- recording ------------------------------------------------------------------
+
+TEST(MpiMon, GetInfoReportsSizeAndThreadLevel) {
+  Sim sim = make_sim(4);
+  sim.run([](Ctx& ctx) {
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    ASSERT_EQ(MPI_M_start(ctx.world(), &id), MPI_M_SUCCESS);
+    int provided = -1, n = -1;
+    EXPECT_EQ(MPI_M_get_info(id, &provided, &n), MPI_M_SUCCESS);
+    EXPECT_EQ(n, 4);
+    EXPECT_EQ(provided, 3);
+    // Ignore sentinels accepted.
+    EXPECT_EQ(MPI_M_get_info(id, MPI_M_INT_IGNORE, MPI_M_INT_IGNORE),
+              MPI_M_SUCCESS);
+    MPI_M_suspend(id);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, GetDataCountsSenderSideP2p) {
+  Sim sim = make_sim(2);
+  sim.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    ASSERT_EQ(MPI_M_start(world, &id), MPI_M_SUCCESS);
+    if (ctx.world_rank() == 0) {
+      std::vector<std::byte> b(300);
+      mpi::send(b.data(), 300, Type::Byte, 1, 0, world);
+      mpi::send(b.data(), 200, Type::Byte, 1, 0, world);
+    } else {
+      std::vector<std::byte> b(300);
+      mpi::recv(b.data(), 300, Type::Byte, 0, 0, world);
+      mpi::recv(b.data(), 300, Type::Byte, 0, 0, world);
+    }
+    ASSERT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+    unsigned long counts[2] = {9, 9}, sizes[2] = {9, 9};
+    EXPECT_EQ(MPI_M_get_data(id, counts, sizes, MPI_M_P2P_ONLY),
+              MPI_M_SUCCESS);
+    if (ctx.world_rank() == 0) {
+      EXPECT_EQ(counts[1], 2u);
+      EXPECT_EQ(sizes[1], 500u);
+      EXPECT_EQ(counts[0], 0u);
+    } else {
+      EXPECT_EQ(counts[0] + counts[1], 0u);
+    }
+    MPI_M_free(id);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, DataAccessRequiresSuspendedState) {
+  Sim sim = make_sim(2);
+  sim.run([](Ctx& ctx) {
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    ASSERT_EQ(MPI_M_start(ctx.world(), &id), MPI_M_SUCCESS);
+    unsigned long buf[2];
+    EXPECT_EQ(MPI_M_get_data(id, buf, MPI_M_DATA_IGNORE, MPI_M_ALL_COMM),
+              MPI_M_SESSION_NOT_SUSPENDED);
+    MPI_M_suspend(id);
+    EXPECT_EQ(MPI_M_get_data(id, buf, MPI_M_DATA_IGNORE, MPI_M_ALL_COMM),
+              MPI_M_SUCCESS);
+    MPI_M_free(id);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, InvalidFlagsRejected) {
+  Sim sim = make_sim(1);
+  sim.run([](Ctx& ctx) {
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    ASSERT_EQ(MPI_M_start(ctx.world(), &id), MPI_M_SUCCESS);
+    MPI_M_suspend(id);
+    unsigned long buf[1];
+    EXPECT_EQ(MPI_M_get_data(id, buf, MPI_M_DATA_IGNORE, 0),
+              MPI_M_INVALID_FLAGS);
+    EXPECT_EQ(MPI_M_get_data(id, buf, MPI_M_DATA_IGNORE, 0x100),
+              MPI_M_INVALID_FLAGS);
+    MPI_M_free(id);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, CollectiveDecompositionVisible) {
+  // The headline feature: a session sees how MPI_Barrier decomposes into
+  // point-to-point messages (the paper's Listing 2).
+  Sim sim = make_sim(4);
+  sim.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    ASSERT_EQ(MPI_M_start(world, &id), MPI_M_SUCCESS);
+    mpi::barrier(world);
+    ASSERT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+
+    unsigned long coll_counts[4], p2p_counts[4];
+    ASSERT_EQ(MPI_M_get_data(id, coll_counts, MPI_M_DATA_IGNORE,
+                             MPI_M_COLL_ONLY),
+              MPI_M_SUCCESS);
+    ASSERT_EQ(
+        MPI_M_get_data(id, p2p_counts, MPI_M_DATA_IGNORE, MPI_M_P2P_ONLY),
+        MPI_M_SUCCESS);
+    unsigned long coll_total = 0, p2p_total = 0;
+    for (int i = 0; i < 4; ++i) {
+      coll_total += coll_counts[i];
+      p2p_total += p2p_counts[i];
+    }
+    // Dissemination barrier: every rank sends log2(4) = 2 messages.
+    EXPECT_EQ(coll_total, 2u);
+    EXPECT_EQ(p2p_total, 0u);
+    MPI_M_free(id);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, AllgatherDataBuildsFullMatrix) {
+  Sim sim = make_sim(4);
+  sim.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    ASSERT_EQ(MPI_M_start(world, &id), MPI_M_SUCCESS);
+    exchange_ring(world, 100);
+    ASSERT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+
+    CommMatrix counts = CommMatrix::square(4), sizes = CommMatrix::square(4);
+    ASSERT_EQ(MPI_M_allgather_data(id, counts.data(), sizes.data(),
+                                   MPI_M_P2P_ONLY),
+              MPI_M_SUCCESS);
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        const unsigned long expect_count = (j == (i + 1) % 4) ? 1u : 0u;
+        EXPECT_EQ(counts(static_cast<std::size_t>(i),
+                         static_cast<std::size_t>(j)),
+                  expect_count)
+            << i << "," << j;
+        EXPECT_EQ(sizes(static_cast<std::size_t>(i),
+                        static_cast<std::size_t>(j)),
+                  expect_count * 100u);
+      }
+    }
+    MPI_M_free(id);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, AllgatherDataWithPerRankIgnores) {
+  // "parameters can vary among processes": some ranks ignore the output.
+  Sim sim = make_sim(4);
+  sim.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    ASSERT_EQ(MPI_M_start(world, &id), MPI_M_SUCCESS);
+    exchange_ring(world, 64);
+    ASSERT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+    if (ctx.world_rank() == 0) {
+      CommMatrix sizes = CommMatrix::square(4);
+      ASSERT_EQ(MPI_M_allgather_data(id, MPI_M_DATA_IGNORE, sizes.data(),
+                                     MPI_M_P2P_ONLY),
+                MPI_M_SUCCESS);
+      EXPECT_EQ(sizes.sum(), 4u * 64u);
+    } else {
+      ASSERT_EQ(MPI_M_allgather_data(id, MPI_M_DATA_IGNORE,
+                                     MPI_M_DATA_IGNORE, MPI_M_P2P_ONLY),
+                MPI_M_SUCCESS);
+    }
+    MPI_M_free(id);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, RootgatherOnlyRootReceives) {
+  Sim sim = make_sim(4);
+  sim.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    ASSERT_EQ(MPI_M_start(world, &id), MPI_M_SUCCESS);
+    exchange_ring(world, 10);
+    ASSERT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+
+    const int root = 2;
+    CommMatrix counts = CommMatrix::square(4);
+    ASSERT_EQ(
+        MPI_M_rootgather_data(id, root,
+                              ctx.world_rank() == root ? counts.data()
+                                                       : nullptr,
+                              nullptr, MPI_M_P2P_ONLY),
+        MPI_M_SUCCESS);
+    if (ctx.world_rank() == root) {
+      EXPECT_EQ(counts.sum(), 4u);
+    }
+    MPI_M_free(id);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, RootgatherInvalidRoot) {
+  Sim sim = make_sim(2);
+  sim.run([](Ctx& ctx) {
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    ASSERT_EQ(MPI_M_start(ctx.world(), &id), MPI_M_SUCCESS);
+    MPI_M_suspend(id);
+    EXPECT_EQ(MPI_M_rootgather_data(id, -3, nullptr, nullptr, MPI_M_ALL_COMM),
+              MPI_M_INVALID_ROOT);
+    EXPECT_EQ(MPI_M_rootgather_data(id, 2, nullptr, nullptr, MPI_M_ALL_COMM),
+              MPI_M_INVALID_ROOT);
+    MPI_M_free(id);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, SessionOnSubCommRecordsCrossCommTraffic) {
+  // The paper's Section 4.1 example verbatim: a session attached to the
+  // even/odd split records exchanges between processes 0 and 2 even when
+  // the traffic uses MPI_COMM_WORLD.
+  Sim sim = make_sim(4);
+  sim.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = ctx.world_rank();
+    const Comm parity = mpi::comm_split(world, r % 2, r);
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    ASSERT_EQ(MPI_M_start(parity, &id), MPI_M_SUCCESS);
+    if (r == 0) {
+      std::vector<std::byte> b(500);
+      mpi::send(b.data(), 500, Type::Byte, 2, 0, world);  // via WORLD
+      mpi::send(b.data(), 100, Type::Byte, 1, 0, world);  // to an odd rank
+    } else if (r == 1 || r == 2) {
+      std::vector<std::byte> b(500);
+      mpi::recv(b.data(), 500, Type::Byte, 0, 0, world);
+    }
+    ASSERT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+    unsigned long sizes[2];
+    ASSERT_EQ(MPI_M_get_data(id, MPI_M_DATA_IGNORE, sizes, MPI_M_P2P_ONLY),
+              MPI_M_SUCCESS);
+    if (r == 0) {
+      EXPECT_EQ(sizes[1], 500u);  // 0 -> 2, recorded at parity-rank index 1
+      EXPECT_EQ(sizes[0], 0u);    // the 0 -> 1 message is invisible
+    }
+    MPI_M_free(id);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, OverlappingSessionsAreIndependent) {
+  Sim sim = make_sim(2);
+  sim.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid outer, inner;
+    ASSERT_EQ(MPI_M_start(world, &outer), MPI_M_SUCCESS);
+    exchange_ring(world, 100);  // only outer sees this
+    ASSERT_EQ(MPI_M_start(world, &inner), MPI_M_SUCCESS);
+    exchange_ring(world, 10);   // both see this
+    ASSERT_EQ(MPI_M_suspend(inner), MPI_M_SUCCESS);
+    exchange_ring(world, 1);    // only outer sees this
+    ASSERT_EQ(MPI_M_suspend(outer), MPI_M_SUCCESS);
+
+    unsigned long outer_sizes[2], inner_sizes[2];
+    ASSERT_EQ(
+        MPI_M_get_data(outer, MPI_M_DATA_IGNORE, outer_sizes, MPI_M_P2P_ONLY),
+        MPI_M_SUCCESS);
+    ASSERT_EQ(
+        MPI_M_get_data(inner, MPI_M_DATA_IGNORE, inner_sizes, MPI_M_P2P_ONLY),
+        MPI_M_SUCCESS);
+    const int peer = (ctx.world_rank() + 1) % 2;
+    EXPECT_EQ(outer_sizes[peer], 111u);
+    EXPECT_EQ(inner_sizes[peer], 10u);
+    MPI_M_free(MPI_M_ALL_MSID);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, ResetClearsSuspendedSessionData) {
+  Sim sim = make_sim(2);
+  sim.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    ASSERT_EQ(MPI_M_start(world, &id), MPI_M_SUCCESS);
+    exchange_ring(world, 100);
+    MPI_M_suspend(id);
+    ASSERT_EQ(MPI_M_reset(id), MPI_M_SUCCESS);
+    unsigned long sizes[2];
+    MPI_M_get_data(id, MPI_M_DATA_IGNORE, sizes, MPI_M_ALL_COMM);
+    EXPECT_EQ(sizes[0] + sizes[1], 0u);
+    // Continue and record again after the reset.
+    MPI_M_continue(id);
+    exchange_ring(world, 7);
+    MPI_M_suspend(id);
+    MPI_M_get_data(id, MPI_M_DATA_IGNORE, sizes, MPI_M_ALL_COMM);
+    EXPECT_EQ(sizes[(ctx.world_rank() + 1) % 2], 7u);
+    MPI_M_free(id);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, SuspendedSessionRecordsNothing) {
+  Sim sim = make_sim(2);
+  sim.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    ASSERT_EQ(MPI_M_start(world, &id), MPI_M_SUCCESS);
+    ASSERT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+    exchange_ring(world, 1000);  // not watched
+    unsigned long sizes[2];
+    MPI_M_get_data(id, MPI_M_DATA_IGNORE, sizes, MPI_M_ALL_COMM);
+    EXPECT_EQ(sizes[0] + sizes[1], 0u);
+    MPI_M_free(id);
+    MPI_M_finalize();
+  });
+}
+
+// --- flush ----------------------------------------------------------------------
+
+TEST(MpiMon, FlushWritesPerRankFiles) {
+  namespace fs = std::filesystem;
+  const std::string base = (fs::temp_directory_path() / "mpim_flush").string();
+  Sim sim = make_sim(2);
+  sim.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    ASSERT_EQ(MPI_M_start(world, &id), MPI_M_SUCCESS);
+    exchange_ring(world, 123);
+    MPI_M_suspend(id);
+    ASSERT_EQ(MPI_M_flush(id, base.c_str(), MPI_M_P2P_ONLY), MPI_M_SUCCESS);
+    MPI_M_free(id);
+    MPI_M_finalize();
+  });
+  for (int r = 0; r < 2; ++r) {
+    const std::string path = base + "." + std::to_string(r) + ".prof";
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good()) << path;
+    std::string contents((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_NE(contents.find("123"), std::string::npos);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(MpiMon, RootflushWritesCountAndSizeMatrices) {
+  namespace fs = std::filesystem;
+  const std::string base = (fs::temp_directory_path() / "mpim_rf").string();
+  Sim sim = make_sim(4);
+  sim.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    ASSERT_EQ(MPI_M_start(world, &id), MPI_M_SUCCESS);
+    mpi::barrier(world);
+    MPI_M_suspend(id);
+    ASSERT_EQ(MPI_M_rootflush(id, 0, base.c_str(), MPI_M_COLL_ONLY),
+              MPI_M_SUCCESS);
+    MPI_M_free(id);
+    MPI_M_finalize();
+  });
+  for (const char* kind : {"_counts", "_sizes"}) {
+    const std::string path = base + kind + ".0.prof";
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good()) << path;
+    int rows = 0;
+    std::string line;
+    while (std::getline(is, line))
+      if (!line.empty() && line[0] != '#') ++rows;
+    EXPECT_EQ(rows, 4);
+    std::remove(path.c_str());
+  }
+}
+
+// --- RAII wrapper ----------------------------------------------------------------
+
+TEST(MonSessionWrapper, RaiiLifecycleAndMatrices) {
+  Sim sim = make_sim(2);
+  sim.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    mon::Environment env;
+    {
+      mon::Session s(world);
+      exchange_ring(world, 55);
+      s.suspend();
+      const auto sizes = s.gather_sizes(MPI_M_P2P_ONLY);
+      EXPECT_EQ(sizes(0, 1), 55u);
+      EXPECT_EQ(sizes(1, 0), 55u);
+      const auto local = s.local_sizes(MPI_M_P2P_ONLY);
+      EXPECT_EQ(local[(ctx.world_rank() + 1) % 2], 55u);
+      s.reset();
+      s.resume();
+      s.suspend();
+    }  // destructor frees
+    // All sessions gone: finalize (via ~Environment) must succeed.
+  });
+}
+
+TEST(MpiMon, StartRequiresMembership) {
+  Sim sim = make_sim(4);
+  sim.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = ctx.world_rank();
+    const Comm evens = mpi::comm_split(world, r % 2 == 0 ? 0 : -1, r);
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    if (r % 2 == 0) {
+      EXPECT_EQ(MPI_M_start(evens, &id), MPI_M_SUCCESS);
+      MPI_M_suspend(id);
+      MPI_M_free(id);
+    } else {
+      // Odd ranks hold a null communicator from the split.
+      EXPECT_EQ(MPI_M_start(evens, &id), MPI_M_INTERNAL_FAIL);
+    }
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, NullMsidPointerRejected) {
+  Sim sim = make_sim(1);
+  sim.run([](Ctx& ctx) {
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_start(ctx.world(), nullptr), MPI_M_INTERNAL_FAIL);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, FlushToUnwritablePathFails) {
+  Sim sim = make_sim(1);
+  sim.run([](Ctx& ctx) {
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    MPI_M_start(ctx.world(), &id);
+    MPI_M_suspend(id);
+    EXPECT_EQ(MPI_M_flush(id, "/nonexistent_dir_xyz/file", MPI_M_ALL_COMM),
+              MPI_M_INTERNAL_FAIL);
+    EXPECT_EQ(
+        MPI_M_rootflush(id, 0, "/nonexistent_dir_xyz/file", MPI_M_ALL_COMM),
+        MPI_M_INTERNAL_FAIL);
+    EXPECT_EQ(MPI_M_flush(id, nullptr, MPI_M_ALL_COMM), MPI_M_INTERNAL_FAIL);
+    MPI_M_free(id);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, ZeroByteMessagesCountedNotSized) {
+  // "some collective MPI routines might generate point-to-point
+  // zero-length messages": counts move, sizes do not.
+  Sim sim = make_sim(2);
+  sim.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    MPI_M_start(world, &id);
+    if (ctx.world_rank() == 0)
+      mpi::send(nullptr, 0, mpi::Type::Byte, 1, 0, world);
+    else
+      mpi::recv(nullptr, 0, mpi::Type::Byte, 0, 0, world);
+    MPI_M_suspend(id);
+    unsigned long counts[2], sizes[2];
+    MPI_M_get_data(id, counts, sizes, MPI_M_P2P_ONLY);
+    if (ctx.world_rank() == 0) {
+      EXPECT_EQ(counts[1], 1u);
+      EXPECT_EQ(sizes[1], 0u);
+    }
+    MPI_M_free(id);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, SessionsOnDifferentCommsSeparateTraffic) {
+  Sim sim = make_sim(4);
+  sim.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int r = ctx.world_rank();
+    const Comm pairs = mpi::comm_split(world, r / 2, r);
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid world_id, pair_id;
+    MPI_M_start(world, &world_id);
+    MPI_M_start(pairs, &pair_id);
+    // 0 <-> 3: visible to the world session, invisible to the pair
+    // session of {0,1} (3 outside) and to that of {2,3} (0 outside).
+    if (r == 0) mpi::send(nullptr, 99, mpi::Type::Byte, 3, 0, world);
+    if (r == 3) mpi::recv(nullptr, 99, mpi::Type::Byte, 0, 0, world);
+    MPI_M_suspend(MPI_M_ALL_MSID);
+    if (r == 0) {
+      unsigned long wsizes[4], psizes[2];
+      MPI_M_get_data(world_id, MPI_M_DATA_IGNORE, wsizes, MPI_M_P2P_ONLY);
+      MPI_M_get_data(pair_id, MPI_M_DATA_IGNORE, psizes, MPI_M_P2P_ONLY);
+      EXPECT_EQ(wsizes[3], 99u);
+      EXPECT_EQ(psizes[0] + psizes[1], 0u);
+    }
+    MPI_M_free(MPI_M_ALL_MSID);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, OscTrafficFilteredBySessionFlag) {
+  Sim sim = make_sim(2);
+  sim.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    MPI_M_start(world, &id);
+    int cell = 0;
+    mpi::Win win = mpi::Win::create(&cell, sizeof cell, world);
+    win.fence();
+    if (ctx.world_rank() == 1) {
+      const int v = 5;
+      win.put(&v, 1, mpi::Type::Int, 0, 0);
+    }
+    win.fence();
+    MPI_M_suspend(id);
+    unsigned long osc[2], p2p[2];
+    MPI_M_get_data(id, MPI_M_DATA_IGNORE, osc, MPI_M_OSC_ONLY);
+    MPI_M_get_data(id, MPI_M_DATA_IGNORE, p2p, MPI_M_P2P_ONLY);
+    if (ctx.world_rank() == 1) {
+      EXPECT_EQ(osc[0], 4u);
+      EXPECT_EQ(p2p[0], 0u);
+    }
+    MPI_M_free(id);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, CombinedFlagsSumKinds) {
+  Sim sim = make_sim(2);
+  sim.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    MPI_M_start(world, &id);
+    if (ctx.world_rank() == 0)
+      mpi::send(nullptr, 10, mpi::Type::Byte, 1, 0, world);
+    else
+      mpi::recv(nullptr, 10, mpi::Type::Byte, 0, 0, world);
+    mpi::bcast(nullptr, 25, mpi::Type::Byte, 0, world);
+    MPI_M_suspend(id);
+    if (ctx.world_rank() == 0) {
+      unsigned long both[2], p2p[2], coll[2];
+      MPI_M_get_data(id, MPI_M_DATA_IGNORE, both,
+                     MPI_M_P2P_ONLY | MPI_M_COLL_ONLY);
+      MPI_M_get_data(id, MPI_M_DATA_IGNORE, p2p, MPI_M_P2P_ONLY);
+      MPI_M_get_data(id, MPI_M_DATA_IGNORE, coll, MPI_M_COLL_ONLY);
+      EXPECT_EQ(both[1], p2p[1] + coll[1]);
+      EXPECT_EQ(p2p[1], 10u);
+      EXPECT_EQ(coll[1], 25u);
+    }
+    MPI_M_free(id);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, ErrorStringsAreDistinct) {
+  EXPECT_STREQ(MPI_M_error_string(MPI_M_SUCCESS), "MPI_M_SUCCESS");
+  EXPECT_STREQ(MPI_M_error_string(MPI_M_INVALID_MSID), "MPI_M_INVALID_MSID");
+  EXPECT_STREQ(MPI_M_error_string(MPI_M_SESSION_OVERFLOW),
+               "MPI_M_SESSION_OVERFLOW");
+  EXPECT_STREQ(MPI_M_error_string(9999), "(unknown MPI_M error code)");
+}
+
+}  // namespace
+}  // namespace mpim

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "minimpi/api.h"
+#include "mpimon/sim.h"
+#include "mpit/pvar.h"
+#include "mpit/runtime.h"
+
+namespace mpim::mpit {
+namespace {
+
+using mpi::Comm;
+using mpi::Ctx;
+using mpi::Type;
+
+Sim make_sim(int nranks = 4) {
+  topo::Topology t({2, 1, 2}, {"node", "socket", "core"});
+  std::vector<net::LinkParams> params = {
+      {1e-5, 1e8}, {1e-6, 1e9}, {1e-7, 1e10}, {0.0, 1e12}};
+  net::CostModel cost(t, params, 1e-7);
+  mpi::EngineConfig cfg{.cost_model = cost,
+                        .placement = topo::round_robin_placement(nranks, t)};
+  cfg.watchdog_wall_timeout_s = 3.0;
+  return Sim(std::move(cfg));
+}
+
+TEST(Pvar, RegistryExposesMonitoringVariables) {
+  EXPECT_EQ(pvar_get_num(), 6);
+  EXPECT_EQ(pvar_index_by_name("pml_monitoring_messages_count"), 0);
+  EXPECT_EQ(pvar_index_by_name("pml_monitoring_messages_size"), 1);
+  EXPECT_EQ(pvar_index_by_name("osc_monitoring_messages_size"), 5);
+  EXPECT_EQ(pvar_index_by_name("no_such_pvar"), -1);
+  EXPECT_EQ(pvar_info(0).kind, mpi::CommKind::p2p);
+  EXPECT_FALSE(pvar_info(0).is_size);
+  EXPECT_TRUE(pvar_info(3).is_size);
+  EXPECT_THROW(pvar_info(6), MpitError);
+}
+
+TEST(Runtime, OfReturnsAttachedRuntime) {
+  Sim sim = make_sim();
+  EXPECT_EQ(&Runtime::of(sim.engine()), &sim.tool());
+}
+
+TEST(Runtime, StartedHandleCountsSentMessages) {
+  Sim sim = make_sim(2);
+  sim.run([&](Ctx& ctx) {
+    Runtime& rt = Runtime::of(ctx.engine());
+    const Comm world = ctx.world();
+    const int sid = rt.session_create();
+    const int hc = rt.handle_alloc(sid, 0, world);  // p2p count
+    const int hs = rt.handle_alloc(sid, 1, world);  // p2p size
+    rt.handle_start(sid, hc);
+    rt.handle_start(sid, hs);
+
+    if (ctx.world_rank() == 0) {
+      std::vector<std::byte> buf(100);
+      mpi::send(buf.data(), buf.size(), Type::Byte, 1, 0, world);
+      mpi::send(buf.data(), 50, Type::Byte, 1, 0, world);
+    } else {
+      std::vector<std::byte> buf(100);
+      mpi::recv(buf.data(), buf.size(), Type::Byte, 0, 0, world);
+      mpi::recv(buf.data(), buf.size(), Type::Byte, 0, 0, world);
+    }
+
+    rt.handle_stop(sid, hc);
+    rt.handle_stop(sid, hs);
+    unsigned long counts[2], sizes[2];
+    EXPECT_EQ(rt.handle_read(sid, hc, counts, 2), 2);
+    rt.handle_read(sid, hs, sizes, 2);
+    if (ctx.world_rank() == 0) {
+      EXPECT_EQ(counts[1], 2u);   // sender-side recording
+      EXPECT_EQ(sizes[1], 150u);
+      EXPECT_EQ(counts[0], 0u);
+    } else {
+      EXPECT_EQ(counts[0], 0u);   // the receiver sent nothing
+      EXPECT_EQ(sizes[0], 0u);
+    }
+    rt.session_free(sid);
+  });
+}
+
+TEST(Runtime, StoppedHandleRecordsNothing) {
+  Sim sim = make_sim(2);
+  sim.run([&](Ctx& ctx) {
+    Runtime& rt = Runtime::of(ctx.engine());
+    const Comm world = ctx.world();
+    const int sid = rt.session_create();
+    const int h = rt.handle_alloc(sid, 0, world);
+    // Never started.
+    if (ctx.world_rank() == 0) {
+      int v = 1;
+      mpi::send(&v, 1, Type::Int, 1, 0, world);
+    } else {
+      int v = 0;
+      mpi::recv(&v, 1, Type::Int, 0, 0, world);
+    }
+    unsigned long counts[2];
+    rt.handle_read(sid, h, counts, 2);
+    EXPECT_EQ(counts[0] + counts[1], 0u);
+    rt.session_free(sid);
+  });
+}
+
+TEST(Runtime, ResetZeroesValues) {
+  Sim sim = make_sim(2);
+  sim.run([&](Ctx& ctx) {
+    Runtime& rt = Runtime::of(ctx.engine());
+    const Comm world = ctx.world();
+    const int sid = rt.session_create();
+    const int h = rt.handle_alloc(sid, 1, world);
+    rt.handle_start(sid, h);
+    if (ctx.world_rank() == 0) {
+      int v = 1;
+      mpi::send(&v, 1, Type::Int, 1, 0, world);
+    } else {
+      int v = 0;
+      mpi::recv(&v, 1, Type::Int, 0, 0, world);
+    }
+    rt.handle_stop(sid, h);
+    rt.handle_reset(sid, h);
+    unsigned long sizes[2];
+    rt.handle_read(sid, h, sizes, 2);
+    EXPECT_EQ(sizes[0] + sizes[1], 0u);
+    rt.session_free(sid);
+  });
+}
+
+TEST(Runtime, KindFiltersSeparateTrafficClasses) {
+  Sim sim = make_sim(4);
+  sim.run([&](Ctx& ctx) {
+    Runtime& rt = Runtime::of(ctx.engine());
+    const Comm world = ctx.world();
+    const int sid = rt.session_create();
+    const int hp2p = rt.handle_alloc(sid, 0, world);
+    const int hcoll = rt.handle_alloc(sid, 2, world);
+    rt.handle_start(sid, hp2p);
+    rt.handle_start(sid, hcoll);
+
+    // A broadcast decomposes into coll-kind point-to-point messages.
+    int v = 3;
+    mpi::bcast(&v, 1, Type::Int, 0, world);
+
+    rt.handle_stop(sid, hp2p);
+    rt.handle_stop(sid, hcoll);
+    unsigned long p2p[4], coll[4];
+    rt.handle_read(sid, hp2p, p2p, 4);
+    rt.handle_read(sid, hcoll, coll, 4);
+    unsigned long p2p_total = 0, coll_total = 0;
+    for (int i = 0; i < 4; ++i) {
+      p2p_total += p2p[i];
+      coll_total += coll[i];
+    }
+    EXPECT_EQ(p2p_total, 0u);
+    if (ctx.world_rank() == 0) {
+      EXPECT_GE(coll_total, 1u);
+    }
+    rt.session_free(sid);
+  });
+}
+
+TEST(Runtime, HandleBoundToSubCommSeesCrossCommTraffic) {
+  // The Section 4.1 even/odd example: a handle bound to the evens
+  // communicator records world-communicator traffic between evens.
+  Sim sim = make_sim(4);
+  sim.run([&](Ctx& ctx) {
+    Runtime& rt = Runtime::of(ctx.engine());
+    const Comm world = ctx.world();
+    const int r = mpi::comm_rank(world);
+    const Comm evens = mpi::comm_split(world, r % 2 == 0 ? 0 : 1, r);
+
+    const int sid = rt.session_create();
+    int h = -1;
+    if (r % 2 == 0) {
+      h = rt.handle_alloc(sid, 0, evens);
+      rt.handle_start(sid, h);
+    }
+    if (r == 0) {
+      int v = 7;
+      mpi::send(&v, 1, Type::Int, 2, 0, world);  // via WORLD, rank 0 -> 2
+      int w = 7;
+      mpi::send(&w, 1, Type::Int, 1, 0, world);  // 0 -> 1: 1 is odd
+    } else if (r == 2 || r == 1) {
+      int v = 0;
+      mpi::recv(&v, 1, Type::Int, 0, 0, world);
+    }
+    if (r % 2 == 0) {
+      rt.handle_stop(sid, h);
+      unsigned long counts[2];
+      rt.handle_read(sid, h, counts, 2);
+      if (r == 0) {
+        EXPECT_EQ(counts[1], 1u);  // the 0->2 message, indexed by evens rank
+        EXPECT_EQ(counts[0], 0u);  // 0->1 invisible: 1 not in `evens`
+      }
+    }
+    rt.session_free(sid);
+  });
+}
+
+TEST(Runtime, MisuseThrowsMpitError) {
+  Sim sim = make_sim(1);
+  sim.run([&](Ctx& ctx) {
+    Runtime& rt = Runtime::of(ctx.engine());
+    EXPECT_THROW(rt.session_free(99), MpitError);
+    const int sid = rt.session_create();
+    EXPECT_THROW(rt.handle_start(sid, 0), MpitError);
+    const int h = rt.handle_alloc(sid, 0, ctx.world());
+    rt.handle_start(sid, h);
+    EXPECT_THROW(rt.handle_start(sid, h), MpitError);  // double start
+    rt.handle_stop(sid, h);
+    EXPECT_THROW(rt.handle_stop(sid, h), MpitError);  // double stop
+    unsigned long v[1];
+    EXPECT_EQ(rt.handle_read(sid, h, v, 1), 1);
+    EXPECT_THROW(rt.handle_read(sid, h, v, 0), MpitError);  // too small
+    rt.handle_free(sid, h);
+    EXPECT_THROW(rt.handle_read(sid, h, v, 1), MpitError);  // freed
+    rt.session_free(sid);
+    EXPECT_THROW(rt.session_free(sid), MpitError);  // double free
+    EXPECT_THROW(rt.handle_alloc(sid, 0, ctx.world()), MpitError);
+  });
+}
+
+TEST(Runtime, ToolTrafficIsInvisible) {
+  Sim sim = make_sim(4);
+  sim.run([&](Ctx& ctx) {
+    Runtime& rt = Runtime::of(ctx.engine());
+    const Comm world = ctx.world();
+    const int sid = rt.session_create();
+    const int h = rt.handle_alloc(sid, 2, world);  // coll count
+    rt.handle_start(sid, h);
+    // comm_split generates only tool traffic.
+    mpi::comm_split(world, 0, mpi::comm_rank(world));
+    rt.handle_stop(sid, h);
+    unsigned long counts[4];
+    rt.handle_read(sid, h, counts, 4);
+    EXPECT_EQ(counts[0] + counts[1] + counts[2] + counts[3], 0u);
+    rt.session_free(sid);
+  });
+}
+
+}  // namespace
+}  // namespace mpim::mpit

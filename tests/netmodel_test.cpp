@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "netmodel/cost_model.h"
+#include "netmodel/nic_counters.h"
+#include "support/error.h"
+
+namespace mpim::net {
+namespace {
+
+CostModel tiny_model() {
+  // Two nodes of one socket x two cores, easy-to-check numbers.
+  topo::Topology t({2, 1, 2}, {"node", "socket", "core"});
+  std::vector<LinkParams> params = {
+      {1e-5, 1e8},   // inter-node
+      {1e-6, 1e9},   // inter-socket (unused with 1 socket)
+      {1e-7, 1e10},  // intra-socket
+      {0.0, 1e12},   // same PU
+  };
+  return CostModel(std::move(t), std::move(params), /*send_overhead=*/1e-7);
+}
+
+TEST(CostModel, TransferTimeFollowsLinkClass) {
+  const auto m = tiny_model();
+  // leaves 0,1 on node 0; 2,3 on node 1.
+  EXPECT_DOUBLE_EQ(m.transfer_time(0, 1, 1000), 1e-7 + 1000 / 1e10);
+  EXPECT_DOUBLE_EQ(m.transfer_time(0, 2, 1000), 1e-5 + 1000 / 1e8);
+  EXPECT_DOUBLE_EQ(m.transfer_time(0, 0, 1000), 0.0 + 1000 / 1e12);
+}
+
+TEST(CostModel, IntraNodeStrictlyCheaper) {
+  const auto m = CostModel::plafrim_like(2);
+  for (std::size_t bytes : {0ul, 100ul, 100000ul, 10000000ul}) {
+    EXPECT_LT(m.transfer_time(0, 1, bytes), m.transfer_time(0, 24, bytes))
+        << "bytes=" << bytes;
+    EXPECT_LT(m.transfer_time(0, 13, bytes), m.transfer_time(0, 24, bytes))
+        << "bytes=" << bytes;
+  }
+}
+
+TEST(CostModel, CrossesNetworkOnlyBetweenNodes) {
+  const auto m = tiny_model();
+  EXPECT_FALSE(m.crosses_network(0, 1));
+  EXPECT_TRUE(m.crosses_network(1, 2));
+  EXPECT_FALSE(m.crosses_network(2, 3));
+}
+
+TEST(CostModel, WrongParameterCountThrows) {
+  topo::Topology t({2}, {"node"});
+  EXPECT_THROW(CostModel(t, {{1e-6, 1e9}}), Error);  // needs depth+1 = 2
+}
+
+TEST(CostModel, PatternCostPrefersLocalPlacement) {
+  const auto m = tiny_model();
+  CommMatrix pattern = CommMatrix::square(2);
+  pattern(0, 1) = 1000000;
+  pattern(1, 0) = 1000000;
+  const double local = m.pattern_cost(pattern, {0, 1});
+  const double remote = m.pattern_cost(pattern, {0, 2});
+  EXPECT_LT(local, remote);
+}
+
+TEST(CostModel, PatternCostIgnoresDiagonalAndZeros) {
+  const auto m = tiny_model();
+  CommMatrix pattern = CommMatrix::square(2);
+  pattern(0, 0) = 12345;  // self traffic ignored
+  EXPECT_DOUBLE_EQ(m.pattern_cost(pattern, {0, 2}), 0.0);
+}
+
+TEST(NicCounters, RecordsAndBins) {
+  NicCounters nic(2);
+  nic.record_tx(0, 0.5, 100);
+  nic.record_tx(0, 1.5, 200);
+  nic.record_tx(1, 0.1, 999);
+  EXPECT_EQ(nic.bytes_until(0, 1.0), 100u);
+  EXPECT_EQ(nic.bytes_until(0, 2.0), 300u);
+  EXPECT_EQ(nic.total_bytes(0), 300u);
+  EXPECT_EQ(nic.total_bytes(1), 999u);
+}
+
+TEST(NicCounters, LogSortedByVirtualTime) {
+  NicCounters nic(1);
+  nic.record_tx(0, 2.0, 1);
+  nic.record_tx(0, 1.0, 2);
+  const auto log = nic.log(0);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_DOUBLE_EQ(log[0].time_s, 1.0);
+  EXPECT_DOUBLE_EQ(log[1].time_s, 2.0);
+}
+
+TEST(NicCounters, ResetClears) {
+  NicCounters nic(1);
+  nic.record_tx(0, 0.0, 7);
+  nic.reset();
+  EXPECT_EQ(nic.total_bytes(0), 0u);
+  EXPECT_TRUE(nic.log(0).empty());
+}
+
+}  // namespace
+}  // namespace mpim::net

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "support/matrix.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace mpim {
+namespace {
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformU64RespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_u64(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformU64CoversRange) {
+  Rng rng(5);
+  bool seen[5] = {};
+  for (int i = 0; i < 200; ++i) seen[rng.uniform_u64(0, 4)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(17);
+  double acc = 0.0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  Rng rng(3);
+  shuffle(v, rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+// --- stats -------------------------------------------------------------------
+
+TEST(Stats, MeanVarianceBasics) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(stats::mean(xs), 2.5);
+  EXPECT_NEAR(stats::variance(xs), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats::stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(stats::median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(stats::median(std::vector<double>{4.0, 1.0, 2.0, 3.0}),
+                   2.5);
+}
+
+TEST(Stats, NormalQuantileKnownValues) {
+  EXPECT_NEAR(stats::normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(stats::normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(stats::normal_quantile(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(stats::normal_quantile(0.84134474), 1.0, 1e-5);
+}
+
+TEST(Stats, TQuantileApproachesNormal) {
+  EXPECT_NEAR(stats::t_quantile(0.975, 1e9), stats::normal_quantile(0.975),
+              1e-6);
+}
+
+TEST(Stats, TQuantileKnownValues) {
+  // Reference values from standard t tables.
+  EXPECT_NEAR(stats::t_quantile(0.975, 10), 2.228, 5e-3);
+  EXPECT_NEAR(stats::t_quantile(0.975, 30), 2.042, 5e-3);
+  EXPECT_NEAR(stats::t_quantile(0.95, 20), 1.725, 5e-3);
+}
+
+TEST(Stats, WelchDetectsClearDifference) {
+  std::vector<double> a(50), b(50);
+  Rng rng(1);
+  for (auto& x : a) x = 10.0 + rng.uniform();
+  for (auto& x : b) x = 0.0 + rng.uniform();
+  const auto res = stats::welch_interval(a, b);
+  EXPECT_TRUE(res.significant);
+  EXPECT_NEAR(res.mean_diff, 10.0, 0.2);
+}
+
+TEST(Stats, WelchInsignificantForSameDistribution) {
+  std::vector<double> a(100), b(100);
+  Rng rng(2);
+  for (auto& x : a) x = rng.uniform();
+  for (auto& x : b) x = rng.uniform();
+  const auto res = stats::welch_interval(a, b);
+  EXPECT_FALSE(res.significant);
+}
+
+TEST(Stats, WelchDegenerateConstantSamples) {
+  const std::vector<double> a{2.0, 2.0, 2.0};
+  const std::vector<double> b{2.0, 2.0};
+  const auto res = stats::welch_interval(a, b);
+  EXPECT_FALSE(res.significant);
+  EXPECT_DOUBLE_EQ(res.mean_diff, 0.0);
+}
+
+// --- matrix ------------------------------------------------------------------
+
+TEST(Matrix, IndexingAndFlatLayoutRowMajor) {
+  Matrix<int> m(2, 3);
+  m(0, 0) = 1;
+  m(0, 2) = 3;
+  m(1, 1) = 5;
+  EXPECT_EQ(m.flat()[0], 1);
+  EXPECT_EQ(m.flat()[2], 3);
+  EXPECT_EQ(m.flat()[4], 5);
+}
+
+TEST(Matrix, OutOfRangeThrows) {
+  Matrix<int> m(2, 2);
+  EXPECT_THROW(m(2, 0), Error);
+  EXPECT_THROW(m(0, 2), Error);
+}
+
+TEST(Matrix, SymmetrizedAddsTranspose) {
+  CommMatrix m = CommMatrix::square(2);
+  m(0, 1) = 3;
+  m(1, 0) = 5;
+  const CommMatrix s = m.symmetrized();
+  EXPECT_EQ(s(0, 1), 8u);
+  EXPECT_EQ(s(1, 0), 8u);
+  EXPECT_EQ(s(0, 0), 0u);
+}
+
+TEST(Matrix, SumAndRowView) {
+  Matrix<unsigned long> m(2, 2, 1ul);
+  EXPECT_EQ(m.sum(), 4ul);
+  m.row(1)[0] = 10;
+  EXPECT_EQ(m(1, 0), 10ul);
+}
+
+// --- table -------------------------------------------------------------------
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add("x", 1);
+  t.add("longer", 2.5);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a"});
+  t.add_row({"va\"l,ue"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"va\"\"l,ue\""), std::string::npos);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Formatting, HumanReadableHelpers) {
+  EXPECT_EQ(format_bytes(1500.0), "1.5 KB");
+  EXPECT_EQ(format_seconds(0.0123), "12.3 ms");
+  EXPECT_EQ(format_seconds(2.5e-6), "2.5 us");
+  EXPECT_EQ(format_sig(3.14159, 3), "3.14");
+}
+
+}  // namespace
+}  // namespace mpim

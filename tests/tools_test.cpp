@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "minimpi/api.h"
+#include "mpimon/mpi_monitoring.h"
+#include "mpimon/session.hpp"
+#include "mpimon/sim.h"
+#include "tools/apiprof.h"
+#include "tools/tracer.h"
+#include "tools/prof_reader.h"
+
+namespace mpim::tools {
+namespace {
+
+using mpi::Comm;
+using mpi::Ctx;
+using mpi::Type;
+
+Sim make_sim(int nranks = 4) {
+  auto cost = net::CostModel::plafrim_like(2, 1, 2);
+  mpi::EngineConfig cfg{
+      .cost_model = cost,
+      .placement = topo::round_robin_placement(nranks, cost.topology())};
+  cfg.watchdog_wall_timeout_s = 5.0;
+  return Sim(std::move(cfg));
+}
+
+// --- apiprof --------------------------------------------------------------------
+
+TEST(ApiProf, CountsCallsBytesAndTime) {
+  Sim sim = make_sim(2);
+  sim.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    Profiler prof(world);
+    if (ctx.world_rank() == 0) {
+      std::vector<int> v(100);
+      prof.send(v.data(), v.size(), Type::Int, 1, 0, world);
+      prof.send(v.data(), 50, Type::Int, 1, 0, world);
+      EXPECT_EQ(prof.stats(ApiOp::send).calls, 2u);
+      EXPECT_EQ(prof.stats(ApiOp::send).bytes, 600u);
+      EXPECT_GT(prof.stats(ApiOp::send).time_s, 0.0);
+      EXPECT_EQ(prof.p2p_bytes_by_peer()[1], 600u);
+      EXPECT_EQ(prof.total_calls(), 2u);
+    } else {
+      std::vector<int> v(100);
+      prof.recv(v.data(), v.size(), Type::Int, 0, 0, world);
+      prof.recv(v.data(), v.size(), Type::Int, 0, 0, world);
+      EXPECT_EQ(prof.stats(ApiOp::recv).calls, 2u);
+    }
+  });
+}
+
+TEST(ApiProf, CollectivesAreOpaqueAtApiLevel) {
+  // The contrast with the introspection library: for the same bcast, the
+  // API profiler sees one call and no per-peer attribution while the
+  // session sees the binomial tree.
+  Sim sim = make_sim(4);
+  sim.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    mon::Environment env;
+    mon::Session session(world);
+    Profiler prof(world);
+
+    std::vector<int> v(1000);
+    prof.bcast(v.data(), v.size(), Type::Int, 0, world);
+    session.suspend();
+
+    EXPECT_EQ(prof.stats(ApiOp::bcast).calls, 1u);
+    std::uint64_t api_peer_bytes = 0;
+    for (auto b : prof.p2p_bytes_by_peer()) api_peer_bytes += b;
+    EXPECT_EQ(api_peer_bytes, 0u);  // nothing attributable to peers
+
+    const auto coll = session.gather_counts(MPI_M_COLL_ONLY);
+    EXPECT_EQ(coll.sum(), 3u);  // n-1 tree messages visible below
+  });
+}
+
+TEST(ApiProf, ReportListsUsedOperationsOnly) {
+  Sim sim = make_sim(2);
+  std::string report;
+  sim.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    Profiler prof(world);
+    prof.barrier(world);
+    double a = 1, b = 0;
+    prof.allreduce(&a, &b, 1, Type::Double, mpi::Op::Sum, world);
+    if (ctx.world_rank() == 0) {
+      std::ostringstream os;
+      prof.write_report(os, 0);
+      report = os.str();
+    }
+  });
+  EXPECT_NE(report.find("MPI_Barrier"), std::string::npos);
+  EXPECT_NE(report.find("MPI_Allreduce"), std::string::npos);
+  EXPECT_EQ(report.find("MPI_Send"), std::string::npos);  // unused
+}
+
+// --- tracer ----------------------------------------------------------------------
+
+TEST(Tracer, RecordsTimestampedEventsInOrder) {
+  Sim sim = make_sim(2);
+  Tracer tracer(sim.tool());
+  sim.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    if (ctx.world_rank() == 0) {
+      mpi::compute(0.5);
+      mpi::send(nullptr, 100, Type::Byte, 1, 5, world);
+      mpi::compute(0.25);
+      mpi::send(nullptr, 200, Type::Byte, 1, 6, world);
+    } else {
+      mpi::recv(nullptr, 200, Type::Byte, 0, 5, world);
+      mpi::recv(nullptr, 200, Type::Byte, 0, 6, world);
+    }
+  });
+  const auto events = tracer.merged_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NEAR(events[0].time_s, 0.5, 1e-9);
+  EXPECT_GT(events[1].time_s, 0.74);
+  EXPECT_EQ(events[0].bytes, 100u);
+  EXPECT_EQ(events[1].tag, 6);
+  EXPECT_EQ(events[0].src, 0);
+  EXPECT_EQ(events[0].dst, 1);
+}
+
+TEST(Tracer, StatsAndKindBreakdown) {
+  Sim sim = make_sim(4);
+  Tracer tracer(sim.tool());
+  sim.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    mpi::barrier(world);  // coll events
+    const int r = mpi::comm_rank(world);
+    mpi::send(nullptr, 1000, Type::Byte, (r + 1) % 4, 0, world);  // p2p
+    mpi::recv(nullptr, 1000, Type::Byte, (r + 3) % 4, 0, world);
+  });
+  const auto s = tracer.stats();
+  EXPECT_EQ(s.by_kind_events[0], 4u);          // 4 ring sends
+  EXPECT_EQ(s.by_kind_events[1], 8u);          // dissemination barrier
+  EXPECT_EQ(s.total_bytes, 4000u);             // barrier messages are empty
+  EXPECT_EQ(s.events, 12u);
+  EXPECT_GE(s.last_time_s, s.first_time_s);
+}
+
+TEST(Tracer, DisableAndClear) {
+  Sim sim = make_sim(2);
+  Tracer tracer(sim.tool());
+  tracer.set_enabled(false);
+  sim.run([](Ctx& ctx) {
+    if (ctx.world_rank() == 0)
+      mpi::send(nullptr, 8, Type::Byte, 1, 0, ctx.world());
+    else
+      mpi::recv(nullptr, 8, Type::Byte, 0, 0, ctx.world());
+  });
+  EXPECT_EQ(tracer.event_count(), 0u);
+  tracer.set_enabled(true);
+  sim.run([](Ctx& ctx) {
+    if (ctx.world_rank() == 0)
+      mpi::send(nullptr, 8, Type::Byte, 1, 0, ctx.world());
+    else
+      mpi::recv(nullptr, 8, Type::Byte, 0, 0, ctx.world());
+  });
+  EXPECT_EQ(tracer.event_count(), 1u);
+  tracer.clear();
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(Tracer, WritesParseableTraceFile) {
+  namespace fs = std::filesystem;
+  const std::string path = (fs::temp_directory_path() / "mp.trace").string();
+  Sim sim = make_sim(2);
+  Tracer tracer(sim.tool());
+  sim.run([](Ctx& ctx) {
+    if (ctx.world_rank() == 0)
+      mpi::send(nullptr, 64, Type::Byte, 1, 3, ctx.world());
+    else
+      mpi::recv(nullptr, 64, Type::Byte, 0, 3, ctx.world());
+  });
+  tracer.write_trace(path);
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::string header, line;
+  std::getline(is, header);
+  std::getline(is, line);
+  double t;
+  int src, dst, tag;
+  std::uint64_t bytes;
+  std::string kind;
+  std::istringstream ls(line);
+  ASSERT_TRUE(static_cast<bool>(ls >> t >> src >> dst >> bytes >> kind >> tag));
+  EXPECT_EQ(src, 0);
+  EXPECT_EQ(dst, 1);
+  EXPECT_EQ(bytes, 64u);
+  EXPECT_EQ(kind, "p2p");
+  EXPECT_EQ(tag, 3);
+  std::remove(path.c_str());
+}
+
+// --- prof_reader ------------------------------------------------------------------
+
+TEST(ProfReader, RoundTripsFlushOutput) {
+  namespace fs = std::filesystem;
+  const std::string base = (fs::temp_directory_path() / "pr_rt").string();
+  Sim sim = make_sim(2);
+  sim.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    mon::Environment env;
+    MPI_M_msid id;
+    MPI_M_start(world, &id);
+    if (ctx.world_rank() == 0) {
+      std::vector<std::byte> b(321);
+      mpi::send(b.data(), b.size(), Type::Byte, 1, 0, world);
+    } else {
+      std::vector<std::byte> b(321);
+      mpi::recv(b.data(), b.size(), Type::Byte, 0, 0, world);
+    }
+    MPI_M_suspend(id);
+    ASSERT_EQ(MPI_M_flush(id, base.c_str(), MPI_M_P2P_ONLY), MPI_M_SUCCESS);
+    MPI_M_free(id);
+  });
+  const auto prof = read_rank_profile(base + ".0.prof");
+  EXPECT_EQ(prof.rank, 0);
+  EXPECT_EQ(prof.comm_size, 2);
+  EXPECT_EQ(prof.flags, "p2p");
+  EXPECT_EQ(prof.sizes[1], 321u);
+  EXPECT_EQ(prof.counts[1], 1u);
+  for (int r = 0; r < 2; ++r)
+    std::remove((base + "." + std::to_string(r) + ".prof").c_str());
+}
+
+TEST(ProfReader, RoundTripsRootflushMatrix) {
+  namespace fs = std::filesystem;
+  const std::string base = (fs::temp_directory_path() / "pr_m").string();
+  Sim sim = make_sim(4);
+  sim.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    mon::Environment env;
+    MPI_M_msid id;
+    MPI_M_start(world, &id);
+    mpi::barrier(world);
+    MPI_M_suspend(id);
+    ASSERT_EQ(MPI_M_rootflush(id, 0, base.c_str(), MPI_M_COLL_ONLY),
+              MPI_M_SUCCESS);
+    MPI_M_free(id);
+  });
+  const CommMatrix m = read_matrix_profile(base + "_counts.0.prof");
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.sum(), 8u);  // dissemination barrier: 2 sends per rank
+  const auto s = summarize(m);
+  EXPECT_EQ(s.total, 8u);
+  EXPECT_GT(s.density, 0.0);
+  for (const char* kind : {"_counts", "_sizes"})
+    std::remove((base + kind + ".0.prof").c_str());
+}
+
+TEST(ProfReader, RejectsMalformedInput) {
+  namespace fs = std::filesystem;
+  const std::string path = (fs::temp_directory_path() / "bad.prof").string();
+  {
+    std::ofstream os(path);
+    os << "# header only\nnot numbers here\n";
+  }
+  EXPECT_THROW(read_rank_profile(path), Error);
+  EXPECT_THROW(read_rank_profile("/nonexistent/file.prof"), Error);
+  {
+    std::ofstream os(path);
+    os << "1 2 3\n4 5\n";  // ragged matrix
+  }
+  EXPECT_THROW(read_matrix_profile(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(ProfReader, SummaryFindsHeaviestPair) {
+  CommMatrix m = CommMatrix::square(3);
+  m(0, 1) = 10;
+  m(2, 0) = 99;
+  m(1, 1) = 1000;  // diagonal ignored
+  const auto s = summarize(m);
+  EXPECT_EQ(s.total, 109u);
+  EXPECT_EQ(s.heaviest_src, 2u);
+  EXPECT_EQ(s.heaviest_dst, 0u);
+  EXPECT_EQ(s.heaviest_value, 99u);
+  EXPECT_NEAR(s.density, 2.0 / 6.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mpim::tools

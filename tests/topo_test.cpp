@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.h"
+#include "topo/topology.h"
+
+namespace mpim::topo {
+namespace {
+
+TEST(Topology, ClusterShape) {
+  const auto t = Topology::cluster(4, 2, 12);
+  EXPECT_EQ(t.depth(), 3);
+  EXPECT_EQ(t.num_leaves(), 96);
+  EXPECT_EQ(t.subtree_leaves(0), 96);
+  EXPECT_EQ(t.subtree_leaves(1), 24);  // one node
+  EXPECT_EQ(t.subtree_leaves(2), 12);  // one socket
+  EXPECT_EQ(t.subtree_leaves(3), 1);   // one core
+}
+
+TEST(Topology, CommonAncestorDepth) {
+  const auto t = Topology::cluster(2, 2, 12);
+  EXPECT_EQ(t.common_ancestor_depth(0, 0), 3);   // same core
+  EXPECT_EQ(t.common_ancestor_depth(0, 5), 2);   // same socket
+  EXPECT_EQ(t.common_ancestor_depth(0, 13), 1);  // same node, other socket
+  EXPECT_EQ(t.common_ancestor_depth(0, 24), 0);  // other node
+  EXPECT_EQ(t.common_ancestor_depth(24, 0), 0);  // symmetric
+}
+
+TEST(Topology, AncestorIndexAndNodeOf) {
+  const auto t = Topology::cluster(3, 2, 4);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(7), 0);
+  EXPECT_EQ(t.node_of(8), 1);
+  EXPECT_EQ(t.node_of(23), 2);
+  EXPECT_EQ(t.ancestor_index(9, 2), 2);  // socket index of leaf 9
+}
+
+TEST(Topology, InvalidConstructionThrows) {
+  EXPECT_THROW(Topology({}, {}), Error);
+  EXPECT_THROW(Topology({2, 0}, {"a", "b"}), Error);
+  EXPECT_THROW(Topology({2}, {"a", "b"}), Error);
+}
+
+TEST(Topology, LeafRangeChecks) {
+  const auto t = Topology::cluster(1, 1, 4);
+  EXPECT_THROW(t.common_ancestor_depth(0, 4), Error);
+  EXPECT_THROW(t.ancestor_index(-1, 1), Error);
+}
+
+TEST(Topology, DescribeMentionsEveryLevel) {
+  const auto t = Topology::cluster(2, 2, 12);
+  const std::string d = t.describe();
+  EXPECT_NE(d.find("node"), std::string::npos);
+  EXPECT_NE(d.find("socket"), std::string::npos);
+  EXPECT_NE(d.find("core"), std::string::npos);
+  EXPECT_NE(d.find("48"), std::string::npos);
+}
+
+TEST(Placement, RoundRobinFillsLeftmostCores) {
+  const auto t = Topology::cluster(2, 2, 12);
+  const auto p = round_robin_placement(5, t);
+  EXPECT_EQ(p, (Placement{0, 1, 2, 3, 4}));
+}
+
+TEST(Placement, ByNodeCyclesAcrossNodes) {
+  const auto t = Topology::cluster(2, 1, 4);
+  const auto p = bynode_placement(6, t);
+  // node0 core0, node1 core0, node0 core1, node1 core1, ...
+  EXPECT_EQ(p, (Placement{0, 4, 1, 5, 2, 6}));
+}
+
+TEST(Placement, ByNodeHandlesUnevenCounts) {
+  const auto t = Topology::cluster(3, 1, 2);
+  const auto p = bynode_placement(5, t);
+  EXPECT_EQ(p.size(), 5u);
+  validate_placement(p, t);
+}
+
+TEST(Placement, RandomIsDeterministicPermutationOfPrefix) {
+  const auto t = Topology::cluster(2, 2, 12);
+  const auto p1 = random_placement(10, t, 99);
+  const auto p2 = random_placement(10, t, 99);
+  EXPECT_EQ(p1, p2);
+  std::set<int> leaves(p1.begin(), p1.end());
+  EXPECT_EQ(leaves.size(), 10u);
+  for (int leaf : leaves) {
+    EXPECT_GE(leaf, 0);
+    EXPECT_LT(leaf, 10);  // permutes the round-robin prefix
+  }
+  EXPECT_NE(p1, round_robin_placement(10, t));  // actually shuffled
+}
+
+TEST(Placement, ValidationRejectsDuplicatesAndRange) {
+  const auto t = Topology::cluster(1, 1, 4);
+  EXPECT_THROW(validate_placement({0, 0}, t), Error);
+  EXPECT_THROW(validate_placement({4}, t), Error);
+  EXPECT_NO_THROW(validate_placement({3, 1, 0}, t));
+}
+
+TEST(Placement, TooManyRanksThrows) {
+  const auto t = Topology::cluster(1, 1, 4);
+  EXPECT_THROW(round_robin_placement(5, t), Error);
+  EXPECT_THROW(bynode_placement(5, t), Error);
+}
+
+}  // namespace
+}  // namespace mpim::topo

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "netmodel/cost_model.h"
+#include "support/rng.h"
+#include "treematch/affinity.h"
+#include "treematch/treematch.h"
+
+namespace mpim::tm {
+namespace {
+
+// --- affinity graph -------------------------------------------------------------
+
+TEST(Affinity, FromDenseSymmetrizesAndSkipsZeros) {
+  CommMatrix m = CommMatrix::square(3);
+  m(0, 1) = 10;
+  m(1, 0) = 5;
+  m(2, 2) = 99;  // diagonal ignored
+  const auto g = AffinityGraph::from_dense(m);
+  ASSERT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.edges()[0].u, 0);
+  EXPECT_EQ(g.edges()[0].v, 1);
+  EXPECT_DOUBLE_EQ(g.edges()[0].w, 15.0);
+  EXPECT_TRUE(g.neighbors(2).empty());
+}
+
+TEST(Affinity, DuplicateEdgesMerge) {
+  AffinityGraph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 0, 3.0);
+  g.finalize();
+  ASSERT_EQ(g.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(g.edges()[0].w, 5.0);
+  EXPECT_DOUBLE_EQ(g.degree_weight(0), 5.0);
+}
+
+TEST(Affinity, InducedSubgraphRenumbers) {
+  AffinityGraph g(4);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 3, 2.0);
+  g.add_edge(0, 1, 4.0);
+  g.finalize();
+  const auto sub = g.induced({0, 2, 3});
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.edge_count(), 2u);  // (0,2)->(0,1) and (2,3)->(1,2)
+  EXPECT_DOUBLE_EQ(sub.neighbors(1)[0].second + sub.neighbors(1)[1].second,
+                   3.0);
+}
+
+TEST(Affinity, AddAfterFinalizeThrows) {
+  AffinityGraph g(2);
+  g.finalize();
+  EXPECT_THROW(g.add_edge(0, 1, 1.0), Error);
+}
+
+// --- treematch -------------------------------------------------------------------
+
+TEST(TreeMatch, PairsLandOnSameNode) {
+  // 4 processes, pairs (0,1) and (2,3) talk heavily, cross pairs never.
+  // Under a bynode-ish slot layout the pairs must be co-located.
+  const auto topo = topo::Topology::cluster(2, 1, 2);  // 2 nodes x 2 cores
+  CommMatrix m = CommMatrix::square(4);
+  m(0, 1) = m(1, 0) = 1000;
+  m(2, 3) = m(3, 2) = 1000;
+  const auto map = treematch_leaves(m, topo);
+  EXPECT_EQ(topo.node_of(map[0]), topo.node_of(map[1]));
+  EXPECT_EQ(topo.node_of(map[2]), topo.node_of(map[3]));
+  EXPECT_NE(topo.node_of(map[0]), topo.node_of(map[2]));
+}
+
+TEST(TreeMatch, ResultIsInjective) {
+  const auto topo = topo::Topology::cluster(2, 2, 4);
+  Rng rng(5);
+  CommMatrix m = CommMatrix::square(12);
+  for (std::size_t i = 0; i < 12; ++i)
+    for (std::size_t j = 0; j < 12; ++j)
+      if (i != j) m(i, j) = rng.uniform_u64(0, 100);
+  const auto map = treematch_leaves(m, topo);
+  std::set<int> used(map.begin(), map.end());
+  EXPECT_EQ(used.size(), 12u);
+  for (int leaf : used) {
+    EXPECT_GE(leaf, 0);
+    EXPECT_LT(leaf, topo.num_leaves());
+  }
+}
+
+TEST(TreeMatch, DeterministicAcrossCalls) {
+  const auto topo = topo::Topology::cluster(4, 2, 4);
+  Rng rng(11);
+  CommMatrix m = CommMatrix::square(32);
+  for (std::size_t i = 0; i < 32; ++i)
+    for (std::size_t j = i + 1; j < 32; ++j)
+      m(i, j) = m(j, i) = rng.uniform_u64(0, 50);
+  EXPECT_EQ(treematch_leaves(m, topo), treematch_leaves(m, topo));
+}
+
+TEST(TreeMatch, NeverWorseThanIdentityOnStructuredPatterns) {
+  // Block pattern: groups of 4 consecutive ranks communicate internally,
+  // scattered over nodes by a bynode placement; treematch must find a
+  // mapping at least as good as the scattered identity.
+  const auto cost = net::CostModel::plafrim_like(2, 1, 4);  // 2 nodes x 4
+  const auto& topo = cost.topology();
+  CommMatrix m = CommMatrix::square(8);
+  for (std::size_t g = 0; g < 2; ++g)
+    for (std::size_t i = 0; i < 4; ++i)
+      for (std::size_t j = 0; j < 4; ++j)
+        if (i != j) m(4 * g + i, 4 * g + j) = 1 << 20;
+  const auto scattered = topo::bynode_placement(8, topo);
+  const auto slots = scattered;  // slots = currently used cores
+  const auto role_to_slot = treematch_slots(m, topo, slots);
+  // Build the effective placement of roles and compare modeled costs.
+  topo::Placement effective(8);
+  for (std::size_t role = 0; role < 8; ++role)
+    effective[role] = slots[static_cast<std::size_t>(role_to_slot[role])];
+  EXPECT_LT(cost.pattern_cost(m, effective), cost.pattern_cost(m, scattered));
+  // And in this clean instance the optimum puts each block on one node.
+  for (std::size_t g = 0; g < 2; ++g)
+    for (std::size_t i = 1; i < 4; ++i)
+      EXPECT_EQ(topo.node_of(effective[4 * g]),
+                topo.node_of(effective[4 * g + i]));
+}
+
+TEST(TreeMatch, HandlesZeroMatrix) {
+  const auto topo = topo::Topology::cluster(2, 1, 4);
+  CommMatrix m = CommMatrix::square(6);
+  const auto map = treematch_leaves(m, topo);
+  std::set<int> used(map.begin(), map.end());
+  EXPECT_EQ(used.size(), 6u);
+}
+
+TEST(TreeMatch, MoreProcessesThanSlotsThrows) {
+  const auto topo = topo::Topology::cluster(1, 1, 2);
+  CommMatrix m = CommMatrix::square(3);
+  EXPECT_THROW(treematch_leaves(m, topo), Error);
+}
+
+TEST(TreeMatch, RespectsRestrictedSlotSet) {
+  // Only cores {0, 1, 8, 9} are available on a 2x1x8 machine.
+  const auto topo = topo::Topology::cluster(2, 1, 8);
+  CommMatrix m = CommMatrix::square(4);
+  m(0, 3) = m(3, 0) = 100;  // 0 and 3 together
+  m(1, 2) = m(2, 1) = 100;  // 1 and 2 together
+  const std::vector<int> slots{0, 1, 8, 9};
+  const auto map = treematch_slots(m, topo, slots);
+  auto node_of_slot = [&](int s) { return topo.node_of(slots[static_cast<std::size_t>(s)]); };
+  EXPECT_EQ(node_of_slot(map[0]), node_of_slot(map[3]));
+  EXPECT_EQ(node_of_slot(map[1]), node_of_slot(map[2]));
+  EXPECT_NE(node_of_slot(map[0]), node_of_slot(map[1]));
+}
+
+TEST(TreeMatch, ScalesToLargeSparseInstances) {
+  // A smoke version of Table 1: 1-D ring affinity at order 4096.
+  const int n = 4096;
+  const auto topo = topo::Topology::cluster(n / 24 + 1, 2, 12);
+  AffinityGraph g(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n, 10.0);
+  g.finalize();
+  const auto map = treematch_leaves(g, topo);
+  std::set<int> used(map.begin(), map.end());
+  EXPECT_EQ(used.size(), static_cast<std::size_t>(n));
+}
+
+}  // namespace
+}  // namespace mpim::tm
