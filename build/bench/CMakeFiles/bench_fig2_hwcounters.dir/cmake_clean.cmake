@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_hwcounters.dir/bench_fig2_hwcounters.cpp.o"
+  "CMakeFiles/bench_fig2_hwcounters.dir/bench_fig2_hwcounters.cpp.o.d"
+  "bench_fig2_hwcounters"
+  "bench_fig2_hwcounters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_hwcounters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_cg.dir/bench_fig7_cg.cpp.o"
+  "CMakeFiles/bench_fig7_cg.dir/bench_fig7_cg.cpp.o.d"
+  "bench_fig7_cg"
+  "bench_fig7_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cpp" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/mpim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorder/CMakeFiles/mpim_reorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/treematch/CMakeFiles/mpim_treematch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpimon/CMakeFiles/mpim_mpimon.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpit/CMakeFiles/mpim_mpit.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/mpim_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/mpim_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mpim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_treematch.dir/bench_table1_treematch.cpp.o"
+  "CMakeFiles/bench_table1_treematch.dir/bench_table1_treematch.cpp.o.d"
+  "bench_table1_treematch"
+  "bench_table1_treematch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_treematch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

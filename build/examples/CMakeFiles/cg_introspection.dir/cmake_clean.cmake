@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_introspection.dir/cg_introspection.cpp.o"
+  "CMakeFiles/cg_introspection.dir/cg_introspection.cpp.o.d"
+  "cg_introspection"
+  "cg_introspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_introspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

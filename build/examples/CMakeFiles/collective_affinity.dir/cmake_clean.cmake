@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_affinity.dir/collective_affinity.cpp.o"
+  "CMakeFiles/collective_affinity.dir/collective_affinity.cpp.o.d"
+  "collective_affinity"
+  "collective_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

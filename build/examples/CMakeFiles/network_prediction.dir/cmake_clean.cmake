@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_prediction.dir/network_prediction.cpp.o"
+  "CMakeFiles/network_prediction.dir/network_prediction.cpp.o.d"
+  "network_prediction"
+  "network_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

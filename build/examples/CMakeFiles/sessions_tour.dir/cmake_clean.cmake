@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sessions_tour.dir/sessions_tour.cpp.o"
+  "CMakeFiles/sessions_tour.dir/sessions_tour.cpp.o.d"
+  "sessions_tour"
+  "sessions_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sessions_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_reorder.dir/stencil_reorder.cpp.o"
+  "CMakeFiles/stencil_reorder.dir/stencil_reorder.cpp.o.d"
+  "stencil_reorder"
+  "stencil_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cg.cpp" "src/apps/CMakeFiles/mpim_apps.dir/cg.cpp.o" "gcc" "src/apps/CMakeFiles/mpim_apps.dir/cg.cpp.o.d"
+  "/root/repo/src/apps/group_allgather.cpp" "src/apps/CMakeFiles/mpim_apps.dir/group_allgather.cpp.o" "gcc" "src/apps/CMakeFiles/mpim_apps.dir/group_allgather.cpp.o.d"
+  "/root/repo/src/apps/halo.cpp" "src/apps/CMakeFiles/mpim_apps.dir/halo.cpp.o" "gcc" "src/apps/CMakeFiles/mpim_apps.dir/halo.cpp.o.d"
+  "/root/repo/src/apps/nas_cg.cpp" "src/apps/CMakeFiles/mpim_apps.dir/nas_cg.cpp.o" "gcc" "src/apps/CMakeFiles/mpim_apps.dir/nas_cg.cpp.o.d"
+  "/root/repo/src/apps/traffic.cpp" "src/apps/CMakeFiles/mpim_apps.dir/traffic.cpp.o" "gcc" "src/apps/CMakeFiles/mpim_apps.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpimon/CMakeFiles/mpim_mpimon.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/mpim_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpim_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpit/CMakeFiles/mpim_mpit.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/mpim_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mpim_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpim_apps.dir/cg.cpp.o"
+  "CMakeFiles/mpim_apps.dir/cg.cpp.o.d"
+  "CMakeFiles/mpim_apps.dir/group_allgather.cpp.o"
+  "CMakeFiles/mpim_apps.dir/group_allgather.cpp.o.d"
+  "CMakeFiles/mpim_apps.dir/halo.cpp.o"
+  "CMakeFiles/mpim_apps.dir/halo.cpp.o.d"
+  "CMakeFiles/mpim_apps.dir/nas_cg.cpp.o"
+  "CMakeFiles/mpim_apps.dir/nas_cg.cpp.o.d"
+  "CMakeFiles/mpim_apps.dir/traffic.cpp.o"
+  "CMakeFiles/mpim_apps.dir/traffic.cpp.o.d"
+  "libmpim_apps.a"
+  "libmpim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

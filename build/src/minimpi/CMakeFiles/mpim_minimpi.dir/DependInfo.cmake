@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minimpi/api.cpp" "src/minimpi/CMakeFiles/mpim_minimpi.dir/api.cpp.o" "gcc" "src/minimpi/CMakeFiles/mpim_minimpi.dir/api.cpp.o.d"
+  "/root/repo/src/minimpi/coll_allgather.cpp" "src/minimpi/CMakeFiles/mpim_minimpi.dir/coll_allgather.cpp.o" "gcc" "src/minimpi/CMakeFiles/mpim_minimpi.dir/coll_allgather.cpp.o.d"
+  "/root/repo/src/minimpi/coll_barrier.cpp" "src/minimpi/CMakeFiles/mpim_minimpi.dir/coll_barrier.cpp.o" "gcc" "src/minimpi/CMakeFiles/mpim_minimpi.dir/coll_barrier.cpp.o.d"
+  "/root/repo/src/minimpi/coll_bcast.cpp" "src/minimpi/CMakeFiles/mpim_minimpi.dir/coll_bcast.cpp.o" "gcc" "src/minimpi/CMakeFiles/mpim_minimpi.dir/coll_bcast.cpp.o.d"
+  "/root/repo/src/minimpi/coll_gather.cpp" "src/minimpi/CMakeFiles/mpim_minimpi.dir/coll_gather.cpp.o" "gcc" "src/minimpi/CMakeFiles/mpim_minimpi.dir/coll_gather.cpp.o.d"
+  "/root/repo/src/minimpi/coll_reduce.cpp" "src/minimpi/CMakeFiles/mpim_minimpi.dir/coll_reduce.cpp.o" "gcc" "src/minimpi/CMakeFiles/mpim_minimpi.dir/coll_reduce.cpp.o.d"
+  "/root/repo/src/minimpi/coll_scan.cpp" "src/minimpi/CMakeFiles/mpim_minimpi.dir/coll_scan.cpp.o" "gcc" "src/minimpi/CMakeFiles/mpim_minimpi.dir/coll_scan.cpp.o.d"
+  "/root/repo/src/minimpi/engine.cpp" "src/minimpi/CMakeFiles/mpim_minimpi.dir/engine.cpp.o" "gcc" "src/minimpi/CMakeFiles/mpim_minimpi.dir/engine.cpp.o.d"
+  "/root/repo/src/minimpi/osc.cpp" "src/minimpi/CMakeFiles/mpim_minimpi.dir/osc.cpp.o" "gcc" "src/minimpi/CMakeFiles/mpim_minimpi.dir/osc.cpp.o.d"
+  "/root/repo/src/minimpi/types.cpp" "src/minimpi/CMakeFiles/mpim_minimpi.dir/types.cpp.o" "gcc" "src/minimpi/CMakeFiles/mpim_minimpi.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netmodel/CMakeFiles/mpim_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mpim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpim_minimpi.dir/api.cpp.o"
+  "CMakeFiles/mpim_minimpi.dir/api.cpp.o.d"
+  "CMakeFiles/mpim_minimpi.dir/coll_allgather.cpp.o"
+  "CMakeFiles/mpim_minimpi.dir/coll_allgather.cpp.o.d"
+  "CMakeFiles/mpim_minimpi.dir/coll_barrier.cpp.o"
+  "CMakeFiles/mpim_minimpi.dir/coll_barrier.cpp.o.d"
+  "CMakeFiles/mpim_minimpi.dir/coll_bcast.cpp.o"
+  "CMakeFiles/mpim_minimpi.dir/coll_bcast.cpp.o.d"
+  "CMakeFiles/mpim_minimpi.dir/coll_gather.cpp.o"
+  "CMakeFiles/mpim_minimpi.dir/coll_gather.cpp.o.d"
+  "CMakeFiles/mpim_minimpi.dir/coll_reduce.cpp.o"
+  "CMakeFiles/mpim_minimpi.dir/coll_reduce.cpp.o.d"
+  "CMakeFiles/mpim_minimpi.dir/coll_scan.cpp.o"
+  "CMakeFiles/mpim_minimpi.dir/coll_scan.cpp.o.d"
+  "CMakeFiles/mpim_minimpi.dir/engine.cpp.o"
+  "CMakeFiles/mpim_minimpi.dir/engine.cpp.o.d"
+  "CMakeFiles/mpim_minimpi.dir/osc.cpp.o"
+  "CMakeFiles/mpim_minimpi.dir/osc.cpp.o.d"
+  "CMakeFiles/mpim_minimpi.dir/types.cpp.o"
+  "CMakeFiles/mpim_minimpi.dir/types.cpp.o.d"
+  "libmpim_minimpi.a"
+  "libmpim_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpim_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

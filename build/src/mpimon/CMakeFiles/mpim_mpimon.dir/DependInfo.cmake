@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpimon/fortran.cpp" "src/mpimon/CMakeFiles/mpim_mpimon.dir/fortran.cpp.o" "gcc" "src/mpimon/CMakeFiles/mpim_mpimon.dir/fortran.cpp.o.d"
+  "/root/repo/src/mpimon/mpi_monitoring.cpp" "src/mpimon/CMakeFiles/mpim_mpimon.dir/mpi_monitoring.cpp.o" "gcc" "src/mpimon/CMakeFiles/mpim_mpimon.dir/mpi_monitoring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpit/CMakeFiles/mpim_mpit.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/mpim_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/mpim_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mpim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpim_mpimon.dir/fortran.cpp.o"
+  "CMakeFiles/mpim_mpimon.dir/fortran.cpp.o.d"
+  "CMakeFiles/mpim_mpimon.dir/mpi_monitoring.cpp.o"
+  "CMakeFiles/mpim_mpimon.dir/mpi_monitoring.cpp.o.d"
+  "libmpim_mpimon.a"
+  "libmpim_mpimon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpim_mpimon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

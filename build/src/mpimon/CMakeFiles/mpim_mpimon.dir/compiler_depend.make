@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mpim_mpimon.
+# This may be replaced when dependencies are built.

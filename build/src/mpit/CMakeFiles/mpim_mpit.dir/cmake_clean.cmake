@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpim_mpit.dir/pvar.cpp.o"
+  "CMakeFiles/mpim_mpit.dir/pvar.cpp.o.d"
+  "CMakeFiles/mpim_mpit.dir/runtime.cpp.o"
+  "CMakeFiles/mpim_mpit.dir/runtime.cpp.o.d"
+  "libmpim_mpit.a"
+  "libmpim_mpit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpim_mpit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mpim_mpit.
+# This may be replaced when dependencies are built.

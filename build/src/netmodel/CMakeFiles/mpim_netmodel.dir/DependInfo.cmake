@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netmodel/cost_model.cpp" "src/netmodel/CMakeFiles/mpim_netmodel.dir/cost_model.cpp.o" "gcc" "src/netmodel/CMakeFiles/mpim_netmodel.dir/cost_model.cpp.o.d"
+  "/root/repo/src/netmodel/nic_counters.cpp" "src/netmodel/CMakeFiles/mpim_netmodel.dir/nic_counters.cpp.o" "gcc" "src/netmodel/CMakeFiles/mpim_netmodel.dir/nic_counters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/mpim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

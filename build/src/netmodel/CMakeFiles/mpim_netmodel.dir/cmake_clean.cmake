@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpim_netmodel.dir/cost_model.cpp.o"
+  "CMakeFiles/mpim_netmodel.dir/cost_model.cpp.o.d"
+  "CMakeFiles/mpim_netmodel.dir/nic_counters.cpp.o"
+  "CMakeFiles/mpim_netmodel.dir/nic_counters.cpp.o.d"
+  "libmpim_netmodel.a"
+  "libmpim_netmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpim_netmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpim_predict.dir/predictor.cpp.o"
+  "CMakeFiles/mpim_predict.dir/predictor.cpp.o.d"
+  "CMakeFiles/mpim_predict.dir/sampler.cpp.o"
+  "CMakeFiles/mpim_predict.dir/sampler.cpp.o.d"
+  "libmpim_predict.a"
+  "libmpim_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpim_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpim_reorder.dir/reorder.cpp.o"
+  "CMakeFiles/mpim_reorder.dir/reorder.cpp.o.d"
+  "libmpim_reorder.a"
+  "libmpim_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpim_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

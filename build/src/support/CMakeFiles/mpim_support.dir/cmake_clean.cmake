@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpim_support.dir/stats.cpp.o"
+  "CMakeFiles/mpim_support.dir/stats.cpp.o.d"
+  "CMakeFiles/mpim_support.dir/table.cpp.o"
+  "CMakeFiles/mpim_support.dir/table.cpp.o.d"
+  "libmpim_support.a"
+  "libmpim_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpim_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpim_tools.dir/apiprof.cpp.o"
+  "CMakeFiles/mpim_tools.dir/apiprof.cpp.o.d"
+  "CMakeFiles/mpim_tools.dir/prof_reader.cpp.o"
+  "CMakeFiles/mpim_tools.dir/prof_reader.cpp.o.d"
+  "CMakeFiles/mpim_tools.dir/tracer.cpp.o"
+  "CMakeFiles/mpim_tools.dir/tracer.cpp.o.d"
+  "libmpim_tools.a"
+  "libmpim_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpim_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

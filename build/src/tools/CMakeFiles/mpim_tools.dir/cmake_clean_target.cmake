@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpim_tools.a"
+)

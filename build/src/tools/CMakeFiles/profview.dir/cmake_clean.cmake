@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profview.dir/profview_main.cpp.o"
+  "CMakeFiles/profview.dir/profview_main.cpp.o.d"
+  "profview"
+  "profview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpim_topo.dir/topology.cpp.o"
+  "CMakeFiles/mpim_topo.dir/topology.cpp.o.d"
+  "libmpim_topo.a"
+  "libmpim_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpim_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/treematch/affinity.cpp" "src/treematch/CMakeFiles/mpim_treematch.dir/affinity.cpp.o" "gcc" "src/treematch/CMakeFiles/mpim_treematch.dir/affinity.cpp.o.d"
+  "/root/repo/src/treematch/treematch.cpp" "src/treematch/CMakeFiles/mpim_treematch.dir/treematch.cpp.o" "gcc" "src/treematch/CMakeFiles/mpim_treematch.dir/treematch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netmodel/CMakeFiles/mpim_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mpim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

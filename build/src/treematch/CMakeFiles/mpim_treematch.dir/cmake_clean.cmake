@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpim_treematch.dir/affinity.cpp.o"
+  "CMakeFiles/mpim_treematch.dir/affinity.cpp.o.d"
+  "CMakeFiles/mpim_treematch.dir/treematch.cpp.o"
+  "CMakeFiles/mpim_treematch.dir/treematch.cpp.o.d"
+  "libmpim_treematch.a"
+  "libmpim_treematch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpim_treematch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mpim_treematch.
+# This may be replaced when dependencies are built.

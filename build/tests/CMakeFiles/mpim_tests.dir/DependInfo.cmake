@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/mpim_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/mpim_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/coll_test.cpp" "tests/CMakeFiles/mpim_tests.dir/coll_test.cpp.o" "gcc" "tests/CMakeFiles/mpim_tests.dir/coll_test.cpp.o.d"
+  "/root/repo/tests/comm_test.cpp" "tests/CMakeFiles/mpim_tests.dir/comm_test.cpp.o" "gcc" "tests/CMakeFiles/mpim_tests.dir/comm_test.cpp.o.d"
+  "/root/repo/tests/engine_test.cpp" "tests/CMakeFiles/mpim_tests.dir/engine_test.cpp.o" "gcc" "tests/CMakeFiles/mpim_tests.dir/engine_test.cpp.o.d"
+  "/root/repo/tests/fortran_test.cpp" "tests/CMakeFiles/mpim_tests.dir/fortran_test.cpp.o" "gcc" "tests/CMakeFiles/mpim_tests.dir/fortran_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/mpim_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/mpim_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/mpimon_test.cpp" "tests/CMakeFiles/mpim_tests.dir/mpimon_test.cpp.o" "gcc" "tests/CMakeFiles/mpim_tests.dir/mpimon_test.cpp.o.d"
+  "/root/repo/tests/mpit_test.cpp" "tests/CMakeFiles/mpim_tests.dir/mpit_test.cpp.o" "gcc" "tests/CMakeFiles/mpim_tests.dir/mpit_test.cpp.o.d"
+  "/root/repo/tests/netmodel_test.cpp" "tests/CMakeFiles/mpim_tests.dir/netmodel_test.cpp.o" "gcc" "tests/CMakeFiles/mpim_tests.dir/netmodel_test.cpp.o.d"
+  "/root/repo/tests/osc_test.cpp" "tests/CMakeFiles/mpim_tests.dir/osc_test.cpp.o" "gcc" "tests/CMakeFiles/mpim_tests.dir/osc_test.cpp.o.d"
+  "/root/repo/tests/predict_test.cpp" "tests/CMakeFiles/mpim_tests.dir/predict_test.cpp.o" "gcc" "tests/CMakeFiles/mpim_tests.dir/predict_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/mpim_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/mpim_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/reorder_test.cpp" "tests/CMakeFiles/mpim_tests.dir/reorder_test.cpp.o" "gcc" "tests/CMakeFiles/mpim_tests.dir/reorder_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/mpim_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/mpim_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/tools_test.cpp" "tests/CMakeFiles/mpim_tests.dir/tools_test.cpp.o" "gcc" "tests/CMakeFiles/mpim_tests.dir/tools_test.cpp.o.d"
+  "/root/repo/tests/topo_test.cpp" "tests/CMakeFiles/mpim_tests.dir/topo_test.cpp.o" "gcc" "tests/CMakeFiles/mpim_tests.dir/topo_test.cpp.o.d"
+  "/root/repo/tests/treematch_test.cpp" "tests/CMakeFiles/mpim_tests.dir/treematch_test.cpp.o" "gcc" "tests/CMakeFiles/mpim_tests.dir/treematch_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/mpim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/mpim_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorder/CMakeFiles/mpim_reorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/treematch/CMakeFiles/mpim_treematch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpimon/CMakeFiles/mpim_mpimon.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpit/CMakeFiles/mpim_mpit.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/mpim_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/mpim_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/mpim_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mpim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
