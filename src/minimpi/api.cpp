@@ -83,6 +83,14 @@ Comm comm_split(const Comm& comm, int color, int key) {
   return ctx.engine().intern_comm(reg_key, std::move(world_group));
 }
 
+void comm_set_errhandler(const Comm& comm, ErrMode mode) {
+  Ctx::current().engine().set_errmode(comm, mode);
+}
+
+ErrMode comm_get_errhandler(const Comm& comm) {
+  return Ctx::current().engine().errmode(comm);
+}
+
 Comm comm_dup(const Comm& comm) {
   Ctx& ctx = Ctx::current();
   coll::barrier(ctx, comm, CommKind::tool);
@@ -115,6 +123,37 @@ Status sendrecv(const void* sendbuf, std::size_t sendcount, Type type,
                 int src, int recvtag, const Comm& comm) {
   send(sendbuf, sendcount, type, dst, sendtag, comm);
   return recv(recvbuf, recvcount, type, src, recvtag, comm);
+}
+
+Status recv_timeout(void* buf, std::size_t count, Type type, int src, int tag,
+                    const Comm& comm, double timeout_s) {
+  check_recv_tag(tag);
+  Ctx& ctx = Ctx::current();
+  const int src_world = to_world(comm, src);
+  Status st;
+  const Ctx::RecvWait outcome =
+      ctx.recv_bytes_wait(src_world, comm, tag, CommKind::p2p, buf,
+                          count * type_size(type), &st, timeout_s);
+  if (outcome == Ctx::RecvWait::ok) return to_comm_status(comm, st);
+
+  std::exception_ptr err;
+  if (outcome == Ctx::RecvWait::peer_dead) {
+    const double when = ctx.engine().dead_time(src_world);
+    err = std::make_exception_ptr(RankFailedError(
+        src_world, when,
+        "recv(src=" + std::to_string(src) + ", tag=" + std::to_string(tag) +
+            ", comm=" + std::to_string(comm.context_id()) +
+            ") failed: source rank crashed at t=" + std::to_string(when) +
+            "s"));
+  } else {
+    err = std::make_exception_ptr(TimeoutError(
+        timeout_s, "recv(src=" + std::to_string(src) +
+                       ", tag=" + std::to_string(tag) + ", comm=" +
+                       std::to_string(comm.context_id()) + ") timed out after " +
+                       std::to_string(timeout_s) + "s"));
+  }
+  if (ctx.engine().errmode(comm) == ErrMode::fatal) ctx.engine().fail_run(err);
+  std::rethrow_exception(err);
 }
 
 Request isend(const void* buf, std::size_t count, Type type, int dst, int tag,

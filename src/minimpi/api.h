@@ -34,6 +34,13 @@ void compute_flops(double flops);
 Comm comm_split(const Comm& comm, int color, int key);
 Comm comm_dup(const Comm& comm);
 
+/// Per-communicator error handling, the MPI_Comm_set_errhandler analog:
+/// ErrMode::fatal (default) makes a failed operation tear the run down,
+/// ErrMode::ret makes it throw a typed RankFailedError / TimeoutError the
+/// caller may catch and recover from. Set the same mode on every member.
+void comm_set_errhandler(const Comm& comm, ErrMode mode);
+ErrMode comm_get_errhandler(const Comm& comm);
+
 // --- point-to-point ----------------------------------------------------------
 
 void send(const void* buf, std::size_t count, Type type, int dst, int tag,
@@ -43,6 +50,14 @@ Status recv(void* buf, std::size_t count, Type type, int src, int tag,
 Status sendrecv(const void* sendbuf, std::size_t sendcount, Type type,
                 int dst, int sendtag, void* recvbuf, std::size_t recvcount,
                 int src, int recvtag, const Comm& comm);
+
+/// Receive with a wall-clock timeout. On a matching message behaves like
+/// recv(). When the source rank is dead it raises RankFailedError, and
+/// after `timeout_s` of host time with no match it raises TimeoutError --
+/// under ErrMode::fatal by failing the whole run, under ErrMode::ret by
+/// throwing the typed error to the caller.
+Status recv_timeout(void* buf, std::size_t count, Type type, int src, int tag,
+                    const Comm& comm, double timeout_s);
 
 Request isend(const void* buf, std::size_t count, Type type, int dst, int tag,
               const Comm& comm);

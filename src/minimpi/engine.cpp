@@ -1,8 +1,13 @@
 #include "minimpi/engine.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <thread>
+
+#include "fault/fault_plan.h"
 
 namespace mpim::mpi {
 
@@ -41,6 +46,8 @@ Engine::Engine(EngineConfig cfg)
   world_comm_ = Comm(
       std::make_shared<const detail::CommImpl>(0, std::move(world_group), n));
   final_clocks_.assign(static_cast<std::size_t>(n), 0.0);
+  dead_at_.assign(static_cast<std::size_t>(n), -1.0);
+  pending_.assign(static_cast<std::size_t>(n), PendingOp{});
 }
 
 Engine::~Engine() = default;
@@ -106,6 +113,125 @@ void Engine::abort_all() {
     if (cv) cv->notify_all();
 }
 
+void Engine::fail_run(std::exception_ptr err) {
+  record_error(err);
+  abort_all();
+  throw AbortError();
+}
+
+void Engine::set_errmode(const Comm& comm, ErrMode mode) {
+  check(!comm.is_null(), "errmode on null communicator");
+  std::lock_guard lock(errmode_mutex_);
+  errmodes_[comm.context_id()] = mode;
+}
+
+ErrMode Engine::errmode(const Comm& comm) const {
+  check(!comm.is_null(), "errmode on null communicator");
+  std::lock_guard lock(errmode_mutex_);
+  auto it = errmodes_.find(comm.context_id());
+  return it == errmodes_.end() ? ErrMode::fatal : it->second;
+}
+
+void Engine::mark_dead(int world_rank, double when_s) {
+  {
+    std::lock_guard lock(fail_mutex_);
+    auto& slot = dead_at_[static_cast<std::size_t>(world_rank)];
+    if (slot >= 0.0) return;
+    slot = when_s;
+  }
+  dead_count_.fetch_add(1, std::memory_order_release);
+  PendingOp op;
+  op.what = PendingOp::What::crashed;
+  op.clock_s = when_s;
+  set_pending(world_rank, op);
+  // Failure notification broadcast: count as progress (peers of the dead
+  // rank will fail over instead of deadlocking) and wake every waiter so
+  // it notices promptly.
+  deliveries_.fetch_add(1, std::memory_order_relaxed);
+  for (auto& st : ranks_) st->cv.notify_all();
+}
+
+bool Engine::rank_dead(int world_rank) const {
+  if (dead_count_.load(std::memory_order_acquire) == 0) return false;
+  std::lock_guard lock(fail_mutex_);
+  return dead_at_[static_cast<std::size_t>(world_rank)] >= 0.0;
+}
+
+double Engine::dead_time(int world_rank) const {
+  std::lock_guard lock(fail_mutex_);
+  return dead_at_[static_cast<std::size_t>(world_rank)];
+}
+
+std::vector<int> Engine::dead_ranks() const {
+  std::vector<int> out;
+  std::lock_guard lock(fail_mutex_);
+  for (int r = 0; r < world_size(); ++r)
+    if (dead_at_[static_cast<std::size_t>(r)] >= 0.0) out.push_back(r);
+  return out;
+}
+
+double Engine::effective_watchdog_s() const {
+  if (const char* env = std::getenv("MPIM_WATCHDOG_S")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && v > 0.0) return v;
+  }
+  // Bigger worlds make slower wall-clock progress on an oversubscribed
+  // host, so scale the configured timeout with the world size.
+  return cfg_.watchdog_wall_timeout_s *
+         std::max(1.0, static_cast<double>(world_size()) / 32.0);
+}
+
+void Engine::set_pending(int rank, const PendingOp& op) {
+  std::lock_guard lock(pending_mutex_);
+  auto& cur = pending_[static_cast<std::size_t>(rank)];
+  // A crash entry is terminal: the epilogue's "exited" note must not hide
+  // the crash in the report.
+  if (cur.what == PendingOp::What::crashed &&
+      op.what != PendingOp::What::crashed)
+    return;
+  cur = op;
+}
+
+void Engine::clear_pending(int rank, PendingOp::What terminal) {
+  PendingOp op;
+  op.what = terminal;
+  set_pending(rank, op);
+}
+
+std::string Engine::deadlock_report(int reporter) const {
+  std::ostringstream os;
+  os << "deadlock: every live rank blocked with no message progress for "
+     << watchdog_s_ << "s (detected by rank " << reporter << ")\n";
+  std::lock_guard lock(pending_mutex_);
+  for (int r = 0; r < world_size(); ++r) {
+    const PendingOp& p = pending_[static_cast<std::size_t>(r)];
+    os << "  rank " << r << ": ";
+    switch (p.what) {
+      case PendingOp::What::none:
+        os << "running (not blocked in the engine)";
+        break;
+      case PendingOp::What::recv:
+        os << "blocked in recv(src="
+           << (p.src_world == kAnySource ? std::string("any")
+                                         : std::to_string(p.src_world))
+           << ", tag="
+           << (p.tag == kAnyTag ? std::string("any") : std::to_string(p.tag))
+           << ", kind=" << comm_kind_name(p.kind) << ", comm=" << p.context_id
+           << ") at t=" << p.clock_s << "s";
+        break;
+      case PendingOp::What::exited:
+        os << "exited normally";
+        break;
+      case PendingOp::What::crashed:
+        os << "crashed (fault plan) at t=" << p.clock_s << "s";
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
 void Engine::sched_update_locked(int rank, Sched::St st, double clock) {
   auto& entry = sched_.entries[static_cast<std::size_t>(rank)];
   entry.st = st;
@@ -130,6 +256,17 @@ void Engine::run(const std::function<void(Ctx&)>& rank_main) {
   blocked_.store(0);
   deliveries_.store(0);
   first_error_ = nullptr;
+  watchdog_s_ = effective_watchdog_s();
+  {
+    std::lock_guard lock(fail_mutex_);
+    dead_at_.assign(static_cast<std::size_t>(n), -1.0);
+  }
+  dead_count_.store(0);
+  {
+    std::lock_guard lock(pending_mutex_);
+    pending_.assign(static_cast<std::size_t>(n), PendingOp{});
+  }
+  if (cfg_.fault_plan) cfg_.fault_plan->begin_run(n);
   for (auto& st : ranks_) {
     std::lock_guard lock(st->mutex);
     st->inbox.clear();
@@ -165,6 +302,12 @@ void Engine::run(const std::function<void(Ctx&)>& rank_main) {
       g_current_ctx = &ctx;
       try {
         rank_main(ctx);
+        clear_pending(r, PendingOp::What::exited);
+      } catch (const RankCrashExit& crash) {
+        // A fault-plan crash kills this rank, not the run: peers observe a
+        // dead rank and either degrade (ErrMode::ret, failure-aware tool
+        // gathers) or fail with a typed RankFailedError.
+        mark_dead(r, crash.crash_time_s);
       } catch (const AbortError&) {
         // Another rank failed first; its error is already recorded.
       } catch (...) {
@@ -202,12 +345,47 @@ Ctx& Ctx::current() {
 
 void Ctx::advance(double seconds) {
   check(seconds >= 0.0, "cannot advance the clock backwards");
+  fault::FaultPlan* plan = engine_->cfg_.fault_plan.get();
+  if (plan != nullptr) seconds *= plan->slowdown(world_rank_);
   clock_ += seconds;
+  fault_check();
 }
 
 void Ctx::compute_flops(double flops) {
   check(flops >= 0.0, "negative flop count");
-  clock_ += flops * engine_->cfg_.flop_time_s;
+  advance(flops * engine_->cfg_.flop_time_s);
+}
+
+void Ctx::fault_check() {
+  fault::FaultPlan* plan = engine_->cfg_.fault_plan.get();
+  if (plan == nullptr) return;
+  double stall_virtual = 0.0;
+  double stall_wall = 0.0;
+  if (plan->take_stall(world_rank_, clock_, &stall_virtual, &stall_wall)) {
+    clock_ += stall_virtual;
+    if (stall_wall > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(stall_wall));
+  }
+  const double crash = plan->crash_at(world_rank_);
+  if (clock_ >= crash) {
+    clock_ = crash;
+    throw RankCrashExit{crash};
+  }
+}
+
+void Ctx::raise_peer_dead(int src_world, const Comm& comm, int tag) {
+  const double when = engine_->dead_time(src_world);
+  clock_ = std::max(clock_, when);
+  RankFailedError err(
+      src_world, when,
+      "rank " + std::to_string(src_world) + " crashed at t=" +
+          std::to_string(when) + "s while rank " +
+          std::to_string(world_rank_) + " waited in recv(src=" +
+          std::to_string(src_world) + ", tag=" + std::to_string(tag) +
+          ", comm=" + std::to_string(comm.context_id()) + ")");
+  if (engine_->errmode(comm) == ErrMode::fatal)
+    engine_->fail_run(std::make_exception_ptr(err));
+  throw err;
 }
 
 std::uint32_t Ctx::next_coll_seq(const Comm& comm) {
@@ -224,6 +402,7 @@ void Ctx::send_bytes(int dst_world, const Comm& comm, int tag, CommKind kind,
   check(!comm.is_null(), "send on null communicator");
   check(comm.contains_world(world_rank_), "sender not in communicator");
   check(comm.contains_world(dst_world), "destination not in communicator");
+  fault_check();
 
   PktInfo info{world_rank_, dst_world, bytes, kind, tag, comm.context_id(),
                clock_};
@@ -243,9 +422,31 @@ void Ctx::send_bytes(int dst_world, const Comm& comm, int tag, CommKind kind,
   // Hockney with a busy sender: the sender pays the serialization time
   // bytes/beta (it cannot inject two messages at once), the wire adds the
   // latency alpha on top.
-  const double tx = cost.serialization_time(leaf_src, leaf_dst, bytes);
-  const double alpha = cost.latency(leaf_src, leaf_dst);
+  double tx = cost.serialization_time(leaf_src, leaf_dst, bytes);
+  double alpha = cost.latency(leaf_src, leaf_dst);
   const bool crosses = cost.crosses_network(leaf_src, leaf_dst);
+
+  bool lost = false;
+  if (fault::FaultPlan* plan = engine_->cfg_.fault_plan.get()) {
+    const fault::SendFaults f =
+        plan->on_send(world_rank_, dst_world, bytes, clock_);
+    // The sender pays each failed attempt's serialization plus the
+    // retransmit backoffs; the delivered copy carries the jitter and the
+    // degraded bandwidth of the window it was sent in.
+    tx *= f.tx_scale;
+    clock_ += f.sender_extra_s + static_cast<double>(f.attempts - 1) * tx;
+    alpha += f.latency_extra_s;
+    lost = f.lost;
+  }
+  if (lost) {
+    // Every retransmission was dropped: the final attempt leaves the NIC
+    // but never arrives anywhere.
+    if (engine_->cfg_.enable_nic_counters && crosses)
+      engine_->nic_.record_tx(engine_->topology().node_of(leaf_src), clock_,
+                              bytes);
+    clock_ += tx + cost.send_overhead();
+    return;
+  }
 
   double tx_start = clock_;
   double arrival;
@@ -277,6 +478,7 @@ void Ctx::rma_transfer(int from_world, int to_world, const Comm& comm,
   if (engine_->abort_.load(std::memory_order_relaxed)) throw AbortError();
   check(comm.contains_world(from_world) && comm.contains_world(to_world),
         "RMA endpoint not in the window communicator");
+  fault_check();
 
   PktInfo info{from_world, to_world, bytes, CommKind::osc, 0,
                comm.context_id(), clock_};
@@ -380,11 +582,25 @@ bool Ctx::match_and_complete(int src_world, const Comm& comm, int tag,
   return false;
 }
 
+namespace {
+
+/// Keeps Engine::blocked_ balanced on every exit path, including typed
+/// failures thrown out of the wait predicate.
+struct BlockedGuard {
+  std::atomic<int>& counter;
+  explicit BlockedGuard(std::atomic<int>& c) : counter(c) {
+    counter.fetch_add(1);
+  }
+  ~BlockedGuard() { counter.fetch_sub(1); }
+};
+
+}  // namespace
+
 template <typename Pred>
 void Ctx::wait_on_inbox(std::unique_lock<std::mutex>& lock, Pred&& ready) {
   using namespace std::chrono_literals;
   auto& st = engine_->rank_state(world_rank_);
-  engine_->blocked_.fetch_add(1);
+  BlockedGuard blocked_guard(engine_->blocked_);
   // Blocked ranks cannot issue sends; exclude us from the min-clock gate
   // so earlier senders are not stalled (we will resume with a clock at
   // least as large as the send that wakes us). The guard re-registers us
@@ -419,47 +635,110 @@ void Ctx::wait_on_inbox(std::unique_lock<std::mutex>& lock, Pred&& ready) {
         engine_->sched_update_locked(world_rank_, Engine::Sched::St::blocked,
                                      clock_);
     }
-    if (engine_->abort_.load()) {
-      engine_->blocked_.fetch_sub(1);
-      throw AbortError();
-    }
+    if (engine_->abort_.load()) throw AbortError();
     if (st.cv.wait_for(lock, 200ms) == std::cv_status::timeout) {
       waited_s += 0.2;
       const std::uint64_t progress = engine_->deliveries_.load();
       if (progress != last_progress) {
         last_progress = progress;
         waited_s = 0.0;
-      } else if (waited_s >= engine_->cfg_.watchdog_wall_timeout_s &&
+      } else if (waited_s >= engine_->watchdog_s_ &&
                  engine_->blocked_.load() >= engine_->alive_.load()) {
-        engine_->blocked_.fetch_sub(1);
-        engine_->record_error(std::make_exception_ptr(DeadlockError(
-            "all live ranks blocked with no message progress (rank " +
-            std::to_string(world_rank_) + " gave up)")));
+        engine_->record_error(std::make_exception_ptr(
+            DeadlockError(engine_->deadlock_report(world_rank_))));
         engine_->abort_all();
         throw AbortError();
       }
     }
   }
-  engine_->blocked_.fetch_sub(1);
 }
+
+namespace {
+
+/// Registers the blocked operation for the structured deadlock report and
+/// clears it on every exit path.
+struct PendingGuard {
+  Engine* engine;
+  int rank;
+  PendingGuard(Engine* e, int r, const Engine::PendingOp& op)
+      : engine(e), rank(r) {
+    engine->set_pending(rank, op);
+  }
+  ~PendingGuard() { engine->clear_pending(rank); }
+};
+
+}  // namespace
 
 Status Ctx::recv_bytes(int src_world, const Comm& comm, int tag, CommKind kind,
                        void* buf, std::size_t capacity) {
   check(!comm.is_null(), "recv on null communicator");
   check(comm.contains_world(world_rank_), "receiver not in communicator");
+  fault_check();
   auto& st = engine_->rank_state(world_rank_);
   Status status;
   std::unique_lock lock(st.mutex);
   if (match_and_complete(src_world, comm, tag, kind, buf, capacity, &status,
-                         true))
+                         true)) {
+    lock.unlock();
+    fault_check();
     return status;
+  }
+  if (src_world != kAnySource && engine_->rank_dead(src_world))
+    raise_peer_dead(src_world, comm, tag);
+  const Engine::PendingOp op{Engine::PendingOp::What::recv, src_world, tag,
+                             kind, comm.context_id(), clock_};
+  PendingGuard pending_guard(engine_, world_rank_, op);
   bool done = false;
   wait_on_inbox(lock, [&] {
     done = match_and_complete(src_world, comm, tag, kind, buf, capacity,
                               &status, true);
+    if (!done && src_world != kAnySource && engine_->rank_dead(src_world))
+      raise_peer_dead(src_world, comm, tag);
     return done;
   });
+  lock.unlock();
+  fault_check();
   return status;
+}
+
+Ctx::RecvWait Ctx::recv_bytes_wait(int src_world, const Comm& comm, int tag,
+                                   CommKind kind, void* buf,
+                                   std::size_t capacity, Status* status,
+                                   double wall_timeout_s) {
+  using namespace std::chrono_literals;
+  check(!comm.is_null(), "recv on null communicator");
+  check(comm.contains_world(world_rank_), "receiver not in communicator");
+  check(wall_timeout_s >= 0.0, "negative receive timeout");
+  fault_check();
+  auto& st = engine_->rank_state(world_rank_);
+  std::unique_lock lock(st.mutex);
+  if (match_and_complete(src_world, comm, tag, kind, buf, capacity, status,
+                         true))
+    return RecvWait::ok;
+  const Engine::PendingOp op{Engine::PendingOp::What::recv, src_world, tag,
+                             kind, comm.context_id(), clock_};
+  PendingGuard pending_guard(engine_, world_rank_, op);
+  // Deliberately NOT counted in Engine::blocked_: a timed wait always makes
+  // progress eventually, so it must not let a peer's watchdog declare a
+  // deadlock while we are merely waiting out the timeout.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(wall_timeout_s));
+  while (true) {
+    if (match_and_complete(src_world, comm, tag, kind, buf, capacity, status,
+                           true))
+      return RecvWait::ok;
+    if (src_world != kAnySource && engine_->rank_dead(src_world)) {
+      // The peer can never contribute: complete at its crash time so the
+      // degraded result still has a deterministic virtual clock.
+      clock_ = std::max(clock_, engine_->dead_time(src_world));
+      return RecvWait::peer_dead;
+    }
+    if (engine_->abort_.load()) throw AbortError();
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return RecvWait::timeout;
+    st.cv.wait_until(lock, std::min(deadline, now + 200ms));
+  }
 }
 
 bool Ctx::try_recv_bytes(int src_world, const Comm& comm, int tag,
@@ -467,6 +746,7 @@ bool Ctx::try_recv_bytes(int src_world, const Comm& comm, int tag,
                          Status* status) {
   check(!comm.is_null(), "recv on null communicator");
   if (engine_->abort_.load(std::memory_order_relaxed)) throw AbortError();
+  fault_check();
   auto& st = engine_->rank_state(world_rank_);
   std::unique_lock lock(st.mutex);
   return match_and_complete(src_world, comm, tag, kind, buf, capacity, status,

@@ -36,6 +36,10 @@
 #include "support/rng.h"
 #include "topo/topology.h"
 
+namespace mpim::fault {
+class FaultPlan;
+}
+
 namespace mpim::mpi {
 
 /// Everything the monitoring layer learns about one packet.
@@ -52,6 +56,13 @@ struct PktInfo {
 /// Installed by the tool layer (mpit). Returns the number of monitoring
 /// records made so the engine can charge instrumentation overhead.
 using SendHook = std::function<int(const PktInfo&)>;
+
+/// Per-communicator error-handling mode, the MPI_ERRORS_ARE_FATAL /
+/// MPI_ERRORS_RETURN analog. Under `fatal` (the default) an operation that
+/// depends on a crashed rank records the error and tears the whole run
+/// down; under `ret` it throws a typed RankFailedError/TimeoutError that
+/// the calling layer may catch and turn into a degraded result.
+enum class ErrMode { fatal, ret };
 
 enum class BcastAlgo { binomial, linear };
 enum class ReduceAlgo { binary_tree, binomial, linear };
@@ -112,7 +123,16 @@ struct EngineConfig {
   bool enable_nic_counters = true;
   /// Wall-clock watchdog: if every live rank stays blocked this long with
   /// no delivery progress, declare a deadlock in the simulated program.
+  /// The effective timeout is scaled with the world size (big worlds make
+  /// slower wall-clock progress on an oversubscribed host) and can be
+  /// overridden with the MPIM_WATCHDOG_S environment variable.
   double watchdog_wall_timeout_s = 20.0;
+  /// Optional deterministic fault plan (src/fault/fault_plan.h). When set,
+  /// the engine consults it on every send and at every operation boundary:
+  /// link jitter/drops/degradation shape message timing, rank crashes
+  /// terminate rank threads at their virtual crash time, and peers blocked
+  /// on a dead rank fail with RankFailedError instead of deadlocking.
+  std::shared_ptr<fault::FaultPlan> fault_plan = nullptr;
 };
 
 class Ctx;
@@ -151,6 +171,28 @@ class Engine {
   /// Per-rank final clocks of the last run().
   const std::vector<double>& final_clocks() const { return final_clocks_; }
 
+  /// Error-handling mode of a communicator (default ErrMode::fatal).
+  /// Collective by convention: every member should set the same mode.
+  void set_errmode(const Comm& comm, ErrMode mode);
+  ErrMode errmode(const Comm& comm) const;
+
+  /// Rank-failure observation (FaultPlan crashes). Valid during and after
+  /// run(); cleared when the next run starts.
+  bool rank_dead(int world_rank) const;
+  /// Virtual clock at which the rank crashed (meaningless unless dead).
+  double dead_time(int world_rank) const;
+  /// World ranks that crashed during the last/current run, ascending.
+  std::vector<int> dead_ranks() const;
+
+  /// The watchdog timeout actually used: MPIM_WATCHDOG_S when set in the
+  /// environment, else watchdog_wall_timeout_s scaled by world size.
+  double effective_watchdog_s() const;
+
+  /// Records `err` as the run's failure, tears every rank down and throws
+  /// AbortError on the calling thread (run() rethrows `err`). The
+  /// fatal-errmode failure path.
+  [[noreturn]] void fail_run(std::exception_ptr err);
+
   /// Deterministic communicator interning: all ranks deriving a child
   /// communicator compute the same key and receive the same impl.
   Comm intern_comm(const std::string& key, std::vector<int> world_group);
@@ -182,9 +224,34 @@ class Engine {
     return *ranks_[static_cast<std::size_t>(world_rank)];
   }
 
+ public:
+  /// What a rank is blocked in, for the structured deadlock report. Kept in
+  /// a table guarded by its own mutex (never held while sleeping) so any
+  /// rank can snapshot all peers without lock-ordering hazards.
+  struct PendingOp {
+    enum class What : std::uint8_t { none, recv, exited, crashed };
+    What what = What::none;
+    int src_world = kAnySource;
+    int tag = 0;
+    CommKind kind = CommKind::p2p;
+    int context_id = -1;
+    double clock_s = 0.0;
+  };
+  void set_pending(int rank, const PendingOp& op);
+  void clear_pending(int rank, PendingOp::What terminal = PendingOp::What::none);
+  /// Multi-line report naming every rank, its pending operation and its
+  /// virtual clock; `reporter` is the rank whose watchdog fired.
+  std::string deadlock_report(int reporter) const;
+
+ private:
+  friend class Ctx;
+
   void deliver(InFlight msg);
   void record_error(std::exception_ptr err);
   void abort_all();
+  /// Marks a rank dead at virtual time `when` and wakes every blocked rank
+  /// (the failure notification broadcast).
+  void mark_dead(int world_rank, double when_s);
 
   // --- deterministic NIC-contention scheduler (cfg_.nic_contention) ------
   struct Sched {
@@ -226,6 +293,18 @@ class Engine {
   std::mutex tool_objects_mutex_;
   std::unordered_map<std::string, std::shared_ptr<void>> tool_objects_;
 
+  mutable std::mutex errmode_mutex_;
+  std::unordered_map<int, ErrMode> errmodes_;  ///< context id -> mode
+
+  mutable std::mutex fail_mutex_;
+  std::vector<double> dead_at_;  ///< crash clock per rank; < 0 when alive
+  std::atomic<int> dead_count_{0};
+
+  mutable std::mutex pending_mutex_;
+  std::vector<PendingOp> pending_;
+
+  double watchdog_s_ = 20.0;  ///< resolved once per run()
+
   std::atomic<bool> abort_{false};
   std::atomic<int> blocked_{0};
   std::atomic<int> alive_{0};
@@ -244,6 +323,13 @@ class Engine {
 class AbortError : public Error {
  public:
   AbortError() : Error("engine run aborted") {}
+};
+
+/// Internal control-flow exception: a FaultPlan crash terminates the rank
+/// thread without aborting the run. Deliberately not derived from Error so
+/// application catch(Error&) handlers cannot keep a dead rank alive.
+struct RankCrashExit {
+  double crash_time_s = 0.0;
 };
 
 /// Per-rank execution context. Created by Engine::run for each rank thread;
@@ -271,6 +357,15 @@ class Ctx {
   /// recv_bytes. No clock charge on failure.
   bool try_recv_bytes(int src_world, const Comm& comm, int tag, CommKind kind,
                       void* buf, std::size_t capacity, Status* status);
+  /// Failure-aware bounded receive: like recv_bytes but gives up after
+  /// `wall_timeout_s` of host time with no match (RecvWait::timeout) and
+  /// returns promptly when a specific source rank is dead
+  /// (RecvWait::peer_dead, clock advanced to the crash time). Never throws
+  /// typed failures itself -- callers choose between degrading and raising.
+  enum class RecvWait { ok, timeout, peer_dead };
+  RecvWait recv_bytes_wait(int src_world, const Comm& comm, int tag,
+                           CommKind kind, void* buf, std::size_t capacity,
+                           Status* status, double wall_timeout_s);
   /// Non-consuming, non-blocking probe.
   bool iprobe_bytes(int src_world, const Comm& comm, int tag, CommKind kind,
                     Status* status);
@@ -299,6 +394,13 @@ class Ctx {
   /// Predicate-checked blocking wait on this rank's inbox with watchdog.
   template <typename Pred>
   void wait_on_inbox(std::unique_lock<std::mutex>& lock, Pred&& ready);
+
+  /// Consults the fault plan at an operation boundary: applies one-shot
+  /// stalls and terminates the rank (RankCrashExit) past its crash time.
+  void fault_check();
+  /// Raises the failure for a receive whose source rank is dead: fatal
+  /// errmode tears the run down, ret mode throws RankFailedError.
+  [[noreturn]] void raise_peer_dead(int src_world, const Comm& comm, int tag);
 
   /// NIC-contention path of an inter-node transfer: waits at the min-clock
   /// gate, reserves the tx/rx ports and returns the arrival time (out

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -28,9 +29,19 @@ struct MonSession {
   std::array<int, 6> handles{};
 };
 
+double default_gather_timeout() {
+  if (const char* env = std::getenv("MPIM_GATHER_TIMEOUT_S")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && v > 0.0) return v;
+  }
+  return 5.0;
+}
+
 struct MonState {
   bool initialized = false;
   std::vector<MonSession> sessions;
+  double gather_timeout_s = default_gather_timeout();
 };
 
 MonState& mon_state() {
@@ -51,6 +62,10 @@ int guarded(Fn&& fn) {
     throw;
   } catch (const mpim::mpit::MpitError&) {
     return MPI_M_MPIT_FAIL;
+  } catch (const mpim::RankFailedError&) {
+    return MPI_M_PARTIAL_DATA;
+  } catch (const mpim::TimeoutError&) {
+    return MPI_M_PARTIAL_DATA;
   } catch (const std::bad_alloc&) {
     return MPI_M_INTERNAL_FAIL;
   } catch (...) {
@@ -132,6 +147,7 @@ const char* MPI_M_error_string(int code) {
     case MPI_M_MULTIPLE_CALL: return "MPI_M_MULTIPLE_CALL";
     case MPI_M_INVALID_ROOT: return "MPI_M_INVALID_ROOT";
     case MPI_M_INVALID_FLAGS: return "MPI_M_INVALID_FLAGS";
+    case MPI_M_PARTIAL_DATA: return "MPI_M_PARTIAL_DATA";
     default: return "(unknown MPI_M error code)";
   }
 }
@@ -313,15 +329,92 @@ int MPI_M_get_data(MPI_M_msid msid, unsigned long* msg_counts,
 
 namespace {
 
+/// Failure-aware variant of gather_metric: a linear gather with a
+/// per-contributor receive timeout instead of the tree collectives, so a
+/// crashed or stalled rank costs one timeout and a sentinel row instead of
+/// a hang. Returns the number of missing rows on receiving ranks.
+int gather_row_matrix_faulty(MonSession& s,
+                             const std::vector<unsigned long>& row, int root,
+                             unsigned long* recv) {
+  Ctx& ctx = Ctx::current();
+  const std::size_t n = row.size();
+  const std::size_t row_bytes = n * sizeof(unsigned long);
+  const int myrank = s.comm.group_rank_of_world(ctx.world_rank());
+  const int groot = root < 0 ? 0 : root;
+  const double timeout_s = mon_state().gather_timeout_s;
+  // Two tag draws (gather + redistribution) on every rank keep the alive
+  // ranks' collective sequence numbers aligned regardless of role.
+  const int gather_tag = mpim::mpi::coll::coll_tag(ctx.next_coll_seq(s.comm));
+  const int redist_tag = mpim::mpi::coll::coll_tag(ctx.next_coll_seq(s.comm));
+
+  if (myrank == groot) {
+    std::vector<unsigned long> matrix(n * n, 0ul);
+    int missing = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      unsigned long* dst = matrix.data() + r * n;
+      if (static_cast<int>(r) == groot) {
+        std::copy(row.begin(), row.end(), dst);
+        continue;
+      }
+      mpim::mpi::Status st;
+      const Ctx::RecvWait rc = ctx.recv_bytes_wait(
+          s.comm.world_rank_of(static_cast<int>(r)), s.comm, gather_tag,
+          CommKind::tool, dst, row_bytes, &st, timeout_s);
+      if (rc != Ctx::RecvWait::ok) {
+        std::fill(dst, dst + n, MPI_M_DATA_MISSING);
+        ++missing;
+      }
+    }
+    if (root < 0) {
+      // Redistribute matrix + missing count. Sending to a dead rank is
+      // harmless: the message is simply never consumed.
+      std::vector<unsigned long> msg(n * n + 1);
+      std::copy(matrix.begin(), matrix.end(), msg.begin());
+      msg[n * n] = static_cast<unsigned long>(missing);
+      for (std::size_t r = 0; r < n; ++r) {
+        if (static_cast<int>(r) == groot) continue;
+        ctx.send_bytes(s.comm.world_rank_of(static_cast<int>(r)), s.comm,
+                       redist_tag, CommKind::tool, msg.data(),
+                       msg.size() * sizeof(unsigned long));
+      }
+    }
+    if (recv != nullptr) std::copy(matrix.begin(), matrix.end(), recv);
+    return missing;
+  }
+
+  ctx.send_bytes(s.comm.world_rank_of(groot), s.comm, gather_tag,
+                 CommKind::tool, row.data(), row_bytes);
+  if (root >= 0) return 0;
+  // The gathering rank may spend up to one timeout per missing contributor
+  // before our copy of the matrix arrives; budget for all of them.
+  std::vector<unsigned long> msg(n * n + 1);
+  mpim::mpi::Status st;
+  const Ctx::RecvWait rc = ctx.recv_bytes_wait(
+      s.comm.world_rank_of(groot), s.comm, redist_tag, CommKind::tool,
+      msg.data(), msg.size() * sizeof(unsigned long), &st,
+      timeout_s * static_cast<double>(n + 1));
+  if (rc != Ctx::RecvWait::ok) {
+    if (recv != nullptr) std::fill(recv, recv + n * n, MPI_M_DATA_MISSING);
+    return static_cast<int>(n);
+  }
+  if (recv != nullptr) std::copy(msg.begin(), msg.end() - 1, recv);
+  return static_cast<int>(msg[n * n]);
+}
+
 /// Gathers one metric matrix to everyone (root < 0) or to `root`.
 /// Traffic independent of the output pointer: a process that ignores the
-/// result still contributes its row through scratch space.
-void gather_metric(MonSession& s, int flags, int metric, int root,
-                   unsigned long* out) {
+/// result still contributes its row through scratch space. Returns the
+/// number of contributors whose row could not be gathered (always 0 when
+/// the engine runs without a fault plan).
+int gather_metric(MonSession& s, int flags, int metric, int root,
+                  unsigned long* out) {
   Ctx& ctx = Ctx::current();
   const std::size_t n = static_cast<std::size_t>(s.comm.size());
   std::vector<unsigned long> row;
   read_metric(s, flags, metric, row);
+
+  if (ctx.engine().config().fault_plan != nullptr)
+    return gather_row_matrix_faulty(s, row, root, out);
 
   std::vector<unsigned long> scratch;
   unsigned long* recv = out;
@@ -338,6 +431,7 @@ void gather_metric(MonSession& s, int flags, int metric, int root,
     mpim::mpi::coll::gather(ctx, row.data(), n, Type::UnsignedLong, recv,
                             root, s.comm, CommKind::tool);
   }
+  return 0;
 }
 
 int gather_data_common(MPI_M_msid msid, int root, unsigned long* matrix_counts,
@@ -350,13 +444,31 @@ int gather_data_common(MPI_M_msid msid, int root, unsigned long* matrix_counts,
       return MPI_M_SESSION_NOT_SUSPENDED;
     if (!flags_valid(flags)) return MPI_M_INVALID_FLAGS;
     if (root >= s->comm.size()) return MPI_M_INVALID_ROOT;
-    gather_metric(*s, flags, 0, root, matrix_counts);
-    gather_metric(*s, flags, 1, root, matrix_sizes);
-    return MPI_M_SUCCESS;
+    int missing = gather_metric(*s, flags, 0, root, matrix_counts);
+    missing += gather_metric(*s, flags, 1, root, matrix_sizes);
+    return missing > 0 ? MPI_M_PARTIAL_DATA : MPI_M_SUCCESS;
   });
 }
 
 }  // namespace
+
+int MPI_M_set_gather_timeout(double timeout_s) {
+  return guarded([&] {
+    if (!(timeout_s > 0.0)) return MPI_M_INTERNAL_FAIL;
+    mon_state().gather_timeout_s = timeout_s;
+    return MPI_M_SUCCESS;
+  });
+}
+
+double MPI_M_get_gather_timeout() {
+  try {
+    return mon_state().gather_timeout_s;
+  } catch (const mpim::mpi::AbortError&) {
+    throw;
+  } catch (...) {
+    return default_gather_timeout();  // no engine context attached
+  }
+}
 
 int MPI_M_allgather_data(MPI_M_msid msid, unsigned long* matrix_counts,
                          unsigned long* matrix_sizes, int flags) {
@@ -418,10 +530,10 @@ int MPI_M_rootflush(MPI_M_msid msid, int root, const char* filename,
     const std::size_t n = static_cast<std::size_t>(s->comm.size());
     std::vector<unsigned long> counts(myrank == root ? n * n : 0);
     std::vector<unsigned long> sizes(myrank == root ? n * n : 0);
-    gather_metric(*s, flags, 0, root,
-                  myrank == root ? counts.data() : nullptr);
-    gather_metric(*s, flags, 1, root,
-                  myrank == root ? sizes.data() : nullptr);
+    int missing = gather_metric(*s, flags, 0, root,
+                                myrank == root ? counts.data() : nullptr);
+    missing += gather_metric(*s, flags, 1, root,
+                             myrank == root ? sizes.data() : nullptr);
     if (myrank != root) return MPI_M_SUCCESS;
 
     // [rank] in the file names is the root's rank in MPI_COMM_WORLD.
@@ -447,6 +559,7 @@ int MPI_M_rootflush(MPI_M_msid msid, int root, const char* filename,
                      counts) &&
         write_matrix(std::string(filename) + "_sizes." + world_rank + ".prof",
                      sizes);
-    return ok ? MPI_M_SUCCESS : MPI_M_INTERNAL_FAIL;
+    if (!ok) return MPI_M_INTERNAL_FAIL;
+    return missing > 0 ? MPI_M_PARTIAL_DATA : MPI_M_SUCCESS;
   });
 }

@@ -76,6 +76,13 @@ inline constexpr int MPI_M_MULTIPLE_CALL = 8;
 inline constexpr int MPI_M_INVALID_ROOT = 9;
 /// The flags parameter is not a combination of the MPI_M_*_ONLY flags.
 inline constexpr int MPI_M_INVALID_FLAGS = 10;
+/// A gather completed but one or more contributors crashed or timed out;
+/// their rows hold MPI_M_DATA_MISSING. The rest of the matrix is valid.
+inline constexpr int MPI_M_PARTIAL_DATA = 11;
+
+/// Sentinel filling the rows of contributors that could not be gathered
+/// (crashed or timed-out ranks) when a gather returns MPI_M_PARTIAL_DATA.
+inline constexpr unsigned long MPI_M_DATA_MISSING = ~0ul;
 
 /// Maximum number of simultaneously live sessions per process.
 inline constexpr int MPI_M_MAX_SESSIONS = 256;
@@ -127,6 +134,15 @@ int MPI_M_allgather_data(MPI_M_msid msid, unsigned long* matrix_counts,
 int MPI_M_rootgather_data(MPI_M_msid msid, int root,
                           unsigned long* matrix_counts,
                           unsigned long* matrix_sizes, int flags);
+
+/// Wall-clock budget per missing contributor before a gather gives up on a
+/// rank and fills its row with MPI_M_DATA_MISSING (returning
+/// MPI_M_PARTIAL_DATA instead of hanging). Only consulted when the engine
+/// runs with a fault plan; the default is 5 s, overridable with the
+/// MPIM_GATHER_TIMEOUT_S environment variable. The setter rejects
+/// non-positive values with MPI_M_INTERNAL_FAIL.
+int MPI_M_set_gather_timeout(double timeout_s);
+double MPI_M_get_gather_timeout();
 
 /// Each process writes its own row to "<filename>.<rank>.prof" (rank in the
 /// session communicator).

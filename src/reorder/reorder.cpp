@@ -1,8 +1,10 @@
 #include "reorder/reorder.h"
 
 #include <chrono>
+#include <cstdio>
 #include <ctime>
 
+#include "minimpi/coll.h"
 #include "minimpi/engine.h"
 #include "mpimon/mpi_monitoring.h"
 #include "mpimon/session.hpp"
@@ -78,46 +80,145 @@ double reordered_cost(const CommMatrix& bytes, const std::vector<int>& k,
   return cost.pattern_cost(bytes, effective);
 }
 
+bool validate_gathered_matrix(const unsigned long* flat, std::size_t n,
+                              std::string* reason) {
+  auto fail = [&](const std::string& why) {
+    if (reason != nullptr) *reason = why;
+    return false;
+  };
+  if (flat == nullptr) return fail("gathered matrix is null");
+  if (n == 0) return fail("gathered matrix is empty");
+  // Anything near the sentinel cannot be a genuine byte count: a virtual
+  // run moving 2^62 bytes over one monitored window is not a measurement.
+  constexpr unsigned long kSaneMax = 1ul << 62;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const unsigned long v = flat[i * n + j];
+      if (v == MPI_M_DATA_MISSING)
+        return fail("row " + std::to_string(i) +
+                    " holds the MPI_M_DATA_MISSING sentinel (contributor "
+                    "crashed or timed out)");
+      if (v > kSaneMax)
+        return fail("entry (" + std::to_string(i) + "," + std::to_string(j) +
+                    ") = " + std::to_string(v) +
+                    " is implausibly large (corrupt data)");
+    }
+  }
+  return true;
+}
+
 ReorderResult reorder_ranks(int msid, const mpi::Comm& comm) {
   mpi::Ctx& ctx = mpi::Ctx::current();
   const int n = comm.size();
   const int myrank = mpi::comm_rank(comm);
+  const bool faulty = ctx.engine().config().fault_plan != nullptr;
 
   std::vector<unsigned long> size_mat(
       myrank == 0 ? static_cast<std::size_t>(n) * static_cast<std::size_t>(n)
                   : 0);
-  mon::check_rc(
+  const int gather_rc =
       MPI_M_rootgather_data(msid, 0, MPI_M_DATA_IGNORE,
                             myrank == 0 ? size_mat.data() : nullptr,
-                            MPI_M_ALL_COMM),
-      "MPI_M_rootgather_data");
-
-  std::vector<int> k(static_cast<std::size_t>(n));
-  if (myrank == 0) {
-    CommMatrix bytes = CommMatrix::square(static_cast<std::size_t>(n));
-    std::copy(size_mat.begin(), size_mat.end(), bytes.flat().begin());
-
-    topo::Placement placement(static_cast<std::size_t>(n));
-    const auto& world_placement = ctx.engine().config().placement;
-    for (int j = 0; j < n; ++j)
-      placement[static_cast<std::size_t>(j)] =
-          world_placement[static_cast<std::size_t>(comm.world_rank_of(j))];
-
-    // The mapping algorithm runs on the host: charge its CPU cost to
-    // rank 0's virtual clock (this is the t2 the paper's Fig. 6 and
-    // Table 1 account for). Thread CPU time, not wall time: the simulator
-    // oversubscribes one core with many rank threads.
-    const double host0 = thread_cpu_seconds();
-    k = compute_reordering(bytes, ctx.engine().topology(), placement,
-                           &ctx.engine().cost_model());
-    ctx.advance(thread_cpu_seconds() - host0);
-  }
-  mpi::bcast(k.data(), static_cast<std::size_t>(n), mpi::Type::Int, 0, comm);
+                            MPI_M_ALL_COMM);
+  if (gather_rc != MPI_M_SUCCESS && gather_rc != MPI_M_PARTIAL_DATA)
+    mon::check_rc(gather_rc, "MPI_M_rootgather_data");
 
   ReorderResult out;
+  std::vector<int> k(static_cast<std::size_t>(n));
+  if (myrank == 0) {
+    std::string reason;
+    if (gather_rc == MPI_M_PARTIAL_DATA) {
+      out.fell_back = true;
+      reason =
+          "monitoring data is partial (a contributor crashed or timed out)";
+    } else if (!validate_gathered_matrix(
+                   size_mat.data(), static_cast<std::size_t>(n), &reason)) {
+      out.fell_back = true;
+    } else {
+      for (int j = 0; j < n && !out.fell_back; ++j) {
+        if (ctx.engine().rank_dead(comm.world_rank_of(j))) {
+          out.fell_back = true;
+          reason = "rank " + std::to_string(j) +
+                   " of the communicator is dead";
+        }
+      }
+    }
+    if (out.fell_back) {
+      out.fallback_reason = reason;
+      std::fprintf(
+          stderr,
+          "[reorder] falling back to identity permutation: %s\n",
+          reason.c_str());
+      k = identity_k(static_cast<std::size_t>(n));
+    } else {
+      CommMatrix bytes = CommMatrix::square(static_cast<std::size_t>(n));
+      std::copy(size_mat.begin(), size_mat.end(), bytes.flat().begin());
+
+      topo::Placement placement(static_cast<std::size_t>(n));
+      const auto& world_placement = ctx.engine().config().placement;
+      for (int j = 0; j < n; ++j)
+        placement[static_cast<std::size_t>(j)] =
+            world_placement[static_cast<std::size_t>(comm.world_rank_of(j))];
+
+      // The mapping algorithm runs on the host: charge its CPU cost to
+      // rank 0's virtual clock (this is the t2 the paper's Fig. 6 and
+      // Table 1 account for). Thread CPU time, not wall time: the simulator
+      // oversubscribes one core with many rank threads.
+      const double host0 = thread_cpu_seconds();
+      k = compute_reordering(bytes, ctx.engine().topology(), placement,
+                             &ctx.engine().cost_model());
+      ctx.advance(thread_cpu_seconds() - host0);
+    }
+  }
+
+  if (!faulty) {
+    // Fault-free protocol, unchanged on the wire: bcast k then split.
+    mpi::bcast(k.data(), static_cast<std::size_t>(n), mpi::Type::Int, 0,
+               comm);
+    out.k = k;
+    out.opt_comm =
+        mpi::comm_split(comm, 0, k[static_cast<std::size_t>(myrank)]);
+    return out;
+  }
+
+  // Failure-aware distribution: rank 0 linearly sends {fallback flag, k}
+  // and everyone else receives with a timeout, so a dead rank 0 (or dead
+  // receivers) cannot hang the step. One tag draw on every rank keeps the
+  // alive ranks' sequence numbers aligned.
+  const int tag = mpi::coll::coll_tag(ctx.next_coll_seq(comm));
+  std::vector<int> msg(static_cast<std::size_t>(n) + 1);
+  if (myrank == 0) {
+    msg[0] = out.fell_back ? 1 : 0;
+    std::copy(k.begin(), k.end(), msg.begin() + 1);
+    for (int r = 1; r < n; ++r)
+      ctx.send_bytes(comm.world_rank_of(r), comm, tag, mpi::CommKind::tool,
+                     msg.data(), msg.size() * sizeof(int));
+  } else {
+    mpi::Status st;
+    const double timeout_s =
+        MPI_M_get_gather_timeout() * static_cast<double>(n + 1);
+    const mpi::Ctx::RecvWait rc = ctx.recv_bytes_wait(
+        comm.world_rank_of(0), comm, tag, mpi::CommKind::tool, msg.data(),
+        msg.size() * sizeof(int), &st, timeout_s);
+    if (rc != mpi::Ctx::RecvWait::ok) {
+      out.fell_back = true;
+      out.fallback_reason = "rank 0 unreachable during reordering";
+      msg[0] = 1;
+      const std::vector<int> ident = identity_k(static_cast<std::size_t>(n));
+      std::copy(ident.begin(), ident.end(), msg.begin() + 1);
+    }
+    out.fell_back = msg[0] != 0;
+    if (out.fell_back && out.fallback_reason.empty())
+      out.fallback_reason = "rank 0 fell back to the identity permutation";
+    std::copy(msg.begin() + 1, msg.end(), k.begin());
+  }
   out.k = k;
+  // On fallback the group may contain dead ranks, so a comm_split (whose
+  // allgather would block on them) is not safe: keep the communicator.
   out.opt_comm =
-      mpi::comm_split(comm, 0, k[static_cast<std::size_t>(myrank)]);
+      out.fell_back
+          ? comm
+          : mpi::comm_split(comm, 0, k[static_cast<std::size_t>(myrank)]);
   return out;
 }
 

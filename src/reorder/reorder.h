@@ -13,7 +13,9 @@
 // first iteration.
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "minimpi/api.h"
@@ -45,12 +47,31 @@ double reordered_cost(const CommMatrix& bytes, const std::vector<int>& k,
 struct ReorderResult {
   mpi::Comm opt_comm;       ///< the optimized communicator
   std::vector<int> k;       ///< old rank -> new rank (valid on all ranks)
+  /// True when the step could not trust the gathered matrix (partial data,
+  /// dead ranks, or a validation failure) and fell back to the identity
+  /// permutation with opt_comm == comm. In runs without a fault plan the
+  /// flag is only meaningful at rank 0 (the distribution stays bitwise
+  /// compatible with the fault-free protocol).
+  bool fell_back = false;
+  std::string fallback_reason;  ///< set where fell_back is true
 };
+
+/// Sanity checks a gathered size matrix (row-major, order n) before it is
+/// fed to TreeMatch: rejects null/empty matrices, rows of missing
+/// contributors (MPI_M_DATA_MISSING sentinels) and implausibly large byte
+/// counts. Returns false and fills `reason` on the first violation.
+bool validate_gathered_matrix(const unsigned long* flat, std::size_t n,
+                              std::string* reason);
 
 /// Distributed Figure-1 step on an *already monitored, suspended* session:
 /// rank 0 gathers the size matrix, computes k with TreeMatch, broadcasts it
 /// and every rank splits. Collective over `comm`. `msid` must identify a
 /// suspended session attached to `comm`.
+///
+/// Failure awareness: a gather returning MPI_M_PARTIAL_DATA, a dead member
+/// rank or an invalid matrix makes every rank fall back to the identity
+/// permutation (opt_comm = comm, no split) with the reason logged to
+/// stderr at rank 0 -- the step degrades instead of hanging or aborting.
 ReorderResult reorder_ranks(int msid, const mpi::Comm& comm);
 
 /// Convenience: runs `monitored_step` under a fresh session (the paper's

@@ -19,10 +19,40 @@ class Error : public std::runtime_error {
 };
 
 /// Thrown when the engine detects that every rank is blocked and no message
-/// can ever arrive (global deadlock in the simulated program).
+/// can ever arrive (global deadlock in the simulated program). The what()
+/// string is a structured report naming every blocked rank, the operation
+/// it is blocked in and its virtual clock.
 class DeadlockError : public Error {
  public:
   explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an operation depends on a rank that crashed (FaultPlan rank
+/// crash). Carries enough context for failure-aware callers to degrade
+/// instead of aborting.
+class RankFailedError : public Error {
+ public:
+  RankFailedError(int world_rank, double crash_time_s, const std::string& what)
+      : Error(what), world_rank_(world_rank), crash_time_s_(crash_time_s) {}
+
+  int world_rank() const { return world_rank_; }
+  double crash_time_s() const { return crash_time_s_; }
+
+ private:
+  int world_rank_ = -1;
+  double crash_time_s_ = 0.0;
+};
+
+/// Thrown when a timed receive gives up before a matching message arrives.
+class TimeoutError : public Error {
+ public:
+  TimeoutError(double timeout_s, const std::string& what)
+      : Error(what), timeout_s_(timeout_s) {}
+
+  double timeout_s() const { return timeout_s_; }
+
+ private:
+  double timeout_s_ = 0.0;
 };
 
 [[noreturn]] inline void fail(const std::string& msg,

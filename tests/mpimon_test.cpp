@@ -112,7 +112,7 @@ TEST(MpiMon, ResetAndFreeRequireSuspended) {
 
 TEST(MpiMon, InvalidMsidRejected) {
   Sim sim = make_sim(1);
-  sim.run([](Ctx& ctx) {
+  sim.run([](Ctx&) {
     ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
     EXPECT_EQ(MPI_M_suspend(42), MPI_M_INVALID_MSID);
     EXPECT_EQ(MPI_M_get_info(-7, nullptr, nullptr), MPI_M_INVALID_MSID);
@@ -725,7 +725,65 @@ TEST(MpiMon, ErrorStringsAreDistinct) {
   EXPECT_STREQ(MPI_M_error_string(MPI_M_INVALID_MSID), "MPI_M_INVALID_MSID");
   EXPECT_STREQ(MPI_M_error_string(MPI_M_SESSION_OVERFLOW),
                "MPI_M_SESSION_OVERFLOW");
+  EXPECT_STREQ(MPI_M_error_string(MPI_M_PARTIAL_DATA), "MPI_M_PARTIAL_DATA");
   EXPECT_STREQ(MPI_M_error_string(9999), "(unknown MPI_M error code)");
+}
+
+TEST(MpiMon, AllMsidRejectedByGathersAndFlush) {
+  Sim sim = make_sim(1);
+  sim.run([](Ctx& ctx) {
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    ASSERT_EQ(MPI_M_start(ctx.world(), &id), MPI_M_SUCCESS);
+    ASSERT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+    unsigned long m[1];
+    EXPECT_EQ(MPI_M_allgather_data(MPI_M_ALL_MSID, m, MPI_M_DATA_IGNORE,
+                                   MPI_M_ALL_COMM),
+              MPI_M_INVALID_MSID);
+    EXPECT_EQ(MPI_M_rootgather_data(MPI_M_ALL_MSID, 0, m, MPI_M_DATA_IGNORE,
+                                    MPI_M_ALL_COMM),
+              MPI_M_INVALID_MSID);
+    EXPECT_EQ(MPI_M_flush(MPI_M_ALL_MSID, "unused", MPI_M_ALL_COMM),
+              MPI_M_INVALID_MSID);
+    MPI_M_free(id);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, DoubleSuspendAndActiveDataAccessReportExactCodes) {
+  Sim sim = make_sim(2);
+  sim.run([](Ctx& ctx) {
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    ASSERT_EQ(MPI_M_start(ctx.world(), &id), MPI_M_SUCCESS);
+    unsigned long m[4];
+    // Gathers on an active session: exact SESSION_NOT_SUSPENDED, on every
+    // rank, with no traffic generated (no hang on the other rank).
+    EXPECT_EQ(MPI_M_allgather_data(id, m, MPI_M_DATA_IGNORE, MPI_M_ALL_COMM),
+              MPI_M_SESSION_NOT_SUSPENDED);
+    EXPECT_EQ(MPI_M_rootgather_data(id, 0, m, MPI_M_DATA_IGNORE,
+                                    MPI_M_ALL_COMM),
+              MPI_M_SESSION_NOT_SUSPENDED);
+    ASSERT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_suspend(id), MPI_M_MULTIPLE_CALL);
+    ASSERT_EQ(MPI_M_continue(id), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_continue(id), MPI_M_MULTIPLE_CALL);
+    ASSERT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+    MPI_M_free(id);
+    MPI_M_finalize();
+  });
+}
+
+TEST(MpiMon, GatherTimeoutSetterValidatesAndSticks) {
+  Sim sim = make_sim(1);
+  sim.run([](Ctx&) {
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_set_gather_timeout(0.0), MPI_M_INTERNAL_FAIL);
+    EXPECT_EQ(MPI_M_set_gather_timeout(-2.0), MPI_M_INTERNAL_FAIL);
+    EXPECT_EQ(MPI_M_set_gather_timeout(1.5), MPI_M_SUCCESS);
+    EXPECT_DOUBLE_EQ(MPI_M_get_gather_timeout(), 1.5);
+    MPI_M_finalize();
+  });
 }
 
 }  // namespace
