@@ -4,6 +4,10 @@
 // implementation), complementing the modeled overhead of Fig. 4.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <string>
+#include <vector>
+
 #include "minimpi/api.h"
 #include "mpimon/mpi_monitoring.h"
 #include "mpimon/session.hpp"
@@ -164,4 +168,29 @@ BENCHMARK(BM_EngineP2pRoundtrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default JSON report: unless the caller passes its
+// own --benchmark_out, the per-benchmark ns/op land in
+// results/BENCH_micro.json so CI and the driver always have the numbers.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  std::string out_flag = "--benchmark_out=results/BENCH_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    std::error_code ec;
+    std::filesystem::create_directories("results", ec);
+    if (!ec) {
+      args.push_back(out_flag.data());
+      args.push_back(fmt_flag.data());
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

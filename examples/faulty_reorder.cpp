@@ -1,4 +1,4 @@
-// Rank reordering when a rank goes quiet mid-protocol.
+// Rank reordering when a rank goes quiet mid-protocol — with telemetry on.
 //
 // The Figure-1 loop (monitor one iteration, gather the byte matrix,
 // TreeMatch, remap) assumes every rank contributes its monitoring row. This
@@ -9,10 +9,18 @@
 // identity permutation with a readable diagnostic instead of hanging or
 // remapping on garbage. The application then finishes its solve untouched.
 //
-// Run 1 (fault-free) only measures the virtual time at which the victim
+// On top of the stall, every link drops ~5% of its transmissions (with
+// sender retransmit), and the engine's telemetry records the whole story:
+// the run exports a Chrome trace (collective spans + their p2p tree
+// children), a metrics CSV for `monview`, and the retransmit counter is
+// read back through an MPI_T pvar handle resolved by name.
+//
+// Run 1 (no rank fault) only measures the virtual time at which the victim
 // finishes the monitored iteration; run 2 replants that instant as the
-// stall trigger, so the demo is bit-deterministic run to run.
+// stall trigger. Both runs share the same link-fault plan and seed, so the
+// virtual clocks agree bit for bit and the demo stays deterministic.
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,7 +31,10 @@
 #include "mpimon/mpi_monitoring.h"
 #include "mpimon/session.hpp"
 #include "mpimon/sim.h"
+#include "mpit/pvar.h"
+#include "mpit/runtime.h"
 #include "reorder/reorder.h"
+#include "telemetry/export.h"
 
 int main() {
   using namespace mpim;
@@ -31,6 +42,22 @@ int main() {
   const int nranks = 16;
   const int victim = 5;
   const apps::CgConfig cg = apps::cg_class('S');
+
+  // Same seed in both runs: identical link-fault draws, identical clocks.
+  auto make_plan = [&](bool with_stall, double stall_at) {
+    auto plan = std::make_shared<fault::FaultPlan>(/*seed=*/2026);
+    fault::LinkFault drop;
+    drop.drop_prob = 0.05;       // any link, ~5% per attempt
+    drop.max_retransmits = 8;    // loss needs 9 straight drops (~2e-12)
+    drop.retransmit_backoff_s = 1e-7;
+    plan->add(drop);
+    if (with_stall)
+      plan->add(fault::RankFault{.rank = victim,
+                                 .stall_at_s = stall_at,
+                                 .stall_virtual_s = 0.0,
+                                 .stall_wall_s = 1.5});
+    return plan;
+  };
 
   auto make_cfg = [&](std::shared_ptr<fault::FaultPlan> plan) {
     auto cost = net::CostModel::plafrim_like(2);
@@ -45,7 +72,7 @@ int main() {
   // Monitored exactly like run 2, so the virtual clocks agree bit for bit.
   double stall_at = 0.0;
   {
-    Sim sim(make_cfg(nullptr));
+    Sim sim(make_cfg(make_plan(false, 0.0)));
     sim.run([&](mpi::Ctx& ctx) {
       mon::Environment env;
       MPI_M_msid id;
@@ -61,49 +88,76 @@ int main() {
   // --- Run 2: same program, but the victim stalls at that very instant ---
   // The stall is pure wall time (no virtual time), so it races the gather's
   // wall-clock recovery timeout -- exactly what a hung rank looks like.
-  auto plan = std::make_shared<fault::FaultPlan>(/*seed=*/2026);
-  plan->add(fault::RankFault{.rank = victim,
-                             .stall_at_s = stall_at,
-                             .stall_virtual_s = 0.0,
-                             .stall_wall_s = 1.5});
-
   bool fell_back = false;
   std::string reason;
   bool identity = false;
+  unsigned long my_retransmits = 0;
   apps::CgResult final_res;
-  {
-    Sim sim(make_cfg(plan));
-    sim.run([&](mpi::Ctx& ctx) {
-      const mpi::Comm world = ctx.world();
-      mon::Environment env;
-      mon::check_rc(MPI_M_set_gather_timeout(0.25),
-                    "MPI_M_set_gather_timeout");
+  Sim sim(make_cfg(make_plan(true, stall_at)));
+  sim.engine().telemetry().set_enabled(true);
+  sim.run([&](mpi::Ctx& ctx) {
+    const mpi::Comm world = ctx.world();
+    mon::Environment env;
+    mon::check_rc(MPI_M_set_gather_timeout(0.25), "MPI_M_set_gather_timeout");
 
-      MPI_M_msid id;
-      mon::check_rc(MPI_M_start(world, &id), "MPI_M_start");
-      apps::CgSolver solver(world, cg);
-      solver.iteration();
-      mon::check_rc(MPI_M_suspend(id), "MPI_M_suspend");
+    MPI_M_msid id;
+    mon::check_rc(MPI_M_start(world, &id), "MPI_M_start");
+    apps::CgSolver solver(world, cg);
+    solver.iteration();
+    mon::check_rc(MPI_M_suspend(id), "MPI_M_suspend");
 
-      // The victim is asleep here; the gather inside reorder_ranks times
-      // out on its row and the root falls back to the identity mapping.
-      const auto res = reorder::reorder_ranks(id, world);
-      mon::check_rc(MPI_M_free(id), "MPI_M_free");
+    // The victim is asleep here; the gather inside reorder_ranks times
+    // out on its row and the root falls back to the identity mapping.
+    const auto res = reorder::reorder_ranks(id, world);
+    mon::check_rc(MPI_M_free(id), "MPI_M_free");
 
-      // The fallback keeps the original communicator, so the application
-      // simply carries on -- including the recovered victim.
-      apps::CgSolver rest(res.opt_comm, cg);
-      const apps::CgResult done = rest.solve();
+    // The fallback keeps the original communicator, so the application
+    // simply carries on -- including the recovered victim.
+    apps::CgSolver rest(res.opt_comm, cg);
+    const apps::CgResult done = rest.solve();
 
-      if (mpi::comm_rank(res.opt_comm) == 0) {
-        fell_back = res.fell_back;
-        reason = res.fallback_reason;
-        identity =
-            res.k == reorder::identity_k(static_cast<std::size_t>(nranks));
-        final_res = done;
-      }
-    });
+    if (mpi::comm_rank(res.opt_comm) == 0) {
+      fell_back = res.fell_back;
+      reason = res.fallback_reason;
+      identity =
+          res.k == reorder::identity_k(static_cast<std::size_t>(nranks));
+      final_res = done;
+
+      // Telemetry through the portable front: resolve the pvar by name
+      // and read the calling rank's retransmit count.
+      mpit::Runtime& rt = mpit::Runtime::of(ctx.engine());
+      const int idx = mpit::pvar_index_by_name("mpim_fault_retransmits_total");
+      const int sid = rt.session_create();
+      const int h = rt.handle_alloc(sid, idx, world);
+      rt.handle_read(sid, h, &my_retransmits, 1);
+      rt.session_free(sid);
+    }
+  });
+
+  // Export what telemetry saw: Chrome trace (collective spans and their
+  // p2p decomposition children) + the metrics CSV monview renders.
+  const telemetry::Hub& hub = sim.engine().telemetry();
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  const char* trace_path = "results/faulty_reorder_trace.json";
+  const char* metrics_path = "results/faulty_reorder_metrics.csv";
+  const char* spans_path = "results/faulty_reorder_spans.csv";
+  if (!ec) {
+    telemetry::write_chrome_trace_file(hub, trace_path);
+    telemetry::write_metrics_csv_file(hub, metrics_path);
+    telemetry::write_spans_csv_file(hub, spans_path);
   }
+
+  const auto& reg = hub.registry();
+  const auto& ids = hub.ids();
+  const unsigned long retransmits =
+      static_cast<unsigned long>(reg.counter_total(ids.fault_retransmits));
+  const unsigned long stalls =
+      static_cast<unsigned long>(reg.counter_total(ids.fault_stalls));
+  const unsigned long timeouts =
+      static_cast<unsigned long>(reg.counter_total(ids.mon_gather_timeouts));
+  const unsigned long fallbacks =
+      static_cast<unsigned long>(reg.counter_total(ids.reorder_identity));
 
   std::printf("CG class S on %d scattered ranks, one monitored iteration\n",
               nranks);
@@ -116,5 +170,11 @@ int main() {
   std::printf("permutation is the identity: %s\n", identity ? "yes" : "NO");
   std::printf("application finished anyway: %d iterations, residual %.3e\n",
               final_res.iterations, final_res.residual_norm2);
-  return fell_back && identity ? 0 : 1;
+  std::printf("\ntelemetry: %llu retransmits (%lu on rank 0 via pvar), "
+              "%lu stalls, %lu gather timeouts, %lu identity fallbacks\n",
+              static_cast<unsigned long long>(retransmits), my_retransmits,
+              stalls, timeouts, fallbacks);
+  std::printf("exported %s, %s, %s (try: monview %s %s)\n", trace_path,
+              metrics_path, spans_path, metrics_path, spans_path);
+  return fell_back && identity && retransmits > 0 && stalls == 1 ? 0 : 1;
 }

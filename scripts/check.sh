@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 gate, runnable locally and in CI:
+#   1. default preset: configure, build, full ctest suite
+#   2. asan preset:    configure, build, ctest filtered to label "sanitize"
+#
+# Usage: scripts/check.sh [--default-only|--asan-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+run_default=1
+run_asan=1
+case "${1:-}" in
+  --default-only) run_asan=0 ;;
+  --asan-only) run_default=0 ;;
+  "") ;;
+  *)
+    echo "usage: $0 [--default-only|--asan-only]" >&2
+    exit 2
+    ;;
+esac
+
+if [ "$run_default" = 1 ]; then
+  echo "== tier-1: default preset =="
+  cmake --preset default
+  cmake --build --preset default -j "$jobs"
+  ctest --preset default --output-on-failure -j "$jobs"
+fi
+
+if [ "$run_asan" = 1 ]; then
+  echo "== tier-1: asan preset (label: sanitize) =="
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs"
+  ctest --preset asan --output-on-failure -j "$jobs"
+fi
+
+echo "check.sh: all green"

@@ -219,58 +219,94 @@ bool iprobe(int src, int tag, const Comm& comm, Status* status) {
 
 // --- collectives -------------------------------------------------------------
 
+namespace {
+
+/// One telemetry span per user-invoked collective; the p2p sends of the
+/// decomposition record themselves as children (coll_common.h).
+struct CollSpan {
+  Ctx& ctx;
+  bool on;
+  CollSpan(Ctx& c, const char* name)
+      : ctx(c),
+        on(c.engine().telemetry().span_begin(c.world_rank(), name, 'C',
+                                             c.now())) {}
+  ~CollSpan() {
+    if (on) ctx.engine().telemetry().span_end(ctx.world_rank(), ctx.now());
+  }
+};
+
+}  // namespace
+
 void barrier(const Comm& comm) {
-  coll::barrier(Ctx::current(), comm, CommKind::coll);
+  Ctx& ctx = Ctx::current();
+  CollSpan span(ctx, "barrier");
+  coll::barrier(ctx, comm, CommKind::coll);
 }
 void bcast(void* buf, std::size_t count, Type type, int root,
            const Comm& comm) {
-  coll::bcast(Ctx::current(), buf, count, type, root, comm, CommKind::coll);
+  Ctx& ctx = Ctx::current();
+  CollSpan span(ctx, "bcast");
+  coll::bcast(ctx, buf, count, type, root, comm, CommKind::coll);
 }
 void reduce(const void* sendbuf, void* recvbuf, std::size_t count, Type type,
             Op op, int root, const Comm& comm) {
-  coll::reduce(Ctx::current(), sendbuf, recvbuf, count, type, op, root, comm,
+  Ctx& ctx = Ctx::current();
+  CollSpan span(ctx, "reduce");
+  coll::reduce(ctx, sendbuf, recvbuf, count, type, op, root, comm,
                CommKind::coll);
 }
 void allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
                Type type, Op op, const Comm& comm) {
-  coll::allreduce(Ctx::current(), sendbuf, recvbuf, count, type, op, comm,
+  Ctx& ctx = Ctx::current();
+  CollSpan span(ctx, "allreduce");
+  coll::allreduce(ctx, sendbuf, recvbuf, count, type, op, comm,
                   CommKind::coll);
 }
 void gather(const void* sendbuf, std::size_t count, Type type, void* recvbuf,
             int root, const Comm& comm) {
-  coll::gather(Ctx::current(), sendbuf, count, type, recvbuf, root, comm,
+  Ctx& ctx = Ctx::current();
+  CollSpan span(ctx, "gather");
+  coll::gather(ctx, sendbuf, count, type, recvbuf, root, comm,
                CommKind::coll);
 }
 void scatter(const void* sendbuf, std::size_t count, Type type, void* recvbuf,
              int root, const Comm& comm) {
-  coll::scatter(Ctx::current(), sendbuf, count, type, recvbuf, root, comm,
+  Ctx& ctx = Ctx::current();
+  CollSpan span(ctx, "scatter");
+  coll::scatter(ctx, sendbuf, count, type, recvbuf, root, comm,
                 CommKind::coll);
 }
 void allgather(const void* sendbuf, std::size_t count, Type type,
                void* recvbuf, const Comm& comm) {
-  coll::allgather(Ctx::current(), sendbuf, count, type, recvbuf, comm,
-                  CommKind::coll);
+  Ctx& ctx = Ctx::current();
+  CollSpan span(ctx, "allgather");
+  coll::allgather(ctx, sendbuf, count, type, recvbuf, comm, CommKind::coll);
 }
 void alltoall(const void* sendbuf, std::size_t count, Type type,
               void* recvbuf, const Comm& comm) {
-  coll::alltoall(Ctx::current(), sendbuf, count, type, recvbuf, comm,
-                 CommKind::coll);
+  Ctx& ctx = Ctx::current();
+  CollSpan span(ctx, "alltoall");
+  coll::alltoall(ctx, sendbuf, count, type, recvbuf, comm, CommKind::coll);
 }
 void scan(const void* sendbuf, void* recvbuf, std::size_t count, Type type,
           Op op, const Comm& comm) {
-  coll::scan(Ctx::current(), sendbuf, recvbuf, count, type, op, comm,
-             CommKind::coll);
+  Ctx& ctx = Ctx::current();
+  CollSpan span(ctx, "scan");
+  coll::scan(ctx, sendbuf, recvbuf, count, type, op, comm, CommKind::coll);
 }
 void exscan(const void* sendbuf, void* recvbuf, std::size_t count, Type type,
             Op op, const Comm& comm) {
-  coll::exscan(Ctx::current(), sendbuf, recvbuf, count, type, op, comm,
-               CommKind::coll);
+  Ctx& ctx = Ctx::current();
+  CollSpan span(ctx, "exscan");
+  coll::exscan(ctx, sendbuf, recvbuf, count, type, op, comm, CommKind::coll);
 }
 void reduce_scatter_block(const void* sendbuf, void* recvbuf,
                           std::size_t count, Type type, Op op,
                           const Comm& comm) {
-  coll::reduce_scatter_block(Ctx::current(), sendbuf, recvbuf, count, type,
-                             op, comm, CommKind::coll);
+  Ctx& ctx = Ctx::current();
+  CollSpan span(ctx, "reduce_scatter_block");
+  coll::reduce_scatter_block(ctx, sendbuf, recvbuf, count, type, op, comm,
+                             CommKind::coll);
 }
 
 // --- typed helpers -----------------------------------------------------------

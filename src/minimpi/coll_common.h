@@ -29,8 +29,19 @@ class Round {
   int size() const { return size_; }
 
   void send(int dst_group, const void* buf, std::size_t bytes) {
-    ctx_.send_bytes(comm_.world_rank_of(dst_group), comm_, tag_, kind_, buf,
-                    bytes);
+    const int dst_world = comm_.world_rank_of(dst_group);
+    // Child span of the enclosing collective: the paper's below-collective
+    // view — each p2p edge of the decomposition tree becomes visible.
+    // Tool-kind traffic stays invisible, like everywhere else.
+    telemetry::Hub& hub = ctx_.engine().telemetry();
+    if (kind_ != CommKind::tool && hub.enabled()) {
+      const double t0 = ctx_.now();
+      ctx_.send_bytes(dst_world, comm_, tag_, kind_, buf, bytes);
+      hub.span_complete(ctx_.world_rank(), "p2p.send", 'M', t0, ctx_.now(),
+                        dst_world, static_cast<std::int64_t>(bytes));
+    } else {
+      ctx_.send_bytes(dst_world, comm_, tag_, kind_, buf, bytes);
+    }
   }
 
   Status recv(int src_group, void* buf, std::size_t bytes) {

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "fault/fault_plan.h"
+#include "telemetry/log.h"
 
 namespace mpim::mpi {
 
@@ -31,10 +32,14 @@ detail::CommImpl::CommImpl(int ctx_id, std::vector<int> members,
 
 Engine::Engine(EngineConfig cfg)
     : cfg_(std::move(cfg)),
+      hub_(cfg_.placement.empty() ? 1
+                                  : static_cast<int>(cfg_.placement.size())),
       nic_(cfg_.cost_model.topology().arities().empty()
                ? 1
                : cfg_.cost_model.topology().arities()[0]) {
   check(!cfg_.placement.empty(), "engine needs at least one rank");
+  if (const char* env = std::getenv("MPIM_TELEMETRY"))
+    hub_.set_enabled(env[0] != '\0' && env[0] != '0');
   topo::validate_placement(cfg_.placement, cfg_.cost_model.topology());
 
   const int n = world_size();
@@ -79,11 +84,19 @@ std::shared_ptr<void> Engine::get_or_create_tool_object(
 void Engine::deliver(InFlight msg) {
   const int dst_rank = msg.info.dst_world;
   const double arrival = msg.arrival_s;
+  const std::size_t msg_bytes = msg.info.bytes;
   RankState& dst = rank_state(dst_rank);
   {
     std::lock_guard lock(dst.mutex);
     dst.inbox.push_back(std::move(msg));
     ++dst.inbox_version;
+    if (hub_.enabled()) {
+      const telemetry::StdIds& ids = hub_.ids();
+      hub_.registry().observe(ids.engine_inbox_depth, dst_rank,
+                              static_cast<double>(dst.inbox.size()));
+      hub_.registry().gauge_add(ids.engine_bytes_in_flight, dst_rank,
+                                static_cast<std::int64_t>(msg_bytes));
+    }
     if (cfg_.nic_contention) {
       // A blocked receiver may wake from this delivery and send as early
       // as `arrival`: feed that bound into the min-clock gate.
@@ -140,6 +153,7 @@ void Engine::mark_dead(int world_rank, double when_s) {
     slot = when_s;
   }
   dead_count_.fetch_add(1, std::memory_order_release);
+  hub_.add(hub_.ids().fault_crashes, world_rank);
   PendingOp op;
   op.what = PendingOp::What::crashed;
   op.clock_s = when_s;
@@ -362,6 +376,7 @@ void Ctx::fault_check() {
   double stall_virtual = 0.0;
   double stall_wall = 0.0;
   if (plan->take_stall(world_rank_, clock_, &stall_virtual, &stall_wall)) {
+    engine_->hub_.add(engine_->hub_.ids().fault_stalls, world_rank_);
     clock_ += stall_virtual;
     if (stall_wall > 0.0)
       std::this_thread::sleep_for(std::chrono::duration<double>(stall_wall));
@@ -404,11 +419,45 @@ void Ctx::send_bytes(int dst_world, const Comm& comm, int tag, CommKind kind,
   check(comm.contains_world(dst_world), "destination not in communicator");
   fault_check();
 
-  PktInfo info{world_rank_, dst_world, bytes, kind, tag, comm.context_id(),
-               clock_};
+  // Consult the fault plan before the monitoring hook so the packet record
+  // carries the attempt count the wire actually saw. The virtual-time
+  // charges are applied further down, where they always were; only the
+  // degradation-window check sees a clock that excludes monitoring
+  // overhead, a model choice (the NIC does not wait for the tool).
+  fault::SendFaults faults;
+  const bool have_faults = engine_->cfg_.fault_plan != nullptr;
+  if (have_faults)
+    faults = engine_->cfg_.fault_plan->on_send(world_rank_, dst_world, bytes,
+                                               clock_);
+
+  PktInfo info{world_rank_, dst_world, bytes,  kind,
+               tag,         comm.context_id(), clock_, faults.attempts};
   if (kind != CommKind::tool && engine_->send_hook_) {
     const int recorded = engine_->send_hook_(info);
     clock_ += static_cast<double>(recorded) * engine_->cfg_.monitor_event_cost_s;
+  }
+
+  telemetry::Hub& hub = engine_->hub_;
+  if (hub.enabled()) {
+    const telemetry::StdIds& ids = hub.ids();
+    telemetry::Registry& reg = hub.registry();
+    reg.add(ids.engine_messages, world_rank_);
+    reg.add(ids.engine_bytes, world_rank_, bytes);
+    reg.observe(ids.engine_msg_bytes, world_rank_,
+                static_cast<double>(bytes));
+    if (have_faults) {
+      const auto extra = static_cast<std::uint64_t>(faults.attempts - 1);
+      if (extra > 0) {
+        reg.add(ids.fault_retransmits, world_rank_, extra);
+        reg.add(ids.fault_drops, world_rank_, extra);
+        reg.add(ids.fault_backoff_ns, world_rank_,
+                static_cast<std::uint64_t>(faults.sender_extra_s * 1e9));
+      }
+      if (faults.lost) {
+        reg.add(ids.fault_lost, world_rank_);
+        reg.add(ids.fault_drops, world_rank_);
+      }
+    }
   }
 
   const auto& placement = engine_->cfg_.placement;
@@ -427,16 +476,15 @@ void Ctx::send_bytes(int dst_world, const Comm& comm, int tag, CommKind kind,
   const bool crosses = cost.crosses_network(leaf_src, leaf_dst);
 
   bool lost = false;
-  if (fault::FaultPlan* plan = engine_->cfg_.fault_plan.get()) {
-    const fault::SendFaults f =
-        plan->on_send(world_rank_, dst_world, bytes, clock_);
+  if (have_faults) {
     // The sender pays each failed attempt's serialization plus the
     // retransmit backoffs; the delivered copy carries the jitter and the
     // degraded bandwidth of the window it was sent in.
-    tx *= f.tx_scale;
-    clock_ += f.sender_extra_s + static_cast<double>(f.attempts - 1) * tx;
-    alpha += f.latency_extra_s;
-    lost = f.lost;
+    tx *= faults.tx_scale;
+    clock_ +=
+        faults.sender_extra_s + static_cast<double>(faults.attempts - 1) * tx;
+    alpha += faults.latency_extra_s;
+    lost = faults.lost;
   }
   if (lost) {
     // Every retransmission was dropped: the final attempt leaves the NIC
@@ -486,6 +534,11 @@ void Ctx::rma_transfer(int from_world, int to_world, const Comm& comm,
     const int recorded = engine_->send_hook_(info);
     clock_ +=
         static_cast<double>(recorded) * engine_->cfg_.monitor_event_cost_s;
+  }
+  if (engine_->hub_.enabled()) {
+    const telemetry::StdIds& ids = engine_->hub_.ids();
+    engine_->hub_.registry().add(ids.engine_messages, from_world);
+    engine_->hub_.registry().add(ids.engine_bytes, from_world, bytes);
   }
 
   const auto& placement = engine_->cfg_.placement;
@@ -576,6 +629,14 @@ bool Ctx::match_and_complete(int src_world, const Comm& comm, int tag,
     clock_ = completion;
     if (status != nullptr)
       *status = Status{it->info.src_world, it->info.tag, it->info.bytes};
+    telemetry::Hub& hub = engine_->hub_;
+    if (hub.enabled()) {
+      const telemetry::StdIds& ids = hub.ids();
+      hub.registry().observe(ids.engine_match_s, world_rank_,
+                             completion - it->arrival_s);
+      hub.registry().gauge_add(ids.engine_bytes_in_flight, world_rank_,
+                               -static_cast<std::int64_t>(it->info.bytes));
+    }
     inbox.erase(it);
     return true;
   }
@@ -644,8 +705,11 @@ void Ctx::wait_on_inbox(std::unique_lock<std::mutex>& lock, Pred&& ready) {
         waited_s = 0.0;
       } else if (waited_s >= engine_->watchdog_s_ &&
                  engine_->blocked_.load() >= engine_->alive_.load()) {
-        engine_->record_error(std::make_exception_ptr(
-            DeadlockError(engine_->deadlock_report(world_rank_))));
+        const std::string report = engine_->deadlock_report(world_rank_);
+        telemetry::log(telemetry::LogLevel::error, world_rank_, "engine",
+                       report);
+        engine_->record_error(
+            std::make_exception_ptr(DeadlockError(report)));
         engine_->abort_all();
         throw AbortError();
       }

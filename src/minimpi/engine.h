@@ -34,6 +34,7 @@
 #include "netmodel/cost_model.h"
 #include "netmodel/nic_counters.h"
 #include "support/rng.h"
+#include "telemetry/hub.h"
 #include "topo/topology.h"
 
 namespace mpim::fault {
@@ -51,6 +52,9 @@ struct PktInfo {
   int tag = 0;
   int context_id = -1;
   double send_time_s = 0.0;  ///< sender's virtual clock at injection
+  /// Transmission attempts the fault plan charged for this message
+  /// (1 = delivered first try; >1 means attempts-1 retransmissions).
+  int attempts = 1;
 };
 
 /// Installed by the tool layer (mpit). Returns the number of monitoring
@@ -153,6 +157,11 @@ class Engine {
   }
   net::NicCounters& nic() { return nic_; }
   Comm world_comm() const { return world_comm_; }
+
+  /// Host-side telemetry (metrics + spans). Disabled by default; enabling
+  /// it never charges virtual time, so simulated clocks are unaffected.
+  telemetry::Hub& telemetry() { return hub_; }
+  const telemetry::Hub& telemetry() const { return hub_; }
 
   /// Must be installed before run(); called on sender threads.
   void set_send_hook(SendHook hook);
@@ -280,6 +289,7 @@ class Engine {
   std::vector<double> nic_rx_busy_;
 
   EngineConfig cfg_;
+  telemetry::Hub hub_;
   SendHook send_hook_;
   void* tool_runtime_ = nullptr;
   net::NicCounters nic_;

@@ -10,6 +10,7 @@
 #include "minimpi/coll.h"
 #include "minimpi/engine.h"
 #include "mpit/runtime.h"
+#include "telemetry/hub.h"
 
 namespace {
 
@@ -27,7 +28,15 @@ struct MonSession {
   int tsession = -1;
   /// mpit handle per pvar index (0..5, see mpit/pvar.cpp).
   std::array<int, 6> handles{};
+  /// Virtual time the current active period began (telemetry span).
+  double span_start_s = -1.0;
 };
+
+mpim::telemetry::Hub& tele() {
+  return Ctx::current().engine().telemetry();
+}
+
+int tele_rank() { return Ctx::current().world_rank(); }
 
 double default_gather_timeout() {
   if (const char* env = std::getenv("MPIM_GATHER_TIMEOUT_S")) {
@@ -214,9 +223,11 @@ int MPI_M_start(Comm comm, MPI_M_msid* msid) {
       s.handles[static_cast<std::size_t>(pvar)] =
           rt.handle_alloc(s.tsession, pvar, comm);
     s.state = MonSession::St::active;
+    s.span_start_s = Ctx::current().now();
     start_all_handles(s);
     st.sessions[static_cast<std::size_t>(slot)] = s;
     *msid = slot;
+    tele().add(tele().ids().mon_session_starts, tele_rank());
     return MPI_M_SUCCESS;
   });
 }
@@ -254,6 +265,14 @@ int MPI_M_suspend(MPI_M_msid msid) {
       [](MonSession& s) {
         stop_all_handles(s);
         s.state = MonSession::St::suspended;
+        mpim::telemetry::Hub& hub = tele();
+        hub.add(hub.ids().mon_session_suspends, tele_rank());
+        // Sessions do not nest LIFO with collectives, so the active period
+        // is recorded as a closed interval rather than via the span stack.
+        if (s.span_start_s >= 0.0)
+          hub.span_complete(tele_rank(), "mon.session", 'S', s.span_start_s,
+                            Ctx::current().now());
+        s.span_start_s = -1.0;
       });
 }
 
@@ -266,6 +285,7 @@ int MPI_M_continue(MPI_M_msid msid) {
       [](MonSession& s) {
         start_all_handles(s);
         s.state = MonSession::St::active;
+        s.span_start_s = Ctx::current().now();
       });
 }
 
@@ -278,6 +298,7 @@ int MPI_M_reset(MPI_M_msid msid) {
       [](MonSession& s) {
         auto& rt = runtime();
         for (int h : s.handles) rt.handle_reset(s.tsession, h);
+        tele().add(tele().ids().mon_session_resets, tele_rank());
       });
 }
 
@@ -363,6 +384,7 @@ int gather_row_matrix_faulty(MonSession& s,
       if (rc != Ctx::RecvWait::ok) {
         std::fill(dst, dst + n, MPI_M_DATA_MISSING);
         ++missing;
+        tele().add(tele().ids().mon_gather_timeouts, tele_rank());
       }
     }
     if (root < 0) {
@@ -395,6 +417,7 @@ int gather_row_matrix_faulty(MonSession& s,
       timeout_s * static_cast<double>(n + 1));
   if (rc != Ctx::RecvWait::ok) {
     if (recv != nullptr) std::fill(recv, recv + n * n, MPI_M_DATA_MISSING);
+    tele().add(tele().ids().mon_gather_timeouts, tele_rank());
     return static_cast<int>(n);
   }
   if (recv != nullptr) std::copy(msg.begin(), msg.end() - 1, recv);
@@ -446,7 +469,11 @@ int gather_data_common(MPI_M_msid msid, int root, unsigned long* matrix_counts,
     if (root >= s->comm.size()) return MPI_M_INVALID_ROOT;
     int missing = gather_metric(*s, flags, 0, root, matrix_counts);
     missing += gather_metric(*s, flags, 1, root, matrix_sizes);
-    return missing > 0 ? MPI_M_PARTIAL_DATA : MPI_M_SUCCESS;
+    if (missing > 0) {
+      tele().add(tele().ids().mon_partial_data, tele_rank());
+      return MPI_M_PARTIAL_DATA;
+    }
+    return MPI_M_SUCCESS;
   });
 }
 
@@ -560,6 +587,10 @@ int MPI_M_rootflush(MPI_M_msid msid, int root, const char* filename,
         write_matrix(std::string(filename) + "_sizes." + world_rank + ".prof",
                      sizes);
     if (!ok) return MPI_M_INTERNAL_FAIL;
-    return missing > 0 ? MPI_M_PARTIAL_DATA : MPI_M_SUCCESS;
+    if (missing > 0) {
+      tele().add(tele().ids().mon_partial_data, tele_rank());
+      return MPI_M_PARTIAL_DATA;
+    }
+    return MPI_M_SUCCESS;
   });
 }

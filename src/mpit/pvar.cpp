@@ -8,25 +8,76 @@ namespace {
 
 // Names follow the Open MPI monitoring components (pml_monitoring for
 // point-to-point, coll_monitoring and osc_monitoring for the others).
-constexpr std::array<PvarInfo, 6> kPvars{{
+// Indices 0..5 are load-bearing: mpimon binds them positionally
+// (mpi_monitoring.cpp), so telemetry pvars are strictly appended.
+// Telemetry names must match the registry catalog in telemetry/hub.cpp:
+// handle_alloc resolves the backing metric by this exact name.
+constexpr mpi::CommKind kTele = mpi::CommKind::tool;  // class marker only
+constexpr std::array<PvarInfo, 25> kPvars{{
     {"pml_monitoring_messages_count",
      "number of point-to-point messages sent per peer",
-     mpi::CommKind::p2p, false},
+     mpi::CommKind::p2p, false, PvarClass::peer_monitoring},
     {"pml_monitoring_messages_size",
      "cumulated bytes of point-to-point messages sent per peer",
-     mpi::CommKind::p2p, true},
+     mpi::CommKind::p2p, true, PvarClass::peer_monitoring},
     {"coll_monitoring_messages_count",
      "number of collective-internal messages sent per peer",
-     mpi::CommKind::coll, false},
+     mpi::CommKind::coll, false, PvarClass::peer_monitoring},
     {"coll_monitoring_messages_size",
      "cumulated bytes of collective-internal messages sent per peer",
-     mpi::CommKind::coll, true},
+     mpi::CommKind::coll, true, PvarClass::peer_monitoring},
     {"osc_monitoring_messages_count",
      "number of one-sided messages sent per peer",
-     mpi::CommKind::osc, false},
+     mpi::CommKind::osc, false, PvarClass::peer_monitoring},
     {"osc_monitoring_messages_size",
      "cumulated bytes of one-sided messages sent per peer",
-     mpi::CommKind::osc, true},
+     mpi::CommKind::osc, true, PvarClass::peer_monitoring},
+    // --- telemetry re-exports (rank-local scalars), appended PR 2 ---
+    {"mpim_engine_messages_total", "messages sent by the calling rank",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_engine_bytes_total", "payload bytes sent by the calling rank",
+     kTele, true, PvarClass::telemetry},
+    {"mpim_engine_inbox_depth",
+     "deliveries observed by the pending-op depth histogram",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_engine_match_seconds",
+     "receives observed by the match-latency histogram",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_engine_message_bytes",
+     "sends observed by the message-size histogram",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_fault_retransmits_total", "retransmit attempts (extra sends)",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_fault_drops_total", "on-wire transmissions dropped",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_fault_messages_lost_total",
+     "messages lost after exhausting retransmits",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_fault_backoff_ns_total",
+     "retransmit backoff charged, virtual ns",
+     kTele, true, PvarClass::telemetry},
+    {"mpim_fault_stalls_total", "rank stall faults taken",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_fault_crashes_total", "rank crash faults taken",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_mon_session_starts_total", "monitoring sessions started",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_mon_session_suspends_total", "monitoring session suspends",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_mon_session_resets_total", "monitoring session resets",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_mon_gather_timeouts_total",
+     "gather contributors missing after timeout",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_mon_partial_data_total", "MPI_M_PARTIAL_DATA returns",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_reorder_treematch_ns_total", "TreeMatch CPU time, ns",
+     kTele, true, PvarClass::telemetry},
+    {"mpim_reorder_applied_total", "TreeMatch permutation decisions applied",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_reorder_identity_fallback_total",
+     "identity permutation fallbacks",
+     kTele, false, PvarClass::telemetry},
 }};
 
 }  // namespace

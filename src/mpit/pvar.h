@@ -22,14 +22,24 @@ class MpitError : public Error {
   explicit MpitError(const std::string& what) : Error(what) {}
 };
 
+/// What backs a pvar. `peer_monitoring` pvars are the original six
+/// per-peer message count/size arrays accumulated by the send hook;
+/// `telemetry` pvars are rank-local scalars read through from the engine's
+/// telemetry registry (src/telemetry/) -- same portable MPI_T front, a
+/// different backend.
+enum class PvarClass { peer_monitoring, telemetry };
+
 struct PvarInfo {
   const char* name;
   const char* description;
-  mpi::CommKind kind;  ///< traffic class this pvar accounts
-  bool is_size;        ///< false: message count, true: cumulated bytes
+  mpi::CommKind kind;  ///< traffic class this pvar accounts (peer class)
+  bool is_size;        ///< false: message count, true: cumulated bytes/ns
+  PvarClass klass = PvarClass::peer_monitoring;
 };
 
-/// Fixed registry, indexed 0..pvar_get_num()-1.
+/// Fixed registry, indexed 0..pvar_get_num()-1. Indices are stable across
+/// releases: the original peer-monitoring pvars keep indices 0..5 and new
+/// telemetry pvars are only ever appended.
 int pvar_get_num();
 const PvarInfo& pvar_info(int index);
 /// -1 when unknown (MPI_T_ERR_INVALID_NAME equivalent).

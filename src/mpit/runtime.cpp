@@ -37,7 +37,8 @@ int Runtime::on_send(const mpi::PktInfo& pkt) {
   for (Session& session : rs.sessions) {
     if (session.freed) continue;
     for (Handle& handle : session.handles) {
-      if (handle.freed || !handle.started || handle.kind != pkt.kind)
+      if (handle.freed || !handle.started || handle.kind != pkt.kind ||
+          handle.telemetry_metric >= 0)
         continue;
       const int dst = handle.comm.group_rank_of_world(pkt.dst_world);
       if (dst < 0 || !handle.comm.contains_world(pkt.src_world)) continue;
@@ -92,7 +93,15 @@ int Runtime::handle_alloc(int session, int pvar_index, const mpi::Comm& comm) {
   h.comm = comm;
   h.kind = info.kind;
   h.is_size = info.is_size;
-  h.values.assign(static_cast<std::size_t>(comm.size()), 0ul);
+  if (info.klass == PvarClass::telemetry) {
+    h.telemetry_metric = engine_.telemetry().registry().find(info.name);
+    if (h.telemetry_metric < 0)
+      throw MpitError(std::string("telemetry pvar has no backing metric: ") +
+                      info.name);
+    h.values.assign(1, 0ul);  // [0] = reset baseline
+  } else {
+    h.values.assign(static_cast<std::size_t>(comm.size()), 0ul);
+  }
   s.handles.push_back(std::move(h));
   return static_cast<int>(s.handles.size()) - 1;
 }
@@ -130,7 +139,15 @@ int Runtime::handle_read(int session, int handle, unsigned long* out,
   const int n = static_cast<int>(h.values.size());
   if (out != nullptr) {
     if (capacity < n) throw MpitError("pvar read buffer too small");
-    std::copy(h.values.begin(), h.values.end(), out);
+    if (h.telemetry_metric >= 0) {
+      // Read-through: the registry is the backend, MPI_T the front.
+      const auto live = static_cast<unsigned long>(
+          engine_.telemetry().registry().scalar_value(
+              h.telemetry_metric, mpi::Ctx::current().world_rank()));
+      out[0] = live - h.values[0];
+    } else {
+      std::copy(h.values.begin(), h.values.end(), out);
+    }
   }
   return n;
 }
@@ -139,6 +156,13 @@ void Runtime::handle_reset(int session, int handle) {
   RankState& rs = my_rank_state();
   std::lock_guard lock(rs.mutex);
   Handle& h = resolve(rs, session, handle);
+  if (h.telemetry_metric >= 0) {
+    // The backing metric is shared; reset moves this handle's baseline.
+    h.values[0] = static_cast<unsigned long>(
+        engine_.telemetry().registry().scalar_value(
+            h.telemetry_metric, mpi::Ctx::current().world_rank()));
+    return;
+  }
   std::fill(h.values.begin(), h.values.end(), 0ul);
 }
 

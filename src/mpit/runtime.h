@@ -69,6 +69,11 @@ class Runtime {
     bool is_size = false;
     bool started = false;
     bool freed = false;
+    /// Telemetry-class pvar: id of the backing registry metric (-1 for the
+    /// peer-monitoring pvars). Such a handle has exactly one value -- the
+    /// calling rank's merged scalar -- and values[0] holds the reset
+    /// baseline subtracted on read.
+    int telemetry_metric = -1;
     std::vector<unsigned long> values;
   };
   struct Session {

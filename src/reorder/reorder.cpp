@@ -1,7 +1,6 @@
 #include "reorder/reorder.h"
 
 #include <chrono>
-#include <cstdio>
 #include <ctime>
 
 #include "minimpi/coll.h"
@@ -9,6 +8,8 @@
 #include "mpimon/mpi_monitoring.h"
 #include "mpimon/session.hpp"
 #include "support/error.h"
+#include "telemetry/hub.h"
+#include "telemetry/log.h"
 #include "treematch/treematch.h"
 
 namespace mpim::reorder {
@@ -112,14 +113,19 @@ ReorderResult reorder_ranks(int msid, const mpi::Comm& comm) {
   const int n = comm.size();
   const int myrank = mpi::comm_rank(comm);
   const bool faulty = ctx.engine().config().fault_plan != nullptr;
+  telemetry::Hub& hub = ctx.engine().telemetry();
+  const int wrank = ctx.world_rank();
 
   std::vector<unsigned long> size_mat(
       myrank == 0 ? static_cast<std::size_t>(n) * static_cast<std::size_t>(n)
                   : 0);
+  const double gather_t0 = ctx.now();
   const int gather_rc =
       MPI_M_rootgather_data(msid, 0, MPI_M_DATA_IGNORE,
                             myrank == 0 ? size_mat.data() : nullptr,
                             MPI_M_ALL_COMM);
+  hub.span_complete(wrank, "reorder.gather", 'R', gather_t0, ctx.now(),
+                    gather_rc);
   if (gather_rc != MPI_M_SUCCESS && gather_rc != MPI_M_PARTIAL_DATA)
     mon::check_rc(gather_rc, "MPI_M_rootgather_data");
 
@@ -145,10 +151,9 @@ ReorderResult reorder_ranks(int msid, const mpi::Comm& comm) {
     }
     if (out.fell_back) {
       out.fallback_reason = reason;
-      std::fprintf(
-          stderr,
-          "[reorder] falling back to identity permutation: %s\n",
-          reason.c_str());
+      telemetry::log(telemetry::LogLevel::warn, wrank, "reorder",
+                     "falling back to identity permutation: " + reason);
+      hub.add(hub.ids().reorder_identity, wrank);
       k = identity_k(static_cast<std::size_t>(n));
     } else {
       CommMatrix bytes = CommMatrix::square(static_cast<std::size_t>(n));
@@ -165,16 +170,24 @@ ReorderResult reorder_ranks(int msid, const mpi::Comm& comm) {
       // Table 1 account for). Thread CPU time, not wall time: the simulator
       // oversubscribes one core with many rank threads.
       const double host0 = thread_cpu_seconds();
+      const double tm_t0 = ctx.now();
       k = compute_reordering(bytes, ctx.engine().topology(), placement,
                              &ctx.engine().cost_model());
-      ctx.advance(thread_cpu_seconds() - host0);
+      const double tm_cpu_s = thread_cpu_seconds() - host0;
+      ctx.advance(tm_cpu_s);
+      hub.span_complete(wrank, "reorder.treematch", 'R', tm_t0, ctx.now(), n);
+      hub.add(hub.ids().reorder_treematch_ns, wrank,
+              static_cast<std::uint64_t>(tm_cpu_s * 1e9));
+      hub.add(hub.ids().reorder_applied, wrank);
     }
   }
 
   if (!faulty) {
     // Fault-free protocol, unchanged on the wire: bcast k then split.
+    const double dist_t0 = ctx.now();
     mpi::bcast(k.data(), static_cast<std::size_t>(n), mpi::Type::Int, 0,
                comm);
+    hub.span_complete(wrank, "reorder.distribute", 'R', dist_t0, ctx.now());
     out.k = k;
     out.opt_comm =
         mpi::comm_split(comm, 0, k[static_cast<std::size_t>(myrank)]);
@@ -186,6 +199,7 @@ ReorderResult reorder_ranks(int msid, const mpi::Comm& comm) {
   // receivers) cannot hang the step. One tag draw on every rank keeps the
   // alive ranks' sequence numbers aligned.
   const int tag = mpi::coll::coll_tag(ctx.next_coll_seq(comm));
+  const double dist_t0 = ctx.now();
   std::vector<int> msg(static_cast<std::size_t>(n) + 1);
   if (myrank == 0) {
     msg[0] = out.fell_back ? 1 : 0;
@@ -203,6 +217,10 @@ ReorderResult reorder_ranks(int msid, const mpi::Comm& comm) {
     if (rc != mpi::Ctx::RecvWait::ok) {
       out.fell_back = true;
       out.fallback_reason = "rank 0 unreachable during reordering";
+      telemetry::log(telemetry::LogLevel::warn, wrank, "reorder",
+                     "falling back to identity permutation: " +
+                         out.fallback_reason);
+      hub.add(hub.ids().reorder_identity, wrank);
       msg[0] = 1;
       const std::vector<int> ident = identity_k(static_cast<std::size_t>(n));
       std::copy(ident.begin(), ident.end(), msg.begin() + 1);
@@ -212,6 +230,7 @@ ReorderResult reorder_ranks(int msid, const mpi::Comm& comm) {
       out.fallback_reason = "rank 0 fell back to the identity permutation";
     std::copy(msg.begin() + 1, msg.end(), k.begin());
   }
+  hub.span_complete(wrank, "reorder.distribute", 'R', dist_t0, ctx.now());
   out.k = k;
   // On fallback the group may contain dead ranks, so a comm_split (whose
   // allgather would block on them) is not safe: keep the communicator.

@@ -1,0 +1,152 @@
+#include "telemetry/hub.h"
+
+#include <cstring>
+
+#include "support/error.h"
+
+namespace mpim::telemetry {
+
+namespace {
+
+void copy_name(char* dst, const char* src) {
+  std::size_t i = 0;
+  for (; i + 1 < SpanRec::kNameCap && src[i] != '\0'; ++i) dst[i] = src[i];
+  dst[i] = '\0';
+}
+
+}  // namespace
+
+Hub::Hub(int nranks, std::size_t span_capacity)
+    : nranks_(nranks), registry_(nranks) {
+  spans_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    spans_.push_back(std::make_unique<RankSpans>(span_capacity));
+
+  Registry& reg = registry_;
+  // Latency buckets in virtual seconds; size buckets in bytes. The edges
+  // are fixed so per-rank shards merge by plain bucket-wise addition.
+  const std::vector<double> lat_bounds = {1e-7, 1e-6, 1e-5, 1e-4,
+                                          1e-3, 1e-2, 1e-1};
+  const std::vector<double> size_bounds = {64,      1024,      16 * 1024,
+                                           262144,  4194304};
+  const std::vector<double> depth_bounds = {1, 2, 4, 8, 16, 64};
+
+  ids_.engine_messages =
+      reg.define_counter("mpim_engine_messages_total", "messages sent");
+  ids_.engine_bytes =
+      reg.define_counter("mpim_engine_bytes_total", "payload bytes sent");
+  ids_.engine_inbox_depth = reg.define_histogram(
+      "mpim_engine_inbox_depth", "pending-op queue depth at delivery",
+      depth_bounds);
+  ids_.engine_match_s = reg.define_histogram(
+      "mpim_engine_match_seconds", "arrival-to-match latency (virtual s)",
+      lat_bounds);
+  ids_.engine_msg_bytes = reg.define_histogram(
+      "mpim_engine_message_bytes", "message payload size", size_bounds);
+  ids_.engine_bytes_in_flight = reg.define_gauge(
+      "mpim_engine_bytes_in_flight", "delivered but unmatched bytes");
+
+  ids_.fault_retransmits = reg.define_counter(
+      "mpim_fault_retransmits_total", "retransmit attempts (extra sends)");
+  ids_.fault_drops = reg.define_counter(
+      "mpim_fault_drops_total", "on-wire transmissions dropped");
+  ids_.fault_lost = reg.define_counter(
+      "mpim_fault_messages_lost_total",
+      "messages lost after exhausting retransmits");
+  ids_.fault_backoff_ns = reg.define_counter(
+      "mpim_fault_backoff_ns_total", "retransmit backoff charged, virtual ns");
+  ids_.fault_stalls = reg.define_counter(
+      "mpim_fault_stalls_total", "rank stall faults taken");
+  ids_.fault_crashes = reg.define_counter(
+      "mpim_fault_crashes_total", "rank crash faults taken");
+
+  ids_.mon_session_starts = reg.define_counter(
+      "mpim_mon_session_starts_total", "MPI_M_start calls that began a session");
+  ids_.mon_session_suspends = reg.define_counter(
+      "mpim_mon_session_suspends_total", "monitoring session suspends");
+  ids_.mon_session_resets = reg.define_counter(
+      "mpim_mon_session_resets_total", "monitoring session resets");
+  ids_.mon_gather_timeouts = reg.define_counter(
+      "mpim_mon_gather_timeouts_total",
+      "gather contributors missing after timeout");
+  ids_.mon_partial_data = reg.define_counter(
+      "mpim_mon_partial_data_total", "MPI_M_PARTIAL_DATA returns");
+
+  ids_.reorder_treematch_ns = reg.define_counter(
+      "mpim_reorder_treematch_ns_total", "TreeMatch CPU time, ns");
+  ids_.reorder_applied = reg.define_counter(
+      "mpim_reorder_applied_total", "TreeMatch permutation decisions applied");
+  ids_.reorder_identity = reg.define_counter(
+      "mpim_reorder_identity_fallback_total", "identity permutation fallbacks");
+}
+
+bool Hub::span_begin(int rank, const char* name, char cat, double t_s) {
+  if (!enabled()) return false;
+  check(rank >= 0 && rank < nranks_, "telemetry span rank out of range");
+  RankSpans& rs = *spans_[static_cast<std::size_t>(rank)];
+  if (rs.open_depth >= kMaxOpenSpans) return false;  // too deep: drop quietly
+  OpenSpan& os = rs.open[rs.open_depth++];
+  copy_name(os.name, name);
+  os.cat = cat;
+  os.t0_s = t_s;
+  return true;
+}
+
+void Hub::span_end(int rank, double t_s, std::int64_t a, std::int64_t b) {
+  check(rank >= 0 && rank < nranks_, "telemetry span rank out of range");
+  RankSpans& rs = *spans_[static_cast<std::size_t>(rank)];
+  check(rs.open_depth > 0, "telemetry span_end without span_begin");
+  const OpenSpan& os = rs.open[--rs.open_depth];
+  SpanRec rec;
+  copy_name(rec.name, os.name);
+  rec.cat = os.cat;
+  rec.depth = static_cast<std::uint8_t>(rs.open_depth);
+  rec.t0_s = os.t0_s;
+  rec.t1_s = t_s;
+  rec.a = a;
+  rec.b = b;
+  rs.ring.push(rec);
+}
+
+void Hub::span_complete(int rank, const char* name, char cat, double t0_s,
+                        double t1_s, std::int64_t a, std::int64_t b) {
+  if (!enabled()) return;
+  check(rank >= 0 && rank < nranks_, "telemetry span rank out of range");
+  RankSpans& rs = *spans_[static_cast<std::size_t>(rank)];
+  SpanRec rec;
+  copy_name(rec.name, name);
+  rec.cat = cat;
+  rec.depth = static_cast<std::uint8_t>(rs.open_depth);
+  rec.t0_s = t0_s;
+  rec.t1_s = t1_s;
+  rec.a = a;
+  rec.b = b;
+  rs.ring.push(rec);
+}
+
+std::vector<SpanRec> Hub::spans(int rank) const {
+  check(rank >= 0 && rank < nranks_, "telemetry span rank out of range");
+  return spans_[static_cast<std::size_t>(rank)]->ring.snapshot();
+}
+
+std::uint64_t Hub::spans_recorded() const {
+  std::uint64_t n = 0;
+  for (const auto& rs : spans_) n += rs->ring.pushed();
+  return n;
+}
+
+std::uint64_t Hub::spans_dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& rs : spans_) n += rs->ring.dropped();
+  return n;
+}
+
+void Hub::reset() {
+  registry_.reset();
+  for (auto& rs : spans_) {
+    rs->ring.clear();
+    rs->open_depth = 0;
+  }
+}
+
+}  // namespace mpim::telemetry

@@ -1,0 +1,135 @@
+// Telemetry hub: one per Engine. Owns the metrics registry, the per-rank
+// span rings, and the enabled flag that gates every recording site.
+//
+// Disabled (the default) the entire subsystem costs one relaxed atomic
+// load per instrumentation site; virtual time is never charged either way,
+// so enabling telemetry cannot perturb simulated clocks or determinism.
+//
+// Spans use the rank's *virtual* clock, which is what makes the exported
+// Chrome traces line up with the cost model rather than host scheduling.
+// Collective spans nest via a small per-rank open-span stack (rank threads
+// open/close their own spans, so no locking); non-nested intervals such as
+// monitoring sessions are recorded as complete spans when they close.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "telemetry/registry.h"
+#include "telemetry/ring.h"
+
+namespace mpim::telemetry {
+
+/// One closed span. `name` is a truncating copy so records stay POD and
+/// ring-friendly; `a`/`b` carry site-specific arguments (e.g. dst/bytes
+/// for a p2p child span). `depth` is the nesting level at record time.
+struct SpanRec {
+  static constexpr std::size_t kNameCap = 24;
+  char name[kNameCap] = {0};
+  char cat = '?';  ///< 'C' collective, 'M' message, 'S' session, 'R' reorder
+  std::uint8_t depth = 0;
+  double t0_s = 0.0;
+  double t1_s = 0.0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+};
+
+/// Ids of the standard metric catalog defined by the Hub constructor.
+/// Names match the MPI_T pvar names in src/mpit/pvar.cpp exactly.
+struct StdIds {
+  // engine internals
+  int engine_messages = -1;        ///< counter: p2p/coll/osc sends
+  int engine_bytes = -1;           ///< counter: payload bytes sent
+  int engine_inbox_depth = -1;     ///< histogram: pending-op queue depth
+  int engine_match_s = -1;         ///< histogram: arrival->match latency (s)
+  int engine_msg_bytes = -1;       ///< histogram: message size
+  int engine_bytes_in_flight = -1; ///< gauge: delivered but unmatched bytes
+  // fault-plan outcomes
+  int fault_retransmits = -1;      ///< counter: extra attempts (attempts-1)
+  int fault_drops = -1;            ///< counter: on-wire transmissions lost
+  int fault_lost = -1;             ///< counter: messages lost for good
+  int fault_backoff_ns = -1;       ///< counter: retransmit backoff, virtual ns
+  int fault_stalls = -1;           ///< counter: stall faults taken
+  int fault_crashes = -1;          ///< counter: crash faults taken
+  // mpimon session lifecycle
+  int mon_session_starts = -1;
+  int mon_session_suspends = -1;
+  int mon_session_resets = -1;
+  int mon_gather_timeouts = -1;    ///< counter: per missing contributor
+  int mon_partial_data = -1;       ///< counter: MPI_M_PARTIAL_DATA returns
+  // reorder decisions
+  int reorder_treematch_ns = -1;   ///< counter: TreeMatch CPU time, ns
+  int reorder_applied = -1;        ///< counter: TreeMatch decisions applied
+  int reorder_identity = -1;       ///< counter: identity fallbacks
+};
+
+class Hub {
+ public:
+  explicit Hub(int nranks, std::size_t span_capacity = 1u << 14);
+
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  int nranks() const { return nranks_; }
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+  const StdIds& ids() const { return ids_; }
+
+  // --- enabled-gated convenience recorders (cold-ish call sites) ---
+  void add(int id, int rank, std::uint64_t v = 1) {
+    if (enabled()) registry_.add(id, rank, v);
+  }
+  void observe(int id, int rank, double v) {
+    if (enabled()) registry_.observe(id, rank, v);
+  }
+  void gauge_add(int id, int rank, std::int64_t delta) {
+    if (enabled()) registry_.gauge_add(id, rank, delta);
+  }
+
+  // --- span tracing (rank thread only for its own rank) ---
+  /// Opens a nested span; returns false (and records nothing) when
+  /// disabled, in which case the matching span_end must be skipped.
+  bool span_begin(int rank, const char* name, char cat, double t_s);
+  /// Closes the innermost open span and records it.
+  void span_end(int rank, double t_s, std::int64_t a = 0, std::int64_t b = 0);
+  /// Records an already-closed interval (used for sites that do not nest
+  /// LIFO with collectives, e.g. monitoring sessions).
+  void span_complete(int rank, const char* name, char cat, double t0_s,
+                     double t1_s, std::int64_t a = 0, std::int64_t b = 0);
+
+  std::vector<SpanRec> spans(int rank) const;
+  std::uint64_t spans_recorded() const;
+  std::uint64_t spans_dropped() const;
+
+  /// Clears spans and zeroes all metrics (call between runs, not during).
+  void reset();
+
+ private:
+  struct OpenSpan {
+    char name[SpanRec::kNameCap] = {0};
+    char cat = '?';
+    double t0_s = 0.0;
+  };
+  static constexpr std::size_t kMaxOpenSpans = 32;
+
+  struct RankSpans {
+    Ring<SpanRec> ring;
+    OpenSpan open[kMaxOpenSpans];
+    std::size_t open_depth = 0;
+    explicit RankSpans(std::size_t cap) : ring(cap) {}
+  };
+
+  int nranks_;
+  std::atomic<bool> enabled_{false};
+  Registry registry_;
+  StdIds ids_;
+  std::vector<std::unique_ptr<RankSpans>> spans_;
+};
+
+}  // namespace mpim::telemetry

@@ -1,0 +1,83 @@
+#include "telemetry/log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+namespace mpim::telemetry {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::debug:
+      return "DEBUG";
+    case LogLevel::info:
+      return "INFO";
+    case LogLevel::warn:
+      return "WARN";
+    case LogLevel::error:
+      return "ERROR";
+  }
+  return "?";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void log(LogLevel level, int rank, const std::string& component,
+         const std::string& msg) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+
+  std::fprintf(stderr, "[mpim][%s][%s] rank %d: %s\n", log_level_name(level),
+               component.c_str(), rank, msg.c_str());
+
+  // Re-read the environment each record: cold path, and it lets tests (and
+  // long-lived hosts) redirect without process-wide static state.
+  const char* path = std::getenv("MPIM_LOG_FILE");
+  if (path == nullptr || path[0] == '\0') return;
+  std::ofstream f(path, std::ios::app);
+  if (!f) return;
+  const double ts =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  f << "{\"ts\":" << ts << ",\"level\":\"" << log_level_name(level)
+    << "\",\"rank\":" << rank << ",\"component\":\""
+    << json_escape(component) << "\",\"msg\":\"" << json_escape(msg)
+    << "\"}\n";
+}
+
+}  // namespace mpim::telemetry

@@ -1,0 +1,28 @@
+// Structured logger for runtime diagnostics (deadlock reports, fault
+// fallbacks, partial-data warnings). Every record goes to stderr in a
+// fixed `[mpim][LEVEL][component] rank N: msg` shape; if the environment
+// variable MPIM_LOG_FILE names a path, the same record is appended there
+// as one JSON object per line (JSONL).
+//
+// This is a cold path: records are rare (errors and decisions, not
+// per-message events), so the implementation favours robustness over
+// speed — the JSONL file is opened per record and guarded by one mutex.
+#pragma once
+
+#include <string>
+
+namespace mpim::telemetry {
+
+enum class LogLevel { debug, info, warn, error };
+
+const char* log_level_name(LogLevel level);
+
+/// Emit one structured record. `rank` may be -1 for process-wide events.
+void log(LogLevel level, int rank, const std::string& component,
+         const std::string& msg);
+
+/// Escape a string for embedding inside a JSON string literal (exposed for
+/// the exporters, which share the JSONL encoding).
+std::string json_escape(const std::string& s);
+
+}  // namespace mpim::telemetry

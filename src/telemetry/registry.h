@@ -1,0 +1,101 @@
+// Metrics registry: counters, gauges, fixed-bucket histograms.
+//
+// Recording is per-rank sharded and lock-free: each metric owns one cache
+// line of atomic cells per rank, so the hot path is a single relaxed
+// fetch_add with no false sharing between rank threads. Reads merge the
+// shards on demand; they are exact once rank threads are quiescent and
+// monotone-approximate while they run.
+//
+// Metric definition is not thread-safe: define everything before rank
+// threads start recording (the engine defines its standard catalog at
+// construction).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpim::telemetry {
+
+enum class MetricKind : std::uint8_t { counter, gauge, histogram };
+
+struct MetricDesc {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::counter;
+  std::vector<double> bounds;  ///< histogram inclusive upper bounds, ascending
+};
+
+class Registry {
+ public:
+  explicit Registry(int nranks);
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  int define_counter(std::string name, std::string help);
+  int define_gauge(std::string name, std::string help);
+  /// `bounds` are inclusive upper bucket edges; an overflow bucket is
+  /// appended automatically.
+  int define_histogram(std::string name, std::string help,
+                       std::vector<double> bounds);
+
+  /// Metric id for `name`, or -1 if not defined.
+  int find(std::string_view name) const;
+  int metric_count() const { return static_cast<int>(metrics_.size()); }
+  const MetricDesc& desc(int id) const { return metrics_[check_id(id)].desc; }
+  int nranks() const { return nranks_; }
+
+  // --- hot path (relaxed atomics, callable from any thread) ---
+  void add(int id, int rank, std::uint64_t v = 1);
+  void gauge_add(int id, int rank, std::int64_t delta);
+  void gauge_set(int id, int rank, std::int64_t v);
+  void observe(int id, int rank, double v);
+
+  // --- merge-on-read ---
+  std::uint64_t counter_value(int id, int rank) const;
+  std::uint64_t counter_total(int id) const;
+  std::int64_t gauge_value(int id, int rank) const;
+  std::int64_t gauge_total(int id) const;
+
+  struct HistView {
+    std::vector<double> bounds;          ///< upper edges (no overflow edge)
+    std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;
+  };
+  HistView histogram(int id, int rank) const;
+  HistView histogram_total(int id) const;
+
+  /// Scalar view for exporters / pvar read-through: counter value, gauge
+  /// value (two's-complement cast), or histogram observation count.
+  std::uint64_t scalar_value(int id, int rank) const;
+  std::uint64_t scalar_total(int id) const;
+
+  void reset();
+
+ private:
+  // One rank's cells padded out to whole cache lines.
+  static constexpr std::size_t kCellsPerLine = 8;
+
+  struct Metric {
+    MetricDesc desc;
+    std::size_t cells_per_rank = 0;  ///< logical cells (1, or buckets+1)
+    std::size_t rank_stride = 0;     ///< padded cells per rank
+    std::unique_ptr<std::atomic<std::uint64_t>[]> cells;
+  };
+
+  int define(MetricDesc d, std::size_t cells_per_rank);
+  std::size_t check_id(int id) const;
+  std::atomic<std::uint64_t>& cell(int id, int rank, std::size_t idx);
+  const std::atomic<std::uint64_t>& cell(int id, int rank,
+                                         std::size_t idx) const;
+
+  int nranks_;
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace mpim::telemetry

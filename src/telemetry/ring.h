@@ -1,0 +1,72 @@
+// Fixed-capacity per-rank ring buffer for trace records.
+//
+// Bounded memory is the point: a long run overwrites its oldest records
+// instead of growing without bound (the failure mode of the post-mortem
+// tracer this replaces), and the number of overwritten records is exposed
+// as a drop counter so consumers know the trace is a suffix of the run.
+//
+// Concurrency contract: push() is only called by the owning rank's thread.
+// Readers (snapshot, counters) are exact once the rank threads have been
+// joined; a mid-run snapshot may miss or tear the record currently being
+// overwritten, which is acceptable for monitoring reads.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mpim::telemetry {
+
+template <typename T>
+class Ring {
+ public:
+  explicit Ring(std::size_t capacity) : buf_(capacity == 0 ? 1 : capacity) {}
+
+  std::size_t capacity() const { return buf_.size(); }
+
+  void push(const T& v) {
+    const std::uint64_t n = pushed_.load(std::memory_order_relaxed);
+    buf_[static_cast<std::size_t>(n % buf_.size())] = v;
+    pushed_.store(n + 1, std::memory_order_release);
+  }
+
+  /// Total records ever pushed (including overwritten ones).
+  std::uint64_t pushed() const {
+    return pushed_.load(std::memory_order_acquire);
+  }
+
+  /// Records lost to wraparound (oldest-first overwrite policy).
+  std::uint64_t dropped() const {
+    const std::uint64_t n = pushed();
+    return n > buf_.size() ? n - buf_.size() : 0;
+  }
+
+  /// Records currently held.
+  std::size_t size() const {
+    return static_cast<std::size_t>(
+        std::min<std::uint64_t>(pushed(), buf_.size()));
+  }
+
+  /// Held records, oldest first.
+  std::vector<T> snapshot() const {
+    const std::uint64_t n = pushed();
+    const std::size_t cap = buf_.size();
+    const std::size_t held = static_cast<std::size_t>(
+        std::min<std::uint64_t>(n, cap));
+    std::vector<T> out;
+    out.reserve(held);
+    const std::uint64_t first = n - held;
+    for (std::uint64_t i = first; i < n; ++i)
+      out.push_back(buf_[static_cast<std::size_t>(i % cap)]);
+    return out;
+  }
+
+  void clear() { pushed_.store(0, std::memory_order_release); }
+
+ private:
+  std::vector<T> buf_;
+  std::atomic<std::uint64_t> pushed_{0};
+};
+
+}  // namespace mpim::telemetry

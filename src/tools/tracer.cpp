@@ -7,32 +7,30 @@
 
 namespace mpim::tools {
 
-Tracer::Tracer(mpit::Runtime& runtime) {
+Tracer::Tracer(mpit::Runtime& runtime, std::size_t capacity_per_rank) {
   per_rank_.reserve(static_cast<std::size_t>(runtime.engine().world_size()));
   for (int r = 0; r < runtime.engine().world_size(); ++r)
-    per_rank_.push_back(std::make_unique<PerRank>());
+    per_rank_.push_back(
+        std::make_unique<telemetry::Ring<TraceEvent>>(capacity_per_rank));
   runtime.add_event_listener([this](const mpi::PktInfo& pkt) {
     if (!enabled_) return;
-    auto& slot = *per_rank_[static_cast<std::size_t>(pkt.src_world)];
-    std::lock_guard lock(slot.mutex);
-    slot.events.push_back(TraceEvent{pkt.send_time_s, pkt.src_world,
-                                     pkt.dst_world, pkt.bytes, pkt.kind,
-                                     pkt.tag});
+    // Only the sending rank's thread pushes into its ring, so the
+    // single-writer contract of Ring holds without a lock.
+    per_rank_[static_cast<std::size_t>(pkt.src_world)]->push(
+        TraceEvent{pkt.send_time_s, pkt.src_world, pkt.dst_world, pkt.bytes,
+                   pkt.kind, pkt.tag, pkt.attempts});
   });
 }
 
 void Tracer::clear() {
-  for (auto& slot : per_rank_) {
-    std::lock_guard lock(slot->mutex);
-    slot->events.clear();
-  }
+  for (auto& ring : per_rank_) ring->clear();
 }
 
 std::vector<TraceEvent> Tracer::merged_events() const {
   std::vector<TraceEvent> out;
-  for (const auto& slot : per_rank_) {
-    std::lock_guard lock(slot->mutex);
-    out.insert(out.end(), slot->events.begin(), slot->events.end());
+  for (const auto& ring : per_rank_) {
+    const std::vector<TraceEvent> events = ring->snapshot();
+    out.insert(out.end(), events.begin(), events.end());
   }
   std::sort(out.begin(), out.end(),
             [](const TraceEvent& a, const TraceEvent& b) {
@@ -45,23 +43,27 @@ std::vector<TraceEvent> Tracer::merged_events() const {
 
 std::size_t Tracer::event_count() const {
   std::size_t acc = 0;
-  for (const auto& slot : per_rank_) {
-    std::lock_guard lock(slot->mutex);
-    acc += slot->events.size();
-  }
+  for (const auto& ring : per_rank_) acc += ring->size();
+  return acc;
+}
+
+std::uint64_t Tracer::events_dropped() const {
+  std::uint64_t acc = 0;
+  for (const auto& ring : per_rank_) acc += ring->dropped();
   return acc;
 }
 
 Tracer::Stats Tracer::stats() const {
   Stats out;
   bool first = true;
-  for (const auto& slot : per_rank_) {
-    std::lock_guard lock(slot->mutex);
-    for (const TraceEvent& e : slot->events) {
+  for (const auto& ring : per_rank_) {
+    for (const TraceEvent& e : ring->snapshot()) {
       ++out.events;
       out.total_bytes += e.bytes;
       const auto kind_idx = static_cast<std::size_t>(e.kind);
       if (kind_idx < 3) ++out.by_kind_events[kind_idx];
+      if (e.attempts > 1)
+        out.retransmit_attempts += static_cast<std::uint64_t>(e.attempts - 1);
       if (first || e.time_s < out.first_time_s) out.first_time_s = e.time_s;
       if (first || e.time_s > out.last_time_s) out.last_time_s = e.time_s;
       first = false;

@@ -5,17 +5,22 @@
 //
 // Contrast with the introspection library: the trace is complete but only
 // usable *post mortem* — the application cannot query it cheaply at
-// runtime to, e.g., reorder its ranks. (It also grows with the message
-// count, whereas sessions are O(peers).)
+// runtime to, e.g., reorder its ranks.
+//
+// Storage is one bounded telemetry ring per sending rank: recording is a
+// single unguarded slot write on the sender's own thread (the per-event
+// mutex of the original design is gone), memory is fixed at
+// capacity_per_rank events, and overflow surfaces as events_dropped()
+// instead of unbounded growth.
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "minimpi/engine.h"
 #include "mpit/runtime.h"
+#include "telemetry/ring.h"
 
 namespace mpim::tools {
 
@@ -26,13 +31,18 @@ struct TraceEvent {
   std::uint64_t bytes = 0;
   mpi::CommKind kind = mpi::CommKind::p2p;
   int tag = 0;
+  /// Transmission attempts charged by the fault plan (1 = first try).
+  int attempts = 1;
 };
 
 class Tracer {
  public:
   /// Registers an event listener with the runtime. The Tracer must
-  /// outlive every Engine::run it observes.
-  explicit Tracer(mpit::Runtime& runtime);
+  /// outlive every Engine::run it observes. `capacity_per_rank` bounds the
+  /// ring each sending rank records into; the oldest events are
+  /// overwritten on overflow and counted in events_dropped().
+  explicit Tracer(mpit::Runtime& runtime,
+                  std::size_t capacity_per_rank = 1u << 16);
 
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
@@ -41,14 +51,18 @@ class Tracer {
   bool enabled() const { return enabled_; }
   void clear();
 
-  /// All recorded events merged and sorted by (time, src, dst).
+  /// All retained events merged and sorted by (time, src, dst).
   std::vector<TraceEvent> merged_events() const;
+  /// Retained events (excludes overwritten ones).
   std::size_t event_count() const;
+  /// Events lost to ring wraparound, summed over ranks.
+  std::uint64_t events_dropped() const;
 
   struct Stats {
     std::uint64_t events = 0;
     std::uint64_t total_bytes = 0;
     std::uint64_t by_kind_events[3] = {0, 0, 0};  ///< p2p, coll, osc
+    std::uint64_t retransmit_attempts = 0;        ///< sum of (attempts - 1)
     double first_time_s = 0.0;
     double last_time_s = 0.0;
     double mean_bytes = 0.0;
@@ -59,11 +73,7 @@ class Tracer {
   void write_trace(const std::string& path) const;
 
  private:
-  struct PerRank {
-    mutable std::mutex mutex;
-    std::vector<TraceEvent> events;
-  };
-  std::vector<std::unique_ptr<PerRank>> per_rank_;
+  std::vector<std::unique_ptr<telemetry::Ring<TraceEvent>>> per_rank_;
   bool enabled_ = true;
 };
 

@@ -24,7 +24,7 @@ Sim make_sim(int nranks = 4) {
 }
 
 TEST(Pvar, RegistryExposesMonitoringVariables) {
-  EXPECT_EQ(pvar_get_num(), 6);
+  EXPECT_EQ(pvar_get_num(), 25);
   EXPECT_EQ(pvar_index_by_name("pml_monitoring_messages_count"), 0);
   EXPECT_EQ(pvar_index_by_name("pml_monitoring_messages_size"), 1);
   EXPECT_EQ(pvar_index_by_name("osc_monitoring_messages_size"), 5);
@@ -32,7 +32,96 @@ TEST(Pvar, RegistryExposesMonitoringVariables) {
   EXPECT_EQ(pvar_info(0).kind, mpi::CommKind::p2p);
   EXPECT_FALSE(pvar_info(0).is_size);
   EXPECT_TRUE(pvar_info(3).is_size);
-  EXPECT_THROW(pvar_info(6), MpitError);
+  EXPECT_THROW(pvar_info(25), MpitError);
+  EXPECT_THROW(pvar_info(-1), MpitError);
+}
+
+TEST(Pvar, PeerMonitoringIndicesAreStable) {
+  // Indices 0..5 are frozen: mpimon binds them positionally, and external
+  // tools are allowed to cache them. Appending telemetry pvars (PR 2) must
+  // never shift them.
+  const char* frozen[6] = {
+      "pml_monitoring_messages_count", "pml_monitoring_messages_size",
+      "coll_monitoring_messages_count", "coll_monitoring_messages_size",
+      "osc_monitoring_messages_count", "osc_monitoring_messages_size"};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_STREQ(pvar_info(i).name, frozen[i]);
+    EXPECT_EQ(pvar_info(i).klass, PvarClass::peer_monitoring);
+    EXPECT_EQ(pvar_index_by_name(frozen[i]), i);
+  }
+}
+
+TEST(Pvar, TelemetryPvarsAreAppendedAndResolvable) {
+  for (const char* name :
+       {"mpim_engine_messages_total", "mpim_engine_bytes_total",
+        "mpim_fault_retransmits_total", "mpim_fault_drops_total",
+        "mpim_mon_session_starts_total", "mpim_mon_partial_data_total",
+        "mpim_reorder_treematch_ns_total",
+        "mpim_reorder_identity_fallback_total"}) {
+    const int idx = pvar_index_by_name(name);
+    EXPECT_GE(idx, 6) << name;
+    EXPECT_EQ(pvar_info(idx).klass, PvarClass::telemetry) << name;
+    EXPECT_STREQ(pvar_info(idx).name, name);
+  }
+  EXPECT_TRUE(pvar_info(pvar_index_by_name("mpim_engine_bytes_total")).is_size);
+  EXPECT_FALSE(
+      pvar_info(pvar_index_by_name("mpim_engine_messages_total")).is_size);
+}
+
+TEST(Runtime, TelemetryPvarReadsThroughRegistry) {
+  Sim sim = make_sim(2);
+  sim.engine().telemetry().set_enabled(true);
+  sim.run([&](Ctx& ctx) {
+    Runtime& rt = Runtime::of(ctx.engine());
+    const Comm world = ctx.world();
+    const int sid = rt.session_create();
+    const int idx = pvar_index_by_name("mpim_engine_messages_total");
+    ASSERT_GE(idx, 0);
+    const int h = rt.handle_alloc(sid, idx, world);
+    EXPECT_EQ(rt.handle_count(sid, h), 1);  // rank-local scalar, not per-peer
+    rt.handle_start(sid, h);
+
+    if (ctx.world_rank() == 0) {
+      int v = 1;
+      mpi::send(&v, 1, Type::Int, 1, 0, world);
+      mpi::send(&v, 1, Type::Int, 1, 0, world);
+    } else {
+      int v = 0;
+      mpi::recv(&v, 1, Type::Int, 0, 0, world);
+      mpi::recv(&v, 1, Type::Int, 0, 0, world);
+    }
+
+    unsigned long sent = 0;
+    ASSERT_EQ(rt.handle_read(sid, h, &sent, 1), 1);
+    if (ctx.world_rank() == 0) {
+      EXPECT_EQ(sent, 2u);  // the calling rank's sends only
+    } else {
+      EXPECT_EQ(sent, 0u);
+    }
+
+    // Reset is per handle: it rebases this handle without clearing the
+    // shared registry metric.
+    rt.handle_reset(sid, h);
+    rt.handle_read(sid, h, &sent, 1);
+    EXPECT_EQ(sent, 0u);
+    EXPECT_GT(ctx.engine().telemetry().registry().counter_total(
+                  ctx.engine().telemetry().ids().engine_messages),
+              0u);
+    rt.session_free(sid);
+  });
+}
+
+TEST(Runtime, TelemetryPvarAllocFailsWhenMetricMissing) {
+  // Guards the name contract between pvar.cpp and the hub catalog: every
+  // telemetry pvar must resolve to a live registry metric.
+  Sim sim = make_sim(1);
+  sim.run([&](Ctx& ctx) {
+    Runtime& rt = Runtime::of(ctx.engine());
+    const int sid = rt.session_create();
+    for (int i = 6; i < pvar_get_num(); ++i)
+      EXPECT_NO_THROW(rt.handle_alloc(sid, i, ctx.world())) << i;
+    rt.session_free(sid);
+  });
 }
 
 TEST(Runtime, OfReturnsAttachedRuntime) {

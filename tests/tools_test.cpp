@@ -3,8 +3,10 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
+#include "fault/fault_plan.h"
 #include "minimpi/api.h"
 #include "mpimon/mpi_monitoring.h"
 #include "mpimon/session.hpp"
@@ -165,6 +167,55 @@ TEST(Tracer, DisableAndClear) {
   EXPECT_EQ(tracer.event_count(), 1u);
   tracer.clear();
   EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(Tracer, RecordsFaultRetransmitAttempts) {
+  auto plan = std::make_shared<fault::FaultPlan>(11);
+  fault::LinkFault drop;
+  drop.src = 0;
+  drop.dst = 1;
+  drop.drop_prob = 0.999999;  // deterministically lost
+  drop.max_retransmits = 2;
+  drop.retransmit_backoff_s = 1e-6;
+  plan->add(drop);
+  auto cost = net::CostModel::plafrim_like(2, 1, 2);
+  mpi::EngineConfig cfg{
+      .cost_model = cost,
+      .placement = topo::round_robin_placement(2, cost.topology())};
+  cfg.fault_plan = plan;
+  Sim sim(std::move(cfg));
+  Tracer tracer(sim.tool());
+  sim.run([](Ctx& ctx) {
+    // Fire-and-forget: the message is lost after 3 attempts; no recv.
+    if (ctx.world_rank() == 0)
+      mpi::send(nullptr, 512, Type::Byte, 1, 0, ctx.world());
+  });
+  const auto events = tracer.merged_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].attempts, 3);  // 1 first try + 2 retransmits
+  EXPECT_EQ(tracer.stats().retransmit_attempts, 2u);
+}
+
+TEST(Tracer, BoundedRingWrapsAndCountsDrops) {
+  Sim sim = make_sim(2);
+  Tracer tracer(sim.tool(), /*capacity_per_rank=*/4);
+  sim.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    for (int i = 0; i < 10; ++i) {
+      if (ctx.world_rank() == 0)
+        mpi::send(nullptr, 8, Type::Byte, 1, i, world);
+      else
+        mpi::recv(nullptr, 8, Type::Byte, 0, i, world);
+    }
+  });
+  EXPECT_EQ(tracer.event_count(), 4u);   // only rank 0 sends; ring holds 4
+  EXPECT_EQ(tracer.events_dropped(), 6u);
+  const auto events = tracer.merged_events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().tag, 6);  // oldest retained = suffix of the run
+  EXPECT_EQ(events.back().tag, 9);
+  tracer.clear();
+  EXPECT_EQ(tracer.events_dropped(), 0u);
 }
 
 TEST(Tracer, WritesParseableTraceFile) {
