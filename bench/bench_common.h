@@ -4,9 +4,12 @@
 // "--csv <dir>" (also emit CSV files next to the printed tables).
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "minimpi/api.h"
@@ -19,10 +22,79 @@ namespace mpim::bench {
 struct Options {
   bool quick = false;
   std::optional<std::string> csv_dir;
+  std::string prog = "bench";  ///< binary basename, "bench_" prefix stripped
 };
+
+namespace detail {
+
+/// Accumulates every table a run emitted so an atexit hook can mirror them
+/// into <csv_dir>/BENCH_<prog>.json -- the per-PR trajectory file
+/// scripts/bench_trend.py tracks alongside the google-benchmark JSONs.
+struct JsonSink {
+  std::string path;
+  std::string prog;
+  std::vector<std::pair<std::string, Table>> tables;
+};
+
+inline JsonSink& json_sink() {
+  static JsonSink sink;
+  return sink;
+}
+
+inline std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // tables are text
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline void flush_json_sink() {
+  const JsonSink& sink = json_sink();
+  if (sink.path.empty() || sink.tables.empty()) return;
+  std::ofstream os(sink.path);
+  if (!os.good()) return;
+  os << "{\n  \"format\": \"mpim-bench-tables\",\n  \"program\": \""
+     << json_escape(sink.prog) << "\",\n  \"tables\": [";
+  bool first_table = true;
+  for (const auto& [name, table] : sink.tables) {
+    os << (first_table ? "\n" : ",\n") << "    {\"name\": \""
+       << json_escape(name) << "\", \"header\": [";
+    first_table = false;
+    bool first = true;
+    for (const std::string& h : table.header()) {
+      os << (first ? "" : ", ") << '"' << json_escape(h) << '"';
+      first = false;
+    }
+    os << "], \"rows\": [";
+    bool first_row = true;
+    for (const auto& row : table.rows()) {
+      os << (first_row ? "" : ", ") << '[';
+      first_row = false;
+      first = true;
+      for (const std::string& cell : row) {
+        os << (first ? "" : ", ") << '"' << json_escape(cell) << '"';
+        first = false;
+      }
+      os << ']';
+    }
+    os << "]}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace detail
 
 inline Options parse_options(int argc, char** argv) {
   Options opt;
+  std::string base = argv[0];
+  if (const auto slash = base.find_last_of('/'); slash != std::string::npos)
+    base = base.substr(slash + 1);
+  if (base.rfind("bench_", 0) == 0) base = base.substr(6);
+  opt.prog = base;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -42,7 +114,15 @@ inline Options parse_options(int argc, char** argv) {
 
 inline void maybe_csv(const Options& opt, const Table& table,
                       const std::string& name) {
-  if (opt.csv_dir) table.write_csv_file(*opt.csv_dir + "/" + name + ".csv");
+  if (!opt.csv_dir) return;
+  table.write_csv_file(*opt.csv_dir + "/" + name + ".csv");
+  detail::JsonSink& sink = detail::json_sink();
+  if (sink.path.empty()) {
+    sink.path = *opt.csv_dir + "/BENCH_" + opt.prog + ".json";
+    sink.prog = opt.prog;
+    std::atexit(detail::flush_json_sink);
+  }
+  sink.tables.emplace_back(name, table);
 }
 
 /// PlaFRIM-like engine config: `nranks` ranks over `nodes` 24-core nodes

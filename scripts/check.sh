@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 gate, runnable locally and in CI:
-#   1. default preset: configure, build, full ctest suite
+#   1. default preset: configure, build, full ctest suite, then a focused
+#      re-run of the "introspect" label (snapshot/phase-detection suite),
+#      a stencil_reorder smoke run, and the bench trajectory gate
+#      (bench_introspect --quick + scripts/bench_trend.py vs the committed
+#      results/BENCH_*.json baselines)
 #   2. asan preset:    configure, build, ctest filtered to label "sanitize"
+#      (the introspect suite carries both labels, so it runs under asan too)
 #
 # Usage: scripts/check.sh [--default-only|--asan-only]
 set -euo pipefail
@@ -25,6 +30,21 @@ if [ "$run_default" = 1 ]; then
   cmake --preset default
   cmake --build --preset default -j "$jobs"
   ctest --preset default --output-on-failure -j "$jobs"
+
+  echo "== tier-1: introspect label =="
+  ctest --preset default --output-on-failure -j "$jobs" -L introspect
+
+  echo "== smoke: stencil_reorder =="
+  ./build/examples/stencil_reorder >/dev/null
+
+  echo "== bench trajectory =="
+  mkdir -p results
+  ./build/bench/bench_introspect --quick --csv results
+  if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/bench_trend.py
+  else
+    echo "bench_trend: python3 not found, skipping trajectory gate" >&2
+  fi
 fi
 
 if [ "$run_asan" = 1 ]; then

@@ -1,0 +1,286 @@
+#include "introspect/analyzer.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "introspect/snapshot.h"
+#include "support/error.h"
+#include "treematch/treematch.h"
+
+namespace mpim::introspect {
+
+namespace {
+
+double vec_norm(std::span<const unsigned long> v) {
+  double s = 0.0;
+  for (unsigned long x : v) s += static_cast<double>(x) * static_cast<double>(x);
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+double cosine_distance(std::span<const unsigned long> a,
+                       std::span<const unsigned long> b) {
+  check(a.size() == b.size(), "cosine_distance: size mismatch");
+  const double na = vec_norm(a);
+  const double nb = vec_norm(b);
+  if (na == 0.0 && nb == 0.0) return 0.0;
+  if (na == 0.0 || nb == 0.0) return 1.0;
+  double dot = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    dot += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  return 1.0 - dot / (na * nb);
+}
+
+double l1_distance(std::span<const unsigned long> a,
+                   std::span<const unsigned long> b) {
+  check(a.size() == b.size(), "l1_distance: size mismatch");
+  double diff = 0.0, mass = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x = static_cast<double>(a[i]);
+    const double y = static_cast<double>(b[i]);
+    diff += std::abs(x - y);
+    mass += x + y;
+  }
+  return mass == 0.0 ? 0.0 : diff / mass;
+}
+
+double load_imbalance(const CommMatrix& bytes) {
+  const std::size_t n = bytes.rows();
+  if (n == 0) return 0.0;
+  double max_row = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < bytes.cols(); ++j)
+      row += static_cast<double>(bytes(i, j));
+    max_row = std::max(max_row, row);
+    total += row;
+  }
+  if (total == 0.0) return 0.0;
+  return max_row / (total / static_cast<double>(n));
+}
+
+double neighbor_affinity_fraction(const CommMatrix& bytes,
+                                  const topo::Topology& topo,
+                                  const topo::Placement& placement) {
+  const std::size_t n = bytes.rows();
+  check(placement.size() >= n, "placement smaller than matrix order");
+  double neighbor = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < bytes.cols(); ++j) {
+      if (i == j) continue;
+      const double v = static_cast<double>(bytes(i, j));
+      if (v == 0.0) continue;
+      total += v;
+      if (topo.hop_distance(placement[i], placement[j]) <= 2) neighbor += v;
+    }
+  }
+  return total == 0.0 ? 0.0 : neighbor / total;
+}
+
+double mismatch_byte_hops(const CommMatrix& bytes, const topo::Topology& topo,
+                          const topo::Placement& placement) {
+  const std::size_t n = bytes.rows();
+  check(placement.size() >= n, "placement smaller than matrix order");
+  double cost = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < bytes.cols(); ++j)
+      if (i != j && bytes(i, j) != 0)
+        cost += static_cast<double>(bytes(i, j)) *
+                static_cast<double>(
+                    topo.hop_distance(placement[i], placement[j]));
+  return cost;
+}
+
+double treematch_gain(const CommMatrix& bytes, const topo::Topology& topo,
+                      const topo::Placement& placement,
+                      const net::CostModel& cost) {
+  const std::size_t n = bytes.rows();
+  if (n == 0 || bytes.sum() == 0) return 0.0;
+  const double current = cost.pattern_cost(bytes, placement);
+  if (current <= 0.0) return 0.0;
+  // Same math as reorder::compute_reordering: TreeMatch assigns each role
+  // (matrix row) to one of the slots the job already occupies; the
+  // proposed placement executes role r on the leaf of its slot.
+  const std::vector<int> role_to_slot =
+      tm::treematch_slots(bytes, topo, placement);
+  topo::Placement proposed(n);
+  for (std::size_t role = 0; role < n; ++role)
+    proposed[role] =
+        placement[static_cast<std::size_t>(role_to_slot[role])];
+  const double after = cost.pattern_cost(bytes, proposed);
+  return after >= current ? 0.0 : 1.0 - after / current;
+}
+
+namespace {
+
+std::vector<WindowMetrics> analyze_impl(const std::vector<FrameMatrix>& frames,
+                                        const topo::Topology* topo,
+                                        const topo::Placement* placement) {
+  std::vector<WindowMetrics> out;
+  out.reserve(frames.size());
+  std::span<const unsigned long> prev;
+  for (const FrameMatrix& f : frames) {
+    WindowMetrics m;
+    m.window = f.window;
+    m.t0_s = f.t0_s;
+    m.t1_s = f.t1_s;
+    for (unsigned long v : f.counts.flat()) m.msgs += v;
+    for (unsigned long v : f.bytes.flat()) m.bytes += v;
+    m.imbalance = load_imbalance(f.bytes);
+    if (!prev.empty()) {
+      m.cos_dist = cosine_distance(prev, f.bytes.flat());
+      m.l1_dist = l1_distance(prev, f.bytes.flat());
+      m.boundary = m.cos_dist > WindowSampler::kCosineBoundary ||
+                   m.l1_dist > WindowSampler::kL1Boundary;
+    }
+    if (topo != nullptr && placement != nullptr) {
+      m.neighbor_frac = neighbor_affinity_fraction(f.bytes, *topo, *placement);
+      m.mismatch_hops = mismatch_byte_hops(f.bytes, *topo, *placement);
+    }
+    prev = f.bytes.flat();
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<WindowMetrics> analyze_windows(
+    const std::vector<FrameMatrix>& frames) {
+  return analyze_impl(frames, nullptr, nullptr);
+}
+
+std::vector<WindowMetrics> analyze_windows(
+    const std::vector<FrameMatrix>& frames, const topo::Topology& topo,
+    const topo::Placement& placement) {
+  return analyze_impl(frames, &topo, &placement);
+}
+
+void write_frames_csv(std::ostream& os,
+                      const std::vector<FrameMatrix>& frames) {
+  os << "window,t0_s,t1_s,src,dst,count,bytes\n";
+  for (const FrameMatrix& f : frames) {
+    bool any = false;
+    for (std::size_t i = 0; i < f.bytes.rows(); ++i) {
+      for (std::size_t j = 0; j < f.bytes.cols(); ++j) {
+        if (f.counts(i, j) == 0 && f.bytes(i, j) == 0) continue;
+        os << f.window << "," << f.t0_s << "," << f.t1_s << "," << i << ","
+           << j << "," << f.counts(i, j) << "," << f.bytes(i, j) << "\n";
+        any = true;
+      }
+    }
+    if (!any)
+      os << f.window << "," << f.t0_s << "," << f.t1_s << ",-1,-1,0,0\n";
+  }
+}
+
+void write_frames_csv_file(const std::string& path,
+                           const std::vector<FrameMatrix>& frames) {
+  std::ofstream os(path);
+  check(os.good(), "cannot open frames csv for writing: " + path);
+  write_frames_csv(os, frames);
+  check(os.good(), "failed writing frames csv: " + path);
+}
+
+namespace {
+
+/// Strict numeric cell parsers: the whole cell must parse and the value
+/// must be finite ("nan"/"inf" cells are corrupt data, not numbers --
+/// std::stod would happily accept them).
+double parse_num(const std::string& cell, const char* what) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(cell, &used);
+  } catch (const std::exception&) {
+    fail(std::string("frames csv: bad ") + what + " cell: '" + cell + "'");
+  }
+  if (used != cell.size() || !std::isfinite(v))
+    fail(std::string("frames csv: bad ") + what + " cell: '" + cell + "'");
+  return v;
+}
+
+long parse_long(const std::string& cell, const char* what) {
+  const double v = parse_num(cell, what);
+  if (v != std::floor(v))
+    fail(std::string("frames csv: non-integer ") + what + " cell: '" + cell +
+         "'");
+  return static_cast<long>(v);
+}
+
+}  // namespace
+
+std::vector<FrameMatrix> read_frames_csv(const std::string& path, int order) {
+  std::ifstream is(path);
+  check(is.good(), "cannot open frames csv: " + path);
+  std::string line;
+  check(static_cast<bool>(std::getline(is, line)),
+        "empty frames csv: " + path);
+  check(line == "window,t0_s,t1_s,src,dst,count,bytes",
+        "not a frames csv (bad header): " + path);
+
+  struct Row {
+    long window;
+    double t0, t1;
+    long src, dst;
+    unsigned long count, bytes;
+  };
+  std::vector<Row> rows;
+  long max_rank = -1;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> c;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) c.push_back(cell);
+    check(c.size() == 7, "truncated frames csv row: " + line);
+    Row r;
+    r.window = parse_long(c[0], "window");
+    r.t0 = parse_num(c[1], "t0_s");
+    r.t1 = parse_num(c[2], "t1_s");
+    r.src = parse_long(c[3], "src");
+    r.dst = parse_long(c[4], "dst");
+    const long count = parse_long(c[5], "count");
+    const long bytes = parse_long(c[6], "bytes");
+    check(count >= 0 && bytes >= 0, "negative traffic in frames csv: " + line);
+    r.count = static_cast<unsigned long>(count);
+    r.bytes = static_cast<unsigned long>(bytes);
+    const bool empty_marker = r.src == -1 && r.dst == -1;
+    check(empty_marker || (r.src >= 0 && r.dst >= 0),
+          "bad src/dst in frames csv: " + line);
+    max_rank = std::max({max_rank, r.src, r.dst});
+    rows.push_back(r);
+  }
+  check(!rows.empty(), "frames csv has a header but no data: " + path);
+
+  std::size_t n = order > 0 ? static_cast<std::size_t>(order)
+                            : static_cast<std::size_t>(max_rank + 1);
+  if (n == 0) n = 1;  // all-empty windows: order unknown, pick the minimum
+  check(max_rank < static_cast<long>(n), "frames csv rank exceeds order");
+
+  std::vector<FrameMatrix> frames;
+  for (const Row& r : rows) {
+    if (frames.empty() || frames.back().window != r.window) {
+      check(frames.empty() || frames.back().window < r.window,
+            "frames csv windows out of order");
+      FrameMatrix f;
+      f.window = r.window;
+      f.t0_s = r.t0;
+      f.t1_s = r.t1;
+      f.counts = CommMatrix::square(n);
+      f.bytes = CommMatrix::square(n);
+      frames.push_back(std::move(f));
+    }
+    if (r.src >= 0) {
+      frames.back().counts(static_cast<std::size_t>(r.src),
+                           static_cast<std::size_t>(r.dst)) += r.count;
+      frames.back().bytes(static_cast<std::size_t>(r.src),
+                          static_cast<std::size_t>(r.dst)) += r.bytes;
+    }
+  }
+  return frames;
+}
+
+}  // namespace mpim::introspect

@@ -1,0 +1,125 @@
+#include "introspect/snapshot.h"
+
+#include <cmath>
+
+#include "introspect/analyzer.h"
+#include "support/error.h"
+
+namespace mpim::introspect {
+
+WindowSampler::WindowSampler(int npeers, double window_s,
+                             std::size_t max_frames)
+    : npeers_(npeers), window_s_(window_s), max_frames_(max_frames) {
+  check(npeers >= 1, "sampler needs at least one peer");
+  check(window_s > 0.0, "sampler window must be positive");
+  check(max_frames >= 1, "sampler needs room for at least one frame");
+  for (int k = 0; k < kNumKinds; ++k) {
+    acc_counts_[k].assign(static_cast<std::size_t>(npeers), 0ul);
+    acc_bytes_[k].assign(static_cast<std::size_t>(npeers), 0ul);
+  }
+  prev_row_.assign(static_cast<std::size_t>(npeers), 0ul);
+  total_bytes_.assign(static_cast<std::size_t>(npeers), 0ul);
+}
+
+void WindowSampler::close_current_window() {
+  Frame f;
+  f.window = current_;
+  f.t0_s = static_cast<double>(current_) * window_s_;
+  f.t1_s = static_cast<double>(current_ + 1) * window_s_;
+
+  std::vector<unsigned long> row(static_cast<std::size_t>(npeers_), 0ul);
+  if (touched_) {
+    for (int p = 0; p < npeers_; ++p) {
+      const auto ip = static_cast<std::size_t>(p);
+      FrameCell cell;
+      cell.peer = p;
+      bool any = false;
+      for (int k = 0; k < kNumKinds; ++k) {
+        cell.counts[k] = acc_counts_[k][ip];
+        cell.bytes[k] = acc_bytes_[k][ip];
+        if (cell.counts[k] || cell.bytes[k]) any = true;
+        row[ip] += cell.bytes[k];
+        total_bytes_[ip] += cell.bytes[k];
+        acc_counts_[k][ip] = 0;
+        acc_bytes_[k][ip] = 0;
+      }
+      if (any) f.cells.push_back(cell);
+    }
+    touched_ = false;
+  }
+
+  // Phase detection on the local byte row: the first window with traffic
+  // after a silent history is a boundary too (have_prev_ starts false so
+  // the very first frame never counts -- there is no "previous phase").
+  if (have_prev_) {
+    const double cos_d = cosine_distance(prev_row_, row);
+    const double l1_d = l1_distance(prev_row_, row);
+    f.boundary = cos_d > kCosineBoundary || l1_d > kL1Boundary;
+  }
+  prev_row_ = row;
+  have_prev_ = true;
+  if (f.boundary) ++phase_boundaries_;
+  ++frames_closed_;
+
+  frames_.push_back(std::move(f));
+  if (frames_.size() > max_frames_) {
+    frames_.pop_front();
+    ++frames_dropped_;
+  }
+  if (on_frame_) on_frame_(frames_.back());
+}
+
+void WindowSampler::roll_to(long window) {
+  if (!open_) {
+    current_ = window;
+    open_ = true;
+    return;
+  }
+  while (current_ < window) {
+    close_current_window();
+    ++current_;
+  }
+}
+
+void WindowSampler::record(double t_s, int peer, int kind_bit,
+                           unsigned long bytes) {
+  check(peer >= 0 && peer < npeers_, "sampler peer out of range");
+  check(kind_bit >= 0 && kind_bit < kNumKinds, "sampler kind out of range");
+  const long w = static_cast<long>(std::floor(t_s / window_s_));
+  roll_to(w);
+  const auto ip = static_cast<std::size_t>(peer);
+  acc_counts_[kind_bit][ip] += 1;
+  acc_bytes_[kind_bit][ip] += bytes;
+  touched_ = true;
+}
+
+void WindowSampler::flush(double t_s) {
+  if (!open_) return;
+  const long w = static_cast<long>(std::floor(t_s / window_s_));
+  roll_to(w);
+  // The window containing t_s is closed early only when it holds data, so
+  // a suspend captures the partial window but repeated flushes without new
+  // records never manufacture empty frames (or phony phase boundaries).
+  if (touched_) {
+    close_current_window();
+    ++current_;
+  }
+}
+
+void WindowSampler::clear() {
+  frames_.clear();
+  open_ = false;
+  touched_ = false;
+  have_prev_ = false;
+  frames_closed_ = 0;
+  frames_dropped_ = 0;
+  phase_boundaries_ = 0;
+  for (int k = 0; k < kNumKinds; ++k) {
+    std::fill(acc_counts_[k].begin(), acc_counts_[k].end(), 0ul);
+    std::fill(acc_bytes_[k].begin(), acc_bytes_[k].end(), 0ul);
+  }
+  std::fill(prev_row_.begin(), prev_row_.end(), 0ul);
+  std::fill(total_bytes_.begin(), total_bytes_.end(), 0ul);
+}
+
+}  // namespace mpim::introspect

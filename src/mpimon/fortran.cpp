@@ -93,6 +93,31 @@ void mpi_m_rootgather_data_(const int* msid, const int* root,
                                 *flags);
 }
 
+void mpi_m_snapshot_start_(const int* msid, const double* window_s,
+                           const int* max_frames, const int* flags,
+                           int* ierr) {
+  *ierr = MPI_M_snapshot_start(*msid, *window_s, *max_frames, *flags);
+}
+
+void mpi_m_snapshot_stop_(const int* msid, int* ierr) {
+  *ierr = MPI_M_snapshot_stop(*msid);
+}
+
+void mpi_m_snapshot_info_(const int* msid, int* nframes, int* frames_dropped,
+                          int* phase_boundaries, int* ierr) {
+  *ierr = MPI_M_snapshot_info(*msid, nframes, frames_dropped,
+                              phase_boundaries);
+}
+
+void mpi_m_get_frames_(const int* msid, const int* max_frames, int* nframes,
+                       double* t0_s, double* t1_s,
+                       unsigned long* matrix_counts,
+                       unsigned long* matrix_sizes, const int* flags,
+                       int* ierr) {
+  *ierr = MPI_M_get_frames(*msid, *max_frames, nframes, t0_s, t1_s,
+                           matrix_counts, matrix_sizes, *flags);
+}
+
 void mpi_m_flush_(const int* msid, const char* filename, const int* flags,
                   int* ierr, int filename_len) {
   *ierr = MPI_M_flush(*msid, fstring(filename, filename_len).c_str(), *flags);

@@ -38,6 +38,17 @@ void mpi_m_rootgather_data_(const int* msid, const int* root,
                             unsigned long* matrix_counts,
                             unsigned long* matrix_sizes, const int* flags,
                             int* ierr);
+void mpi_m_snapshot_start_(const int* msid, const double* window_s,
+                           const int* max_frames, const int* flags,
+                           int* ierr);
+void mpi_m_snapshot_stop_(const int* msid, int* ierr);
+void mpi_m_snapshot_info_(const int* msid, int* nframes, int* frames_dropped,
+                          int* phase_boundaries, int* ierr);
+void mpi_m_get_frames_(const int* msid, const int* max_frames, int* nframes,
+                       double* t0_s, double* t1_s,
+                       unsigned long* matrix_counts,
+                       unsigned long* matrix_sizes, const int* flags,
+                       int* ierr);
 void mpi_m_flush_(const int* msid, const char* filename, const int* flags,
                   int* ierr, int filename_len);
 void mpi_m_rootflush_(const int* msid, const int* root, const char* filename,

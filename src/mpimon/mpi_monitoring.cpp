@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "introspect/analyzer.h"
+#include "introspect/snapshot.h"
 #include "minimpi/coll.h"
 #include "minimpi/engine.h"
 #include "mpit/runtime.h"
@@ -30,6 +34,11 @@ struct MonSession {
   std::array<int, 6> handles{};
   /// Virtual time the current active period began (telemetry span).
   double span_start_s = -1.0;
+  /// Windowed snapshot sampler (MPI_M_snapshot_start); shared so the
+  /// packet observer closure survives session-vector reallocation.
+  std::shared_ptr<mpim::introspect::WindowSampler> sampler;
+  bool snapshot_running = false;
+  int snapshot_flags = MPI_M_ALL_COMM;
 };
 
 mpim::telemetry::Hub& tele() {
@@ -157,6 +166,7 @@ const char* MPI_M_error_string(int code) {
     case MPI_M_INVALID_ROOT: return "MPI_M_INVALID_ROOT";
     case MPI_M_INVALID_FLAGS: return "MPI_M_INVALID_FLAGS";
     case MPI_M_PARTIAL_DATA: return "MPI_M_PARTIAL_DATA";
+    case MPI_M_NO_SNAPSHOT: return "MPI_M_NO_SNAPSHOT";
     default: return "(unknown MPI_M error code)";
   }
 }
@@ -264,6 +274,10 @@ int MPI_M_suspend(MPI_M_msid msid) {
       [](const MonSession& s) { return s.state == MonSession::St::active; },
       [](MonSession& s) {
         stop_all_handles(s);
+        // Close the sampler's open window so snapshot data is complete
+        // while the session data is readable.
+        if (s.sampler && s.snapshot_running)
+          s.sampler->flush(Ctx::current().now());
         s.state = MonSession::St::suspended;
         mpim::telemetry::Hub& hub = tele();
         hub.add(hub.ids().mon_session_suspends, tele_rank());
@@ -298,6 +312,7 @@ int MPI_M_reset(MPI_M_msid msid) {
       [](MonSession& s) {
         auto& rt = runtime();
         for (int h : s.handles) rt.handle_reset(s.tsession, h);
+        if (s.sampler) s.sampler->clear();
         tele().add(tele().ids().mon_session_resets, tele_rank());
       });
 }
@@ -309,7 +324,9 @@ int MPI_M_free(MPI_M_msid msid) {
         return s.state == MonSession::St::suspended;
       },
       [](MonSession& s) {
-        runtime().session_free(s.tsession);
+        runtime().session_free(s.tsession);  // also detaches the observer
+        s.sampler.reset();
+        s.snapshot_running = false;
         s.state = MonSession::St::freed;
       });
 }
@@ -508,6 +525,388 @@ int MPI_M_rootgather_data(MPI_M_msid msid, int root,
                           unsigned long* matrix_sizes, int flags) {
   if (root < 0) return MPI_M_INVALID_ROOT;
   return gather_data_common(msid, root, matrix_counts, matrix_sizes, flags);
+}
+
+namespace {
+
+/// CommKind -> MPI_M kind-filter bit (p2p 0, coll 1, osc 2); -1 for tool.
+int kind_bit(CommKind kind) {
+  switch (kind) {
+    case CommKind::p2p: return 0;
+    case CommKind::coll: return 1;
+    case CommKind::osc: return 2;
+    default: return -1;
+  }
+}
+
+/// Per-rank frames blob exchanged by MPI_M_get_frames, in unsigned longs:
+///   [0]              nwin (<= K)
+///   then nwin entries of (1 + 2n) words: window index, counts row, bytes
+///   row (dense, kind-filtered). Fixed size 1 + K*(1+2n) so the fault-free
+///   path can ride the tree collectives.
+std::vector<unsigned long> build_frames_blob(const MonSession& s,
+                                             int max_frames, int flags) {
+  const std::size_t n = static_cast<std::size_t>(s.comm.size());
+  const std::size_t K = static_cast<std::size_t>(max_frames);
+  std::vector<unsigned long> blob(1 + K * (1 + 2 * n), 0ul);
+  const auto& frames = s.sampler->frames();
+  const std::size_t take = std::min(frames.size(), K);
+  const std::size_t first = frames.size() - take;
+  blob[0] = static_cast<unsigned long>(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    const mpim::introspect::Frame& f = frames[first + i];
+    unsigned long* entry = blob.data() + 1 + i * (1 + 2 * n);
+    entry[0] = static_cast<unsigned long>(f.window);
+    unsigned long* counts = entry + 1;
+    unsigned long* bytes = entry + 1 + n;
+    for (const mpim::introspect::FrameCell& cell : f.cells) {
+      const auto p = static_cast<std::size_t>(cell.peer);
+      for (int k = 0; k < mpim::introspect::kNumKinds; ++k) {
+        if (!(flags & (1 << k))) continue;
+        counts[p] += cell.counts[k];
+        bytes[p] += cell.bytes[k];
+      }
+    }
+  }
+  return blob;
+}
+
+/// Result blob, in unsigned longs:
+///   [0] W (aligned windows, <= K), [1] missing contributors,
+///   then W entries of (1 + 2n^2) words: window index, counts matrix,
+///   bytes matrix (rows of missing contributors = MPI_M_DATA_MISSING).
+std::vector<unsigned long> assemble_frames_result(
+    const std::vector<std::vector<unsigned long>>& blobs,
+    const std::vector<bool>& missing_rank, int max_frames, std::size_t n) {
+  const std::size_t K = static_cast<std::size_t>(max_frames);
+  const std::size_t stride = 1 + 2 * n;
+  // Union of window indices, ascending; keep the last K.
+  std::vector<long> windows;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (missing_rank[r]) continue;
+    const auto& blob = blobs[r];
+    const std::size_t nwin = static_cast<std::size_t>(blob[0]);
+    for (std::size_t i = 0; i < nwin; ++i)
+      windows.push_back(
+          static_cast<long>(blob[1 + i * stride]));
+  }
+  std::sort(windows.begin(), windows.end());
+  windows.erase(std::unique(windows.begin(), windows.end()), windows.end());
+  if (windows.size() > K)
+    windows.erase(windows.begin(),
+                  windows.end() - static_cast<std::ptrdiff_t>(K));
+
+  const std::size_t W = windows.size();
+  int missing = 0;
+  for (std::size_t r = 0; r < n; ++r)
+    if (missing_rank[r]) ++missing;
+
+  std::vector<unsigned long> out(2 + K * (1 + 2 * n * n), 0ul);
+  out[0] = static_cast<unsigned long>(W);
+  out[1] = static_cast<unsigned long>(missing);
+  for (std::size_t w = 0; w < W; ++w) {
+    unsigned long* entry = out.data() + 2 + w * (1 + 2 * n * n);
+    entry[0] = static_cast<unsigned long>(windows[w]);
+    unsigned long* counts = entry + 1;
+    unsigned long* bytes = entry + 1 + n * n;
+    for (std::size_t r = 0; r < n; ++r) {
+      unsigned long* crow = counts + r * n;
+      unsigned long* brow = bytes + r * n;
+      if (missing_rank[r]) {
+        std::fill(crow, crow + n, MPI_M_DATA_MISSING);
+        std::fill(brow, brow + n, MPI_M_DATA_MISSING);
+        continue;
+      }
+      const auto& blob = blobs[r];
+      const std::size_t nwin = static_cast<std::size_t>(blob[0]);
+      for (std::size_t i = 0; i < nwin; ++i) {
+        const unsigned long* e = blob.data() + 1 + i * stride;
+        if (static_cast<long>(e[0]) != windows[w]) continue;
+        std::copy(e + 1, e + 1 + n, crow);
+        std::copy(e + 1 + n, e + 1 + 2 * n, brow);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+/// Refreshes the mpim_introspect_* derived-metric gauges of the calling
+/// rank from a complete (no missing rows) get_frames result. Host-side
+/// analytics only: no virtual time, skipped entirely while telemetry is
+/// disabled (the gauges would not record anyway).
+void refresh_derived_metrics(const MonSession& s,
+                             const std::vector<unsigned long>& result,
+                             std::size_t n) {
+  mpim::telemetry::Hub& hub = tele();
+  if (!hub.enabled()) return;
+  const std::size_t W = static_cast<std::size_t>(result[0]);
+  if (W == 0) return;
+  mpim::CommMatrix cum = mpim::CommMatrix::square(n);
+  for (std::size_t w = 0; w < W; ++w) {
+    const unsigned long* bytes =
+        result.data() + 2 + w * (1 + 2 * n * n) + 1 + n * n;
+    for (std::size_t i = 0; i < n * n; ++i) cum.flat()[i] += bytes[i];
+  }
+  Ctx& ctx = Ctx::current();
+  const auto& topo = ctx.engine().topology();
+  const auto& world_placement = ctx.engine().config().placement;
+  mpim::topo::Placement placement(n);
+  for (std::size_t j = 0; j < n; ++j)
+    placement[j] = world_placement[static_cast<std::size_t>(
+        s.comm.world_rank_of(static_cast<int>(j)))];
+
+  const double imbalance = mpim::introspect::load_imbalance(cum);
+  const double neighbor =
+      mpim::introspect::neighbor_affinity_fraction(cum, topo, placement);
+  const double mismatch =
+      mpim::introspect::mismatch_byte_hops(cum, topo, placement);
+  const double gain = mpim::introspect::treematch_gain(
+      cum, topo, placement, ctx.engine().cost_model());
+  const int rank = tele_rank();
+  const auto& ids = hub.ids();
+  hub.gauge_set(ids.introspect_imbalance_milli, rank,
+                std::llround(imbalance * 1000.0));
+  hub.gauge_set(ids.introspect_neighbor_milli, rank,
+                std::llround(neighbor * 1000.0));
+  hub.gauge_set(ids.introspect_mismatch_hops, rank,
+                std::llround(mismatch));
+  hub.gauge_set(ids.introspect_gain_milli, rank,
+                std::llround(gain * 1000.0));
+}
+
+/// Failure-aware frames gather: linear gather of the fixed-size blobs
+/// with per-contributor timeouts, then a linear redistribution of the
+/// assembled result -- the gather_row_matrix_faulty protocol shape.
+/// Returns the number of missing contributors.
+int gather_frames_faulty(MonSession& s,
+                         const std::vector<unsigned long>& blob,
+                         int max_frames,
+                         std::vector<unsigned long>& result) {
+  Ctx& ctx = Ctx::current();
+  const std::size_t n = static_cast<std::size_t>(s.comm.size());
+  const int myrank = s.comm.group_rank_of_world(ctx.world_rank());
+  const double timeout_s = mon_state().gather_timeout_s;
+  const int gather_tag =
+      mpim::mpi::coll::coll_tag(ctx.next_coll_seq(s.comm));
+  const int redist_tag =
+      mpim::mpi::coll::coll_tag(ctx.next_coll_seq(s.comm));
+
+  if (myrank == 0) {
+    std::vector<std::vector<unsigned long>> blobs(n);
+    std::vector<bool> missing_rank(n, false);
+    blobs[0] = blob;
+    for (std::size_t r = 1; r < n; ++r) {
+      blobs[r].assign(blob.size(), 0ul);
+      mpim::mpi::Status st;
+      const Ctx::RecvWait rc = ctx.recv_bytes_wait(
+          s.comm.world_rank_of(static_cast<int>(r)), s.comm, gather_tag,
+          CommKind::tool, blobs[r].data(),
+          blobs[r].size() * sizeof(unsigned long), &st, timeout_s);
+      if (rc != Ctx::RecvWait::ok) {
+        missing_rank[r] = true;
+        tele().add(tele().ids().mon_gather_timeouts, tele_rank());
+      }
+    }
+    result = assemble_frames_result(blobs, missing_rank, max_frames, n);
+    for (std::size_t r = 1; r < n; ++r)
+      ctx.send_bytes(s.comm.world_rank_of(static_cast<int>(r)), s.comm,
+                     redist_tag, CommKind::tool, result.data(),
+                     result.size() * sizeof(unsigned long));
+    return static_cast<int>(result[1]);
+  }
+
+  ctx.send_bytes(s.comm.world_rank_of(0), s.comm, gather_tag, CommKind::tool,
+                 blob.data(), blob.size() * sizeof(unsigned long));
+  mpim::mpi::Status st;
+  const Ctx::RecvWait rc = ctx.recv_bytes_wait(
+      s.comm.world_rank_of(0), s.comm, redist_tag, CommKind::tool,
+      result.data(), result.size() * sizeof(unsigned long), &st,
+      timeout_s * static_cast<double>(n + 1));
+  if (rc != Ctx::RecvWait::ok) {
+    std::fill(result.begin(), result.end(), MPI_M_DATA_MISSING);
+    result[0] = 0;
+    result[1] = static_cast<unsigned long>(n);
+    tele().add(tele().ids().mon_gather_timeouts, tele_rank());
+    return static_cast<int>(n);
+  }
+  return static_cast<int>(result[1]);
+}
+
+}  // namespace
+
+int MPI_M_snapshot_start(MPI_M_msid msid, double window_s, int max_frames,
+                         int flags) {
+  return guarded([&] {
+    MonState& st = mon_state();
+    MonSession* s = nullptr;
+    if (int rc = resolve_msid(st, msid, &s); rc != MPI_M_SUCCESS) return rc;
+    if (s->snapshot_running) return MPI_M_MULTIPLE_CALL;
+    if (!flags_valid(flags)) return MPI_M_INVALID_FLAGS;
+    if (!(window_s > 0.0) || max_frames < 1) return MPI_M_INTERNAL_FAIL;
+
+    auto sampler = std::make_shared<mpim::introspect::WindowSampler>(
+        s->comm.size(), window_s, static_cast<std::size_t>(max_frames));
+
+    // Telemetry per frame: counters plus a phase span per detected phase.
+    // Never charges virtual time; disabled telemetry costs one load.
+    mpim::telemetry::Hub* hub = &tele();
+    const int rank = tele_rank();
+    auto* raw = sampler.get();
+    auto phase_t0 = std::make_shared<double>(-1.0);
+    auto dropped_seen = std::make_shared<std::uint64_t>(0);
+    sampler->set_frame_callback(
+        [hub, rank, raw, phase_t0, dropped_seen](
+            const mpim::introspect::Frame& f) {
+          hub->add(hub->ids().introspect_frames, rank);
+          if (*phase_t0 < 0.0) *phase_t0 = f.t0_s;
+          if (f.boundary) {
+            hub->add(hub->ids().introspect_boundaries, rank);
+            hub->span_complete(rank, "introspect.phase", 'P', *phase_t0,
+                               f.t0_s);
+            *phase_t0 = f.t0_s;
+          }
+          const std::uint64_t d = raw->frames_dropped();
+          if (d > *dropped_seen) {
+            hub->add(hub->ids().introspect_frames_dropped, rank,
+                     d - *dropped_seen);
+            *dropped_seen = d;
+          }
+        });
+
+    // The packet observer: filters this session's monitored traffic and
+    // feeds the sampler. Captures the state pointer + slot index (stable
+    // across session-vector growth), never the MonSession address.
+    MonState* statep = &st;
+    const int slot = msid;
+    const Comm comm = s->comm;
+    const int snap_flags = flags;
+    runtime().set_session_observer(
+        s->tsession,
+        [sampler, statep, slot, comm, snap_flags](const mpim::mpi::PktInfo& pkt) {
+          const MonSession& ms =
+              statep->sessions[static_cast<std::size_t>(slot)];
+          if (ms.state != MonSession::St::active || !ms.snapshot_running)
+            return;
+          const int bit = kind_bit(pkt.kind);
+          if (bit < 0 || !(snap_flags & (1 << bit))) return;
+          if (!comm.contains_world(pkt.src_world)) return;
+          const int dst = comm.group_rank_of_world(pkt.dst_world);
+          if (dst < 0) return;
+          sampler->record(pkt.send_time_s, dst, bit,
+                          static_cast<unsigned long>(pkt.bytes));
+        });
+
+    s->sampler = std::move(sampler);
+    s->snapshot_running = true;
+    s->snapshot_flags = flags;
+    hub->add(hub->ids().introspect_starts, rank);
+    return MPI_M_SUCCESS;
+  });
+}
+
+int MPI_M_snapshot_stop(MPI_M_msid msid) {
+  return guarded([&] {
+    MonState& st = mon_state();
+    MonSession* s = nullptr;
+    if (int rc = resolve_msid(st, msid, &s); rc != MPI_M_SUCCESS) return rc;
+    if (!s->sampler || !s->snapshot_running) return MPI_M_NO_SNAPSHOT;
+    s->sampler->flush(Ctx::current().now());
+    s->snapshot_running = false;
+    runtime().set_session_observer(s->tsession, nullptr);
+    return MPI_M_SUCCESS;
+  });
+}
+
+int MPI_M_snapshot_info(MPI_M_msid msid, int* nframes, int* frames_dropped,
+                        int* phase_boundaries) {
+  return guarded([&] {
+    MonState& st = mon_state();
+    MonSession* s = nullptr;
+    if (int rc = resolve_msid(st, msid, &s); rc != MPI_M_SUCCESS) return rc;
+    if (s->state != MonSession::St::suspended)
+      return MPI_M_SESSION_NOT_SUSPENDED;
+    if (!s->sampler) return MPI_M_NO_SNAPSHOT;
+    if (nframes != MPI_M_INT_IGNORE)
+      *nframes = static_cast<int>(s->sampler->frames().size());
+    if (frames_dropped != MPI_M_INT_IGNORE)
+      *frames_dropped = static_cast<int>(s->sampler->frames_dropped());
+    if (phase_boundaries != MPI_M_INT_IGNORE)
+      *phase_boundaries = static_cast<int>(s->sampler->phase_boundaries());
+    return MPI_M_SUCCESS;
+  });
+}
+
+int MPI_M_get_frames(MPI_M_msid msid, int max_frames, int* nframes,
+                     double* t0_s, double* t1_s,
+                     unsigned long* matrix_counts,
+                     unsigned long* matrix_sizes, int flags) {
+  return guarded([&] {
+    MonState& st = mon_state();
+    MonSession* s = nullptr;
+    if (int rc = resolve_msid(st, msid, &s); rc != MPI_M_SUCCESS) return rc;
+    if (s->state != MonSession::St::suspended)
+      return MPI_M_SESSION_NOT_SUSPENDED;
+    if (!s->sampler) return MPI_M_NO_SNAPSHOT;
+    if (!flags_valid(flags)) return MPI_M_INVALID_FLAGS;
+    if (max_frames < 1) return MPI_M_INTERNAL_FAIL;
+
+    Ctx& ctx = Ctx::current();
+    const std::size_t n = static_cast<std::size_t>(s->comm.size());
+    const std::size_t K = static_cast<std::size_t>(max_frames);
+    const std::vector<unsigned long> blob =
+        build_frames_blob(*s, max_frames, flags);
+    std::vector<unsigned long> result(2 + K * (1 + 2 * n * n), 0ul);
+
+    int missing = 0;
+    if (ctx.engine().config().fault_plan != nullptr) {
+      missing = gather_frames_faulty(*s, blob, max_frames, result);
+    } else {
+      const int myrank = s->comm.group_rank_of_world(ctx.world_rank());
+      std::vector<unsigned long> gathered(myrank == 0 ? n * blob.size() : 0);
+      mpim::mpi::coll::gather(ctx, blob.data(), blob.size(),
+                              Type::UnsignedLong,
+                              myrank == 0 ? gathered.data() : nullptr, 0,
+                              s->comm, CommKind::tool);
+      if (myrank == 0) {
+        std::vector<std::vector<unsigned long>> blobs(n);
+        for (std::size_t r = 0; r < n; ++r)
+          blobs[r].assign(gathered.begin() +
+                              static_cast<std::ptrdiff_t>(r * blob.size()),
+                          gathered.begin() +
+                              static_cast<std::ptrdiff_t>((r + 1) *
+                                                          blob.size()));
+        result = assemble_frames_result(
+            blobs, std::vector<bool>(n, false), max_frames, n);
+      }
+      mpim::mpi::coll::bcast(ctx, result.data(),
+                             result.size() * sizeof(unsigned long),
+                             Type::Byte, 0, s->comm, CommKind::tool);
+    }
+
+    const std::size_t W = static_cast<std::size_t>(result[0]);
+    const double window_s = s->sampler->window_s();
+    if (nframes != MPI_M_INT_IGNORE) *nframes = static_cast<int>(W);
+    for (std::size_t w = 0; w < W; ++w) {
+      const unsigned long* entry = result.data() + 2 + w * (1 + 2 * n * n);
+      const long window = static_cast<long>(entry[0]);
+      if (t0_s != nullptr) t0_s[w] = static_cast<double>(window) * window_s;
+      if (t1_s != nullptr)
+        t1_s[w] = static_cast<double>(window + 1) * window_s;
+      if (matrix_counts != MPI_M_DATA_IGNORE)
+        std::copy(entry + 1, entry + 1 + n * n, matrix_counts + w * n * n);
+      if (matrix_sizes != MPI_M_DATA_IGNORE)
+        std::copy(entry + 1 + n * n, entry + 1 + 2 * n * n,
+                  matrix_sizes + w * n * n);
+    }
+
+    if (missing > 0) {
+      tele().add(tele().ids().mon_partial_data, tele_rank());
+      return MPI_M_PARTIAL_DATA;
+    }
+    refresh_derived_metrics(*s, result, n);
+    return MPI_M_SUCCESS;
+  });
 }
 
 int MPI_M_flush(MPI_M_msid msid, const char* filename, int flags) {

@@ -79,6 +79,10 @@ inline constexpr int MPI_M_INVALID_FLAGS = 10;
 /// A gather completed but one or more contributors crashed or timed out;
 /// their rows hold MPI_M_DATA_MISSING. The rest of the matrix is valid.
 inline constexpr int MPI_M_PARTIAL_DATA = 11;
+/// A snapshot operation was called on a session that has no snapshot
+/// sampler attached (MPI_M_snapshot_start not called, or already stopped
+/// where a running snapshot is required).
+inline constexpr int MPI_M_NO_SNAPSHOT = 12;
 
 /// Sentinel filling the rows of contributors that could not be gathered
 /// (crashed or timed-out ranks) when a gather returns MPI_M_PARTIAL_DATA.
@@ -143,6 +147,51 @@ int MPI_M_rootgather_data(MPI_M_msid msid, int root,
 /// non-positive values with MPI_M_INTERNAL_FAIL.
 int MPI_M_set_gather_timeout(double timeout_s);
 double MPI_M_get_gather_timeout();
+
+// --- windowed snapshots (time-resolved introspection) -----------------------
+
+/// Attaches a windowed snapshot sampler to an *active* session: from now
+/// on the session's traffic is additionally binned into fixed windows of
+/// `window_s` virtual seconds (global grid: window w covers
+/// [w*window_s, (w+1)*window_s)), kept in a bounded ring of the last
+/// `max_frames` per-window delta frames. Local, no traffic; recording
+/// pauses while the session is suspended and never charges virtual time
+/// (clocks are bit-identical with snapshots on or off).
+/// Errors: MPI_M_MULTIPLE_CALL when a snapshot is already running,
+/// MPI_M_INVALID_FLAGS for a bad kind filter, MPI_M_INTERNAL_FAIL for a
+/// non-positive window or frame budget, MPI_M_MULTIPLE_CALL rules over a
+/// stopped snapshot: restarting is allowed and discards the old frames.
+int MPI_M_snapshot_start(MPI_M_msid msid, double window_s, int max_frames,
+                         int flags);
+
+/// Stops a running snapshot: closes the current window and detaches the
+/// sampler from the send path. Frames stay readable until reset/free or a
+/// new snapshot_start. Allowed in active or suspended state; returns
+/// MPI_M_NO_SNAPSHOT when none is running.
+int MPI_M_snapshot_stop(MPI_M_msid msid);
+
+/// Local snapshot counters of a *suspended* session: frames currently
+/// held, frames evicted from the ring, and phase boundaries the detector
+/// flagged on this rank's traffic. Any output may be MPI_M_INT_IGNORE.
+int MPI_M_snapshot_info(MPI_M_msid msid, int* nframes, int* frames_dropped,
+                        int* phase_boundaries);
+
+/// Collective over the session communicator (suspended session, snapshot
+/// attached on every rank with the same window_s): aligns every rank's
+/// frames on the global window grid and returns, on every process, the
+/// last (up to) `max_frames` windows as full per-window matrices.
+/// Outputs, each optionally MPI_M_DATA_IGNORE / MPI_M_INT_IGNORE except
+/// nframes: t0_s/t1_s[max_frames] window bounds, matrix_counts/
+/// matrix_sizes[max_frames * n * n] row-major per-window matrices
+/// (windows nobody wrote to are all-zero; `flags` selects the traffic
+/// classes summed). Under faults, rows of crashed or timed-out
+/// contributors hold MPI_M_DATA_MISSING and the call returns
+/// MPI_M_PARTIAL_DATA. On success the per-window analyzer also refreshes
+/// the mpim_introspect_* derived-metric pvars of the calling rank.
+int MPI_M_get_frames(MPI_M_msid msid, int max_frames, int* nframes,
+                     double* t0_s, double* t1_s,
+                     unsigned long* matrix_counts,
+                     unsigned long* matrix_sizes, int flags);
 
 /// Each process writes its own row to "<filename>.<rank>.prof" (rank in the
 /// session communicator).

@@ -5,9 +5,11 @@
 // matrices as mpim::CommMatrix values.
 #pragma once
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
+#include "introspect/analyzer.h"
 #include "mpimon/mpi_monitoring.h"
 #include "support/error.h"
 #include "support/matrix.h"
@@ -91,6 +93,64 @@ class Session {
     check_rc(MPI_M_allgather_data(msid_, m.data(), MPI_M_DATA_IGNORE, flags),
              "MPI_M_allgather_data");
     return m;
+  }
+
+  // --- windowed snapshots ---------------------------------------------------
+
+  void snapshot_start(double window_s, int max_frames,
+                      int flags = MPI_M_ALL_COMM) {
+    check_rc(MPI_M_snapshot_start(msid_, window_s, max_frames, flags),
+             "MPI_M_snapshot_start");
+  }
+  void snapshot_stop() {
+    check_rc(MPI_M_snapshot_stop(msid_), "MPI_M_snapshot_stop");
+  }
+
+  struct SnapshotInfo {
+    int nframes = 0;
+    int frames_dropped = 0;
+    int phase_boundaries = 0;
+  };
+  /// Local snapshot counters (session must be suspended).
+  SnapshotInfo snapshot_info() const {
+    SnapshotInfo info;
+    check_rc(MPI_M_snapshot_info(msid_, &info.nframes, &info.frames_dropped,
+                                 &info.phase_boundaries),
+             "MPI_M_snapshot_info");
+    return info;
+  }
+
+  /// Collective: the last (up to) max_frames aligned windows as
+  /// introspect-style per-window matrices (session must be suspended).
+  /// Throws on MPI_M_PARTIAL_DATA; call MPI_M_get_frames directly to keep
+  /// partial matrices under faults.
+  std::vector<introspect::FrameMatrix> gather_frames(
+      int max_frames, int flags = MPI_M_ALL_COMM) const {
+    const std::size_t n = array_size();
+    const std::size_t K = static_cast<std::size_t>(max_frames);
+    int nframes = 0;
+    std::vector<double> t0(K), t1(K);
+    std::vector<unsigned long> counts(K * n * n), bytes(K * n * n);
+    check_rc(MPI_M_get_frames(msid_, max_frames, &nframes, t0.data(),
+                              t1.data(), counts.data(), bytes.data(), flags),
+             "MPI_M_get_frames");
+    std::vector<introspect::FrameMatrix> frames(
+        static_cast<std::size_t>(nframes));
+    for (std::size_t w = 0; w < frames.size(); ++w) {
+      introspect::FrameMatrix& f = frames[w];
+      f.t0_s = t0[w];
+      f.t1_s = t1[w];
+      f.window = static_cast<long>(t0[w] / (t1[w] - t0[w]) + 0.5);
+      f.counts = CommMatrix::square(n);
+      f.bytes = CommMatrix::square(n);
+      std::copy(counts.begin() + static_cast<std::ptrdiff_t>(w * n * n),
+                counts.begin() + static_cast<std::ptrdiff_t>((w + 1) * n * n),
+                f.counts.flat().begin());
+      std::copy(bytes.begin() + static_cast<std::ptrdiff_t>(w * n * n),
+                bytes.begin() + static_cast<std::ptrdiff_t>((w + 1) * n * n),
+                f.bytes.flat().begin());
+    }
+    return frames;
   }
 
   std::size_t array_size() const {

@@ -13,7 +13,7 @@ namespace {
 // Telemetry names must match the registry catalog in telemetry/hub.cpp:
 // handle_alloc resolves the backing metric by this exact name.
 constexpr mpi::CommKind kTele = mpi::CommKind::tool;  // class marker only
-constexpr std::array<PvarInfo, 25> kPvars{{
+constexpr std::array<PvarInfo, 33> kPvars{{
     {"pml_monitoring_messages_count",
      "number of point-to-point messages sent per peer",
      mpi::CommKind::p2p, false, PvarClass::peer_monitoring},
@@ -77,6 +77,29 @@ constexpr std::array<PvarInfo, 25> kPvars{{
      kTele, false, PvarClass::telemetry},
     {"mpim_reorder_identity_fallback_total",
      "identity permutation fallbacks",
+     kTele, false, PvarClass::telemetry},
+    // --- introspection snapshot analytics, appended PR 3 ---
+    {"mpim_introspect_snapshot_starts_total", "MPI_M_snapshot_start calls",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_introspect_frames_total", "snapshot frames closed",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_introspect_frames_dropped_total",
+     "snapshot frames evicted from the bounded ring",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_introspect_phase_boundaries_total",
+     "communication phase boundaries detected",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_introspect_load_imbalance_milli",
+     "send-byte load imbalance (max/mean) x1000",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_introspect_neighbor_fraction_milli",
+     "fraction of bytes between deepest-level neighbors x1000",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_introspect_mismatch_byte_hops",
+     "topology mismatch cost: bytes x tree hop distance",
+     kTele, true, PvarClass::telemetry},
+    {"mpim_introspect_treematch_gain_milli",
+     "estimated TreeMatch cost reduction x1000",
      kTele, false, PvarClass::telemetry},
 }};
 

@@ -36,6 +36,7 @@ int Runtime::on_send(const mpi::PktInfo& pkt) {
   int recorded = 0;
   for (Session& session : rs.sessions) {
     if (session.freed) continue;
+    if (session.observer) session.observer(pkt);
     for (Handle& handle : session.handles) {
       if (handle.freed || !handle.started || handle.kind != pkt.kind ||
           handle.telemetry_metric >= 0)
@@ -66,6 +67,17 @@ void Runtime::session_free(int session) {
   auto& s = rs.sessions[static_cast<std::size_t>(session)];
   s.freed = true;
   s.handles.clear();
+  s.observer = nullptr;
+}
+
+void Runtime::set_session_observer(int session, PktObserver observer) {
+  RankState& rs = my_rank_state();
+  std::lock_guard lock(rs.mutex);
+  if (session < 0 || session >= static_cast<int>(rs.sessions.size()) ||
+      rs.sessions[static_cast<std::size_t>(session)].freed)
+    throw MpitError("invalid pvar session");
+  rs.sessions[static_cast<std::size_t>(session)].observer =
+      std::move(observer);
 }
 
 Runtime::Handle& Runtime::resolve(RankState& rs, int session, int handle) {

@@ -10,6 +10,7 @@
 // even/odd example).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -62,6 +63,15 @@ class Runtime {
   using EventListener = std::function<void(const mpi::PktInfo&)>;
   void add_event_listener(EventListener listener);
 
+  /// Per-session packet observer (the snapshot sampler's hook): called on
+  /// the sending thread for every monitored packet of the calling rank
+  /// while `session` lives, under the rank mutex. Unlike the pvar handles,
+  /// an observation is NOT counted in on_send's record count, so it never
+  /// charges the monitoring overhead cost model -- virtual clocks stay
+  /// bit-identical with or without an observer. Pass nullptr to detach.
+  using PktObserver = std::function<void(const mpi::PktInfo&)>;
+  void set_session_observer(int session, PktObserver observer);
+
  private:
   struct Handle {
     mpi::Comm comm;
@@ -79,6 +89,7 @@ class Runtime {
   struct Session {
     bool freed = false;
     std::vector<Handle> handles;
+    PktObserver observer;  ///< optional packet observer (never charged)
   };
   struct RankState {
     std::mutex mutex;  ///< guards sessions: recording may come from peers

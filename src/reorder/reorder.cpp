@@ -1,5 +1,6 @@
 #include "reorder/reorder.h"
 
+#include <algorithm>
 #include <chrono>
 #include <ctime>
 
@@ -238,6 +239,83 @@ ReorderResult reorder_ranks(int msid, const mpi::Comm& comm) {
       out.fell_back
           ? comm
           : mpi::comm_split(comm, 0, k[static_cast<std::size_t>(myrank)]);
+  return out;
+}
+
+namespace {
+
+/// Cross-rank maximum of each rank's phase-boundary count. Fault-free runs
+/// use a tool-class allreduce (never monitored); under a fault plan rank 0
+/// collects linearly with the monitoring gather timeout, counts
+/// unreachable ranks as 0 and redistributes the decision, so a dead rank
+/// suppresses triggering instead of hanging the hook.
+int agree_max_boundaries(mpi::Ctx& ctx, const mpi::Comm& comm,
+                         int local_boundaries) {
+  const int n = comm.size();
+  if (ctx.engine().config().fault_plan == nullptr) {
+    int global = 0;
+    mpi::coll::allreduce(ctx, &local_boundaries, &global, 1, mpi::Type::Int,
+                         mpi::Op::Max, comm, mpi::CommKind::tool);
+    return global;
+  }
+  const int myrank = mpi::comm_rank(comm);
+  const double timeout_s = MPI_M_get_gather_timeout();
+  const int gather_tag = mpi::coll::coll_tag(ctx.next_coll_seq(comm));
+  const int redist_tag = mpi::coll::coll_tag(ctx.next_coll_seq(comm));
+  if (myrank == 0) {
+    int global = local_boundaries;
+    for (int r = 1; r < n; ++r) {
+      int theirs = 0;
+      mpi::Status st;
+      const mpi::Ctx::RecvWait rc = ctx.recv_bytes_wait(
+          comm.world_rank_of(r), comm, gather_tag, mpi::CommKind::tool,
+          &theirs, sizeof(int), &st, timeout_s);
+      if (rc == mpi::Ctx::RecvWait::ok) global = std::max(global, theirs);
+    }
+    for (int r = 1; r < n; ++r)
+      ctx.send_bytes(comm.world_rank_of(r), comm, redist_tag,
+                     mpi::CommKind::tool, &global, sizeof(int));
+    return global;
+  }
+  ctx.send_bytes(comm.world_rank_of(0), comm, gather_tag, mpi::CommKind::tool,
+                 &local_boundaries, sizeof(int));
+  int global = 0;
+  mpi::Status st;
+  const mpi::Ctx::RecvWait rc = ctx.recv_bytes_wait(
+      comm.world_rank_of(0), comm, redist_tag, mpi::CommKind::tool, &global,
+      sizeof(int), &st, timeout_s * static_cast<double>(n + 1));
+  // Rank 0 unreachable: report no progress so nobody triggers one-sided.
+  return rc == mpi::Ctx::RecvWait::ok ? global : local_boundaries;
+}
+
+}  // namespace
+
+ReorderResult reorder_on_phase(int msid, const mpi::Comm& comm,
+                               int* seen_boundaries, bool* triggered) {
+  check(seen_boundaries != nullptr, "seen_boundaries must not be null");
+  mpi::Ctx& ctx = mpi::Ctx::current();
+  mon::check_rc(MPI_M_suspend(msid), "MPI_M_suspend");
+
+  int local = 0;
+  mon::check_rc(MPI_M_snapshot_info(msid, MPI_M_INT_IGNORE,
+                                    MPI_M_INT_IGNORE, &local),
+                "MPI_M_snapshot_info");
+  const int global = agree_max_boundaries(ctx, comm, local);
+  // Every alive rank sees the same `global`, so the trigger decision is
+  // consistent as long as the caller-owned counters are (they start at 0
+  // and only ever advance to an agreed value).
+  const bool fire = global > *seen_boundaries;
+
+  ReorderResult out;
+  if (fire) {
+    *seen_boundaries = global;
+    out = reorder_ranks(msid, comm);
+  } else {
+    out.opt_comm = comm;
+    out.k = identity_k(static_cast<std::size_t>(comm.size()));
+  }
+  if (triggered != nullptr) *triggered = fire;
+  mon::check_rc(MPI_M_continue(msid), "MPI_M_continue");
   return out;
 }
 

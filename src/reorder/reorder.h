@@ -74,6 +74,23 @@ bool validate_gathered_matrix(const unsigned long* flat, std::size_t n,
 /// stderr at rank 0 -- the step degrades instead of hanging or aborting.
 ReorderResult reorder_ranks(int msid, const mpi::Comm& comm);
 
+/// Phase-triggered reordering hook, meant to be called between computation
+/// chunks of an *active* session carrying a running snapshot
+/// (MPI_M_snapshot_start): suspends the session, reads each rank's phase-
+/// boundary count from the snapshot detector and agrees on the maximum
+/// across the communicator. When that maximum exceeds `*seen_boundaries`
+/// (caller-owned state, initialize to 0) the full reorder_ranks() step runs
+/// on the traffic monitored so far and `*seen_boundaries` is advanced;
+/// otherwise the result is the identity over `comm`, with no TreeMatch run.
+/// The session is resumed before returning either way. Collective over
+/// `comm`; `triggered` (optional) reports whether reordering ran. Under a
+/// fault plan the agreement degrades like the other steps: unreachable
+/// ranks count as "no new phase" instead of hanging the step, and
+/// reorder_ranks keeps its identity fallback.
+ReorderResult reorder_on_phase(int msid, const mpi::Comm& comm,
+                               int* seen_boundaries,
+                               bool* triggered = nullptr);
+
 /// Convenience: runs `monitored_step` under a fresh session (the paper's
 /// "first iteration"), then performs the reordering step above.
 ReorderResult monitor_and_reorder(

@@ -22,6 +22,8 @@ class Table {
   }
 
   std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
   /// Column-aligned plain text.
   void print(std::ostream& os) const;

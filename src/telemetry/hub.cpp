@@ -78,6 +78,29 @@ Hub::Hub(int nranks, std::size_t span_capacity)
       "mpim_reorder_applied_total", "TreeMatch permutation decisions applied");
   ids_.reorder_identity = reg.define_counter(
       "mpim_reorder_identity_fallback_total", "identity permutation fallbacks");
+
+  ids_.introspect_starts = reg.define_counter(
+      "mpim_introspect_snapshot_starts_total", "MPI_M_snapshot_start calls");
+  ids_.introspect_frames = reg.define_counter(
+      "mpim_introspect_frames_total", "snapshot frames closed");
+  ids_.introspect_frames_dropped = reg.define_counter(
+      "mpim_introspect_frames_dropped_total",
+      "snapshot frames evicted from the bounded ring");
+  ids_.introspect_boundaries = reg.define_counter(
+      "mpim_introspect_phase_boundaries_total",
+      "communication phase boundaries detected");
+  ids_.introspect_imbalance_milli = reg.define_gauge(
+      "mpim_introspect_load_imbalance_milli",
+      "send-byte load imbalance (max/mean) x1000, last analyzed window set");
+  ids_.introspect_neighbor_milli = reg.define_gauge(
+      "mpim_introspect_neighbor_fraction_milli",
+      "fraction of bytes between deepest-level neighbors x1000");
+  ids_.introspect_mismatch_hops = reg.define_gauge(
+      "mpim_introspect_mismatch_byte_hops",
+      "topology mismatch cost: bytes x tree hop distance");
+  ids_.introspect_gain_milli = reg.define_gauge(
+      "mpim_introspect_treematch_gain_milli",
+      "estimated TreeMatch cost reduction x1000");
 }
 
 bool Hub::span_begin(int rank, const char* name, char cat, double t_s) {

@@ -62,6 +62,15 @@ struct StdIds {
   int reorder_treematch_ns = -1;   ///< counter: TreeMatch CPU time, ns
   int reorder_applied = -1;        ///< counter: TreeMatch decisions applied
   int reorder_identity = -1;       ///< counter: identity fallbacks
+  // introspection snapshots (src/introspect)
+  int introspect_starts = -1;      ///< counter: MPI_M_snapshot_start calls
+  int introspect_frames = -1;      ///< counter: snapshot frames closed
+  int introspect_frames_dropped = -1;  ///< counter: frames evicted from ring
+  int introspect_boundaries = -1;  ///< counter: phase boundaries detected
+  int introspect_imbalance_milli = -1;   ///< gauge: load imbalance x1000
+  int introspect_neighbor_milli = -1;    ///< gauge: neighbor byte frac x1000
+  int introspect_mismatch_hops = -1;     ///< gauge: bytes x hop distance
+  int introspect_gain_milli = -1;        ///< gauge: est. TreeMatch gain x1000
 };
 
 class Hub {
@@ -90,6 +99,9 @@ class Hub {
   }
   void gauge_add(int id, int rank, std::int64_t delta) {
     if (enabled()) registry_.gauge_add(id, rank, delta);
+  }
+  void gauge_set(int id, int rank, std::int64_t v) {
+    if (enabled()) registry_.gauge_set(id, rank, v);
   }
 
   // --- span tracing (rank thread only for its own rank) ---

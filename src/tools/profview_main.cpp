@@ -4,150 +4,42 @@
 //   profview --matrix <base>_sizes.N.prof  rootflush matrix + summary
 //   profview --report <metrics.csv> [spans.csv]
 //                                          telemetry report (monview mode)
+//   profview --timeline <frames.csv>       per-window snapshot timeline
 //
 // The same source builds the `monview` binary, which is the report mode
 // without the flag: `monview <metrics.csv> [spans.csv]` renders the files
-// written by telemetry::write_metrics_csv / write_spans_csv.
+// written by telemetry::write_metrics_csv / write_spans_csv, and
+// `monview --timeline <frames.csv>` the per-window matrices written by
+// introspect::write_frames_csv (or an MPI_M_get_frames dump).
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
-#include <map>
-#include <sstream>
-#include <string>
-#include <vector>
 
 #include "support/error.h"
 #include "support/table.h"
 #include "tools/prof_reader.h"
+#include "tools/report.h"
 
 namespace {
 
 using mpim::Table;
-
-std::vector<std::string> split_csv_line(const std::string& line) {
-  std::vector<std::string> out;
-  std::stringstream ss(line);
-  std::string cell;
-  while (std::getline(ss, cell, ',')) out.push_back(cell);
-  return out;
-}
-
-/// Renders the metric,kind,rank,field,value CSV written by
-/// telemetry::write_metrics_csv: a scalar rollup (totals + busiest rank)
-/// and a merged bucket table for each histogram.
-void report_metrics(const std::string& path) {
-  std::ifstream is(path);
-  mpim::check(is.good(), "cannot open metrics csv: " + path);
-  std::string line;
-  mpim::check(static_cast<bool>(std::getline(is, line)),
-              "empty metrics csv: " + path);
-  mpim::check(line == "metric,kind,rank,field,value",
-              "not a telemetry metrics csv (bad header): " + path);
-
-  struct Scalar {
-    std::string kind;
-    long long total = 0;
-    long long max_value = 0;
-    int max_rank = 0;
-    bool any = false;
-  };
-  std::map<std::string, Scalar> scalars;     // insertion = catalog order lost,
-  std::vector<std::string> scalar_order;     // so keep it explicitly
-  std::map<std::string, std::map<std::string, long long>> hist_buckets;
-  std::vector<std::string> bucket_order;  // "metric|le" in file order
-
-  while (std::getline(is, line)) {
-    if (line.empty()) continue;
-    const std::vector<std::string> c = split_csv_line(line);
-    mpim::check(c.size() == 5, "malformed metrics csv row: " + line);
-    const std::string& metric = c[0];
-    const std::string& kind = c[1];
-    const int rank = std::stoi(c[2]);
-    const std::string& field = c[3];
-    const long long value = std::stoll(c[4]);
-    if (field.rfind("le=", 0) == 0) {
-      auto& buckets = hist_buckets[metric];
-      if (buckets.find(field) == buckets.end())
-        bucket_order.push_back(metric + "|" + field);
-      buckets[field] += value;
-      continue;
-    }
-    // counter/gauge `value` rows and histogram `count` rows roll up the
-    // same way: per-rank scalar, summed and max-tracked across ranks.
-    Scalar& s = scalars[metric];
-    if (!s.any) scalar_order.push_back(metric);
-    s.kind = kind;
-    s.total += value;
-    if (!s.any || value > s.max_value) {
-      s.max_value = value;
-      s.max_rank = rank;
-    }
-    s.any = true;
-  }
-
-  Table t({"metric", "kind", "total", "max rank", "max value"});
-  for (const std::string& name : scalar_order) {
-    const Scalar& s = scalars[name];
-    t.add(name, s.kind, s.total, s.max_rank, s.max_value);
-  }
-  std::printf("metrics (%zu)\n", scalar_order.size());
-  t.print(std::cout);
-
-  if (!bucket_order.empty()) {
-    Table h({"histogram", "le", "events (all ranks)"});
-    for (const std::string& key : bucket_order) {
-      const std::size_t bar = key.find('|');
-      const std::string metric = key.substr(0, bar);
-      const std::string le = key.substr(bar + 1 + 3);  // strip "le="
-      h.add(metric, le, hist_buckets[metric][key.substr(bar + 1)]);
-    }
-    std::printf("\nhistogram buckets\n");
-    h.print(std::cout);
-  }
-}
-
-/// Renders the rank,name,cat,depth,t0_s,t1_s,a,b CSV written by
-/// telemetry::write_spans_csv as a per-name duration rollup.
-void report_spans(const std::string& path) {
-  std::ifstream is(path);
-  mpim::check(is.good(), "cannot open spans csv: " + path);
-  std::string line;
-  mpim::check(static_cast<bool>(std::getline(is, line)),
-              "empty spans csv: " + path);
-  mpim::check(line == "rank,name,cat,depth,t0_s,t1_s,a,b",
-              "not a telemetry spans csv (bad header): " + path);
-
-  struct Roll {
-    long long count = 0;
-    double total_s = 0.0;
-  };
-  std::map<std::string, Roll> rolls;
-  long long events = 0;
-  while (std::getline(is, line)) {
-    if (line.empty()) continue;
-    const std::vector<std::string> c = split_csv_line(line);
-    mpim::check(c.size() == 8, "malformed spans csv row: " + line);
-    Roll& r = rolls[c[1]];
-    ++r.count;
-    r.total_s += std::stod(c[5]) - std::stod(c[4]);
-    ++events;
-  }
-  Table t({"span", "count", "total", "mean"});
-  for (const auto& [name, roll] : rolls)
-    t.add(name, roll.count, mpim::format_seconds(roll.total_s),
-          mpim::format_seconds(roll.count ? roll.total_s / roll.count : 0.0));
-  std::printf("\nspans (%lld events, %zu kinds)\n", events, rolls.size());
-  t.print(std::cout);
-}
 
 int run_report(int argc, char** argv, int first) {
   if (first >= argc) {
     std::fprintf(stderr, "report mode needs <metrics.csv> [spans.csv]\n");
     return 2;
   }
-  report_metrics(argv[first]);
-  if (first + 1 < argc) report_spans(argv[first + 1]);
+  mpim::tools::report_metrics(argv[first], std::cout);
+  if (first + 1 < argc) mpim::tools::report_spans(argv[first + 1], std::cout);
+  return 0;
+}
+
+int run_timeline(int argc, char** argv, int first) {
+  if (first >= argc) {
+    std::fprintf(stderr, "--timeline needs <frames.csv>\n");
+    return 2;
+  }
+  mpim::tools::report_timeline(argv[first], std::cout);
   return 0;
 }
 
@@ -164,19 +56,26 @@ int main(int argc, char** argv) {
   const bool monview = invoked_as_monview(argv[0]);
   if (argc < 2) {
     if (monview) {
-      std::fprintf(stderr, "usage: %s <metrics.csv> [spans.csv]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s <metrics.csv> [spans.csv]\n"
+                   "       %s --timeline <frames.csv>\n",
+                   argv[0], argv[0]);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--matrix] <file.prof>\n"
                    "       %s --report <metrics.csv> [spans.csv]\n"
+                   "       %s --timeline <frames.csv>\n"
                    "  default: per-rank profile (MPI_M_flush output)\n"
                    "  --matrix: n x n matrix (MPI_M_rootflush output)\n"
-                   "  --report: telemetry metrics/span report (monview)\n",
-                   argv[0], argv[0]);
+                   "  --report: telemetry metrics/span report (monview)\n"
+                   "  --timeline: per-window snapshot timeline + heatmap\n",
+                   argv[0], argv[0], argv[0]);
     }
     return 2;
   }
   try {
+    if (std::strcmp(argv[1], "--timeline") == 0)
+      return run_timeline(argc, argv, 2);
     if (monview) return run_report(argc, argv, 1);
     if (std::strcmp(argv[1], "--report") == 0)
       return run_report(argc, argv, 2);

@@ -1,0 +1,221 @@
+#include "tools/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "introspect/analyzer.h"
+#include "support/error.h"
+#include "support/table.h"
+
+namespace mpim::tools {
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) out.push_back(cell);
+  return out;
+}
+
+/// Strict numeric cells: the whole cell must parse and be finite. A "nan"
+/// or "inf" cell is corrupt data, not a number -- std::stod would happily
+/// accept both and let the NaN poison every rollup downstream.
+double num_cell(const std::string& cell, const std::string& line) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(cell, &used);
+  } catch (const std::exception&) {
+    fail("bad numeric cell '" + cell + "' in csv row: " + line);
+  }
+  if (used != cell.size() || !std::isfinite(v))
+    fail("bad numeric cell '" + cell + "' in csv row: " + line);
+  return v;
+}
+
+long long int_cell(const std::string& cell, const std::string& line) {
+  const double v = num_cell(cell, line);
+  check(v == std::floor(v), "non-integer cell '" + cell + "' in csv row: " + line);
+  return static_cast<long long>(v);
+}
+
+}  // namespace
+
+void report_metrics(const std::string& path, std::ostream& os) {
+  std::ifstream is(path);
+  check(is.good(), "cannot open metrics csv: " + path);
+  std::string line;
+  check(static_cast<bool>(std::getline(is, line)),
+        "empty metrics csv: " + path);
+  check(line == "metric,kind,rank,field,value",
+        "not a telemetry metrics csv (bad header): " + path);
+
+  struct Scalar {
+    std::string kind;
+    long long total = 0;
+    long long max_value = 0;
+    int max_rank = 0;
+    bool any = false;
+  };
+  std::map<std::string, Scalar> scalars;     // insertion = catalog order lost,
+  std::vector<std::string> scalar_order;     // so keep it explicitly
+  std::map<std::string, std::map<std::string, long long>> hist_buckets;
+  std::vector<std::string> bucket_order;  // "metric|le" in file order
+
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> c = split_csv_line(line);
+    check(c.size() == 5, "malformed metrics csv row: " + line);
+    const std::string& metric = c[0];
+    const std::string& kind = c[1];
+    const int rank = static_cast<int>(int_cell(c[2], line));
+    const std::string& field = c[3];
+    const long long value = int_cell(c[4], line);
+    if (field.rfind("le=", 0) == 0) {
+      auto& buckets = hist_buckets[metric];
+      if (buckets.find(field) == buckets.end())
+        bucket_order.push_back(metric + "|" + field);
+      buckets[field] += value;
+      continue;
+    }
+    // counter/gauge `value` rows and histogram `count` rows roll up the
+    // same way: per-rank scalar, summed and max-tracked across ranks.
+    Scalar& s = scalars[metric];
+    if (!s.any) scalar_order.push_back(metric);
+    s.kind = kind;
+    s.total += value;
+    if (!s.any || value > s.max_value) {
+      s.max_value = value;
+      s.max_rank = rank;
+    }
+    s.any = true;
+  }
+
+  Table t({"metric", "kind", "total", "max rank", "max value"});
+  for (const std::string& name : scalar_order) {
+    const Scalar& s = scalars[name];
+    t.add(name, s.kind, s.total, s.max_rank, s.max_value);
+  }
+  os << "metrics (" << scalar_order.size() << ")\n";
+  t.print(os);
+
+  if (!bucket_order.empty()) {
+    Table h({"histogram", "le", "events (all ranks)"});
+    for (const std::string& key : bucket_order) {
+      const std::size_t bar = key.find('|');
+      const std::string metric = key.substr(0, bar);
+      const std::string le = key.substr(bar + 1 + 3);  // strip "le="
+      h.add(metric, le, hist_buckets[metric][key.substr(bar + 1)]);
+    }
+    os << "\nhistogram buckets\n";
+    h.print(os);
+  }
+}
+
+void report_spans(const std::string& path, std::ostream& os) {
+  std::ifstream is(path);
+  check(is.good(), "cannot open spans csv: " + path);
+  std::string line;
+  check(static_cast<bool>(std::getline(is, line)),
+        "empty spans csv: " + path);
+  check(line == "rank,name,cat,depth,t0_s,t1_s,a,b",
+        "not a telemetry spans csv (bad header): " + path);
+
+  struct Roll {
+    long long count = 0;
+    double total_s = 0.0;
+  };
+  std::map<std::string, Roll> rolls;
+  long long events = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> c = split_csv_line(line);
+    check(c.size() == 8, "malformed spans csv row: " + line);
+    Roll& r = rolls[c[1]];
+    ++r.count;
+    r.total_s += num_cell(c[5], line) - num_cell(c[4], line);
+    ++events;
+  }
+  Table t({"span", "count", "total", "mean"});
+  for (const auto& [name, roll] : rolls)
+    t.add(name, roll.count, format_seconds(roll.total_s),
+          format_seconds(roll.count ? roll.total_s / roll.count : 0.0));
+  os << "\nspans (" << events << " events, " << rolls.size() << " kinds)\n";
+  t.print(os);
+}
+
+void report_timeline(const std::string& path, std::ostream& os) {
+  const std::vector<introspect::FrameMatrix> frames =
+      introspect::read_frames_csv(path);
+  const std::vector<introspect::WindowMetrics> metrics =
+      introspect::analyze_windows(frames);
+
+  Table t({"window", "t0", "t1", "msgs", "bytes", "imbalance", "cos d",
+           "l1 d", "phase"});
+  int boundaries = 0;
+  for (const introspect::WindowMetrics& m : metrics) {
+    if (m.boundary) ++boundaries;
+    t.add(m.window, format_seconds(m.t0_s), format_seconds(m.t1_s), m.msgs,
+          format_bytes(static_cast<double>(m.bytes)), format_sig(m.imbalance),
+          m.cos_dist < 0 ? "-" : format_sig(m.cos_dist),
+          m.l1_dist < 0 ? "-" : format_sig(m.l1_dist),
+          m.boundary ? "*" : "");
+  }
+  os << "timeline (" << frames.size() << " windows, " << boundaries
+     << " phase boundaries)\n";
+  t.print(os);
+
+  // Heatmap: the heaviest sender->receiver pairs, one row each, one column
+  // per window, intensity scaled to the hottest cell in the view.
+  struct Pair {
+    std::size_t src, dst;
+    unsigned long total;
+  };
+  std::map<std::pair<std::size_t, std::size_t>, unsigned long> totals;
+  for (const introspect::FrameMatrix& f : frames)
+    for (std::size_t i = 0; i < f.bytes.rows(); ++i)
+      for (std::size_t j = 0; j < f.bytes.cols(); ++j)
+        if (f.bytes(i, j) != 0) totals[{i, j}] += f.bytes(i, j);
+  std::vector<Pair> pairs;
+  pairs.reserve(totals.size());
+  for (const auto& [key, total] : totals)
+    pairs.push_back({key.first, key.second, total});
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    return a.total != b.total ? a.total > b.total
+                              : std::tie(a.src, a.dst) < std::tie(b.src, b.dst);
+  });
+  constexpr std::size_t kMaxPairs = 16;
+  if (pairs.size() > kMaxPairs) pairs.resize(kMaxPairs);
+  if (pairs.empty()) return;
+
+  unsigned long hottest = 0;
+  for (const Pair& p : pairs)
+    for (const introspect::FrameMatrix& f : frames)
+      hottest = std::max(hottest, f.bytes(p.src, p.dst));
+  static const char kScale[] = " .:-=+*#%@";
+  os << "\nheatmap (bytes per window, top " << pairs.size() << " pairs, @ = "
+     << format_bytes(static_cast<double>(hottest)) << ")\n";
+  for (const Pair& p : pairs) {
+    os << "  " << p.src << "->" << p.dst << "\t|";
+    for (const introspect::FrameMatrix& f : frames) {
+      const unsigned long v = f.bytes(p.src, p.dst);
+      const std::size_t level =
+          v == 0 ? 0
+                 : 1 + static_cast<std::size_t>(
+                           static_cast<double>(v) /
+                           static_cast<double>(hottest) * 8.999);
+      os << kScale[std::min<std::size_t>(level, 9)];
+    }
+    os << "|\t" << format_bytes(static_cast<double>(p.total)) << " total\n";
+  }
+}
+
+}  // namespace mpim::tools

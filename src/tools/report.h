@@ -1,0 +1,28 @@
+// Offline report renderers shared by the profview/monview binaries and the
+// tools tests: each takes a CSV produced by the telemetry exporters or the
+// introspection snapshot layer and renders a human-readable report to `os`.
+// All readers parse strictly and throw mpim::Error on malformed input
+// (missing file, bad header, truncated row, non-numeric or NaN cell).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace mpim::tools {
+
+/// Renders the metric,kind,rank,field,value CSV written by
+/// telemetry::write_metrics_csv: a scalar rollup (totals + busiest rank)
+/// and a merged bucket table for each histogram.
+void report_metrics(const std::string& path, std::ostream& os);
+
+/// Renders the rank,name,cat,depth,t0_s,t1_s,a,b CSV written by
+/// telemetry::write_spans_csv as a per-name duration rollup.
+void report_spans(const std::string& path, std::ostream& os);
+
+/// Renders a frames CSV written by introspect::write_frames_csv as a
+/// time-resolved view: a per-window metric table (messages, bytes, load
+/// imbalance, inter-window distances, phase-boundary markers) followed by
+/// a text heatmap of the heaviest sender->receiver pairs over the windows.
+void report_timeline(const std::string& path, std::ostream& os);
+
+}  // namespace mpim::tools

@@ -37,6 +37,14 @@ int Topology::common_ancestor_depth(int leaf_a, int leaf_b) const {
   return 0;
 }
 
+int Topology::hop_distance(int leaf_a, int leaf_b) const {
+  if (leaf_a == leaf_b) {
+    check(leaf_a >= 0 && leaf_a < num_leaves(), "leaf index out of range");
+    return 0;
+  }
+  return 2 * (depth() - common_ancestor_depth(leaf_a, leaf_b));
+}
+
 int Topology::ancestor_index(int leaf, int d) const {
   check(leaf >= 0 && leaf < num_leaves(), "leaf index out of range");
   check(d >= 0 && d <= depth(), "ancestor depth out of range");

@@ -38,6 +38,11 @@ class Topology {
   /// is shared, depth() = identical leaf.
   int common_ancestor_depth(int leaf_a, int leaf_b) const;
 
+  /// Tree hop count between two leaves: 2 * (depth() -
+  /// common_ancestor_depth), 0 for the same leaf. The unit the
+  /// introspection analyzer weighs bytes with (topology mismatch cost).
+  int hop_distance(int leaf_a, int leaf_b) const;
+
   /// Index of the enclosing depth-d entity of a leaf (e.g. node number).
   int ancestor_index(int leaf, int d) const;
 

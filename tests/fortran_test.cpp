@@ -121,6 +121,100 @@ TEST(Fortran, FlushHandlesBlankPaddedNames) {
   std::remove(path.c_str());
 }
 
+TEST(Fortran, SnapshotLifecycleThroughTheShims) {
+  Sim sim = make_sim(2);
+  sim.run([](mpi::Ctx& ctx) {
+    const mpi::Comm world = ctx.world();
+    int ierr = -1;
+    mpi_m_init_(&ierr);
+    ASSERT_EQ(ierr, MPI_M_SUCCESS);
+    const int fcomm = mpi_m_register_comm_f(world);
+    int msid = -1;
+    mpi_m_start_(&fcomm, &msid, &ierr);
+    ASSERT_EQ(ierr, MPI_M_SUCCESS);
+
+    const double window_s = 1e-3;
+    const int max_frames = 8, flags = MPI_M_ALL_COMM;
+    mpi_m_snapshot_start_(&msid, &window_s, &max_frames, &flags, &ierr);
+    ASSERT_EQ(ierr, MPI_M_SUCCESS);
+
+    if (ctx.world_rank() == 0) {
+      std::vector<std::byte> b(64);
+      mpi::send(b.data(), 64, mpi::Type::Byte, 1, 0, world);
+    } else {
+      std::vector<std::byte> b(64);
+      mpi::recv(b.data(), 64, mpi::Type::Byte, 0, 0, world);
+    }
+    mpi_m_suspend_(&msid, &ierr);
+    ASSERT_EQ(ierr, MPI_M_SUCCESS);
+
+    int nframes = -1, dropped = -1, boundaries = -1;
+    mpi_m_snapshot_info_(&msid, &nframes, &dropped, &boundaries, &ierr);
+    ASSERT_EQ(ierr, MPI_M_SUCCESS);
+    EXPECT_EQ(dropped, 0);
+    EXPECT_EQ(boundaries, 0);
+    if (ctx.world_rank() == 0) {
+      EXPECT_EQ(nframes, 1);
+    }
+
+    int got = -1;
+    double t0[8], t1[8];
+    unsigned long counts[8 * 4], sizes[8 * 4];
+    mpi_m_get_frames_(&msid, &max_frames, &got, t0, t1, counts, sizes,
+                      &flags, &ierr);
+    ASSERT_EQ(ierr, MPI_M_SUCCESS);
+    ASSERT_EQ(got, 1);
+    EXPECT_DOUBLE_EQ(t0[0], 0.0);
+    EXPECT_DOUBLE_EQ(t1[0], window_s);
+    EXPECT_EQ(counts[1], 1u);  // window 0: rank 0 -> rank 1
+    EXPECT_EQ(sizes[1], 64u);
+
+    mpi_m_snapshot_stop_(&msid, &ierr);
+    ASSERT_EQ(ierr, MPI_M_SUCCESS);
+    mpi_m_snapshot_stop_(&msid, &ierr);  // second stop: nothing attached
+    EXPECT_EQ(ierr, MPI_M_NO_SNAPSHOT);
+    mpi_m_free_(&msid, &ierr);
+    ASSERT_EQ(ierr, MPI_M_SUCCESS);
+    mpi_m_finalize_(&ierr);
+    ASSERT_EQ(ierr, MPI_M_SUCCESS);
+  });
+}
+
+TEST(Fortran, SnapshotErrorCodesPropagate) {
+  Sim sim = make_sim(1);
+  sim.run([](mpi::Ctx& ctx) {
+    int ierr = -1;
+    mpi_m_init_(&ierr);
+    const int fcomm = mpi_m_register_comm_f(ctx.world());
+    int msid = -1;
+    mpi_m_start_(&fcomm, &msid, &ierr);
+    ASSERT_EQ(ierr, MPI_M_SUCCESS);
+
+    const double window_s = 1e-3;
+    const int max_frames = 4;
+    const int bad_flags = 0, flags = MPI_M_ALL_COMM;
+    mpi_m_snapshot_start_(&msid, &window_s, &max_frames, &bad_flags, &ierr);
+    EXPECT_EQ(ierr, MPI_M_INVALID_FLAGS);
+    const double bad_window = 0.0;
+    mpi_m_snapshot_start_(&msid, &bad_window, &max_frames, &flags, &ierr);
+    EXPECT_EQ(ierr, MPI_M_INTERNAL_FAIL);
+
+    int nframes = -1;
+    mpi_m_snapshot_info_(&msid, &nframes, nullptr, nullptr, &ierr);
+    EXPECT_EQ(ierr, MPI_M_SESSION_NOT_SUSPENDED);
+    mpi_m_suspend_(&msid, &ierr);
+    mpi_m_snapshot_info_(&msid, &nframes, nullptr, nullptr, &ierr);
+    EXPECT_EQ(ierr, MPI_M_NO_SNAPSHOT);
+    int got = -1;
+    mpi_m_get_frames_(&msid, &max_frames, &got, nullptr, nullptr, nullptr,
+                      nullptr, &flags, &ierr);
+    EXPECT_EQ(ierr, MPI_M_NO_SNAPSHOT);
+
+    mpi_m_free_(&msid, &ierr);
+    mpi_m_finalize_(&ierr);
+  });
+}
+
 TEST(Fortran, InvalidCommHandleFails) {
   Sim sim = make_sim(1);
   sim.run([](mpi::Ctx&) {

@@ -12,6 +12,7 @@
 #include "mpimon/session.hpp"
 #include "mpimon/sim.h"
 #include "tools/apiprof.h"
+#include "tools/report.h"
 #include "tools/tracer.h"
 #include "tools/prof_reader.h"
 
@@ -321,6 +322,118 @@ TEST(ProfReader, RejectsMalformedInput) {
   }
   EXPECT_THROW(read_matrix_profile(path), Error);
   std::remove(path.c_str());
+}
+
+// --- report CSV ingestion -----------------------------------------------------
+
+/// Writes `content` to a temp file and returns its path (caller removes).
+std::string write_temp_csv(const std::string& name,
+                           const std::string& content) {
+  namespace fs = std::filesystem;
+  const std::string path = (fs::temp_directory_path() / name).string();
+  std::ofstream os(path);
+  os << content;
+  return path;
+}
+
+TEST(Report, RendersMetricsAndSpans) {
+  const std::string metrics = write_temp_csv(
+      "rep_m.csv",
+      "metric,kind,rank,field,value\n"
+      "mpim_engine_messages_total,counter,0,value,5\n"
+      "mpim_engine_messages_total,counter,1,value,9\n"
+      "mpim_send_wait_seconds,histogram,0,le=0.001,3\n");
+  const std::string spans = write_temp_csv(
+      "rep_s.csv",
+      "rank,name,cat,depth,t0_s,t1_s,a,b\n"
+      "0,halo.sweep,C,0,0.5,1.5,0,0\n"
+      "1,halo.sweep,C,0,0.25,0.75,0,0\n");
+  std::ostringstream os;
+  report_metrics(metrics, os);
+  report_spans(spans, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("mpim_engine_messages_total"), std::string::npos);
+  EXPECT_NE(out.find("14"), std::string::npos);  // summed over ranks
+  EXPECT_NE(out.find("histogram buckets"), std::string::npos);
+  EXPECT_NE(out.find("halo.sweep"), std::string::npos);
+  EXPECT_NE(out.find("2 events"), std::string::npos);
+  std::remove(metrics.c_str());
+  std::remove(spans.c_str());
+}
+
+TEST(Report, RejectsEmptyFilesAndMissingPaths) {
+  const std::string empty = write_temp_csv("rep_empty.csv", "");
+  std::ostringstream os;
+  EXPECT_THROW(report_metrics(empty, os), Error);
+  EXPECT_THROW(report_spans(empty, os), Error);
+  EXPECT_THROW(report_timeline(empty, os), Error);
+  EXPECT_THROW(report_metrics("/nonexistent/m.csv", os), Error);
+  EXPECT_THROW(report_timeline("/nonexistent/f.csv", os), Error);
+  std::remove(empty.c_str());
+}
+
+TEST(Report, RejectsForeignHeaders) {
+  const std::string wrong = write_temp_csv("rep_hdr.csv", "a,b,c\n1,2,3\n");
+  std::ostringstream os;
+  EXPECT_THROW(report_metrics(wrong, os), Error);
+  EXPECT_THROW(report_spans(wrong, os), Error);
+  EXPECT_THROW(report_timeline(wrong, os), Error);
+  std::remove(wrong.c_str());
+}
+
+TEST(Report, RejectsTruncatedRows) {
+  const std::string m = write_temp_csv(
+      "rep_trunc_m.csv",
+      "metric,kind,rank,field,value\nmpim_x_total,counter,0,value\n");
+  const std::string s = write_temp_csv(
+      "rep_trunc_s.csv",
+      "rank,name,cat,depth,t0_s,t1_s,a,b\n0,halo,C,0,0.5,1.5,0\n");
+  const std::string f = write_temp_csv(
+      "rep_trunc_f.csv",
+      "window,t0_s,t1_s,src,dst,count,bytes\n0,0.0,0.001,0,1,2\n");
+  std::ostringstream os;
+  EXPECT_THROW(report_metrics(m, os), Error);
+  EXPECT_THROW(report_spans(s, os), Error);
+  EXPECT_THROW(report_timeline(f, os), Error);
+  for (const std::string& p : {m, s, f}) std::remove(p.c_str());
+}
+
+TEST(Report, RejectsNonFiniteAndNonNumericCells) {
+  const std::string m = write_temp_csv(
+      "rep_nan_m.csv",
+      "metric,kind,rank,field,value\nmpim_x_total,counter,0,value,nan\n");
+  const std::string s = write_temp_csv(
+      "rep_nan_s.csv",
+      "rank,name,cat,depth,t0_s,t1_s,a,b\n0,halo,C,0,0.5,inf,0,0\n");
+  const std::string f = write_temp_csv(
+      "rep_nan_f.csv",
+      "window,t0_s,t1_s,src,dst,count,bytes\n0,0.0,0.001,0,1,2,oops\n");
+  std::ostringstream os;
+  EXPECT_THROW(report_metrics(m, os), Error);
+  EXPECT_THROW(report_spans(s, os), Error);
+  EXPECT_THROW(report_timeline(f, os), Error);
+  // A fractional count is numeric but not an integer: also rejected.
+  const std::string frac = write_temp_csv(
+      "rep_frac_m.csv",
+      "metric,kind,rank,field,value\nmpim_x_total,counter,0,value,1.5\n");
+  EXPECT_THROW(report_metrics(frac, os), Error);
+  for (const std::string& p : {m, s, f, frac}) std::remove(p.c_str());
+}
+
+TEST(Report, TimelineHandlesASingleWindow) {
+  const std::string f = write_temp_csv(
+      "rep_one_f.csv",
+      "window,t0_s,t1_s,src,dst,count,bytes\n"
+      "3,0.003,0.004,0,1,2,2048\n"
+      "3,0.003,0.004,1,0,1,512\n");
+  std::ostringstream os;
+  report_timeline(f, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("1 windows"), std::string::npos);
+  EXPECT_NE(out.find("0 phase boundaries"), std::string::npos);
+  EXPECT_NE(out.find("0->1"), std::string::npos);  // heatmap row
+  EXPECT_NE(out.find("KB"), std::string::npos);
+  std::remove(f.c_str());
 }
 
 TEST(ProfReader, SummaryFindsHeaviestPair) {
