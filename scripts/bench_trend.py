@@ -29,6 +29,9 @@ REGRESSION_LIMIT = 0.10  # fraction; >10% slower on a hot-path metric fails
 # Metrics where "bigger is slower" and the measurement is stable enough to
 # gate on. Everything else is informational.
 HOT_PATH_METRICS = ("ns_per_send", "us_per_roundtrip")
+# Throughput metrics where "smaller is slower": these gate on a *drop*
+# beyond REGRESSION_LIMIT (bench_record's recording fast path).
+HOT_PATH_INVERSE_METRICS = ("sends_per_sec",)
 
 
 def flatten(doc):
@@ -102,9 +105,14 @@ def main():
         for key, val in sorted(current.items()):
             ref = base.get(key)
             delta = (val / ref - 1.0) if ref else None
-            gated = key.endswith(HOT_PATH_METRICS)
+            slower_when_up = key.endswith(HOT_PATH_METRICS)
+            slower_when_down = key.endswith(HOT_PATH_INVERSE_METRICS)
+            gated = slower_when_up or slower_when_down
             rows.append((key, val, ref, delta, gated))
-            if gated and delta is not None and delta > REGRESSION_LIMIT:
+            if delta is None:
+                continue
+            if (slower_when_up and delta > REGRESSION_LIMIT) or \
+                    (slower_when_down and delta < -REGRESSION_LIMIT):
                 regressions.append((key, ref, val, delta))
 
     width = max(len(r[0]) for r in rows)
@@ -123,8 +131,9 @@ def main():
             print(f"  {key}: {ref:.4g} -> {val:.4g} ({delta:+.1%})")
         return 1
     n_base = sum(1 for r in rows if r[2] is not None)
+    gates = ", ".join(HOT_PATH_METRICS + HOT_PATH_INVERSE_METRICS)
     print(f"\nbench_trend: OK ({len(rows)} metrics, {n_base} vs baseline, "
-          f"limit {REGRESSION_LIMIT:.0%} on {', '.join(HOT_PATH_METRICS)})")
+          f"limit {REGRESSION_LIMIT:.0%} on {gates})")
     return 0
 
 

@@ -7,20 +7,26 @@
 #      results/BENCH_*.json baselines)
 #   2. asan preset:    configure, build, ctest filtered to label "sanitize"
 #      (the introspect suite carries both labels, so it runs under asan too)
+#   3. tsan preset:    configure, build, ctest filtered to label
+#      "sanitize-thread" (the concurrent-recording stress suite: rank
+#      threads hammer the lock-free send path while the control plane
+#      churns RecordingPlans)
 #
-# Usage: scripts/check.sh [--default-only|--asan-only]
+# Usage: scripts/check.sh [--default-only|--asan-only|--tsan-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 run_default=1
 run_asan=1
+run_tsan=1
 case "${1:-}" in
-  --default-only) run_asan=0 ;;
-  --asan-only) run_default=0 ;;
+  --default-only) run_asan=0; run_tsan=0 ;;
+  --asan-only) run_default=0; run_tsan=0 ;;
+  --tsan-only) run_default=0; run_asan=0 ;;
   "") ;;
   *)
-    echo "usage: $0 [--default-only|--asan-only]" >&2
+    echo "usage: $0 [--default-only|--asan-only|--tsan-only]" >&2
     exit 2
     ;;
 esac
@@ -40,6 +46,7 @@ if [ "$run_default" = 1 ]; then
   echo "== bench trajectory =="
   mkdir -p results
   ./build/bench/bench_introspect --quick --csv results
+  ./build/bench/bench_record --quick --csv results
   if command -v python3 >/dev/null 2>&1; then
     python3 scripts/bench_trend.py
   else
@@ -52,6 +59,13 @@ if [ "$run_asan" = 1 ]; then
   cmake --preset asan
   cmake --build --preset asan -j "$jobs"
   ctest --preset asan --output-on-failure -j "$jobs"
+fi
+
+if [ "$run_tsan" = 1 ]; then
+  echo "== tier-1: tsan preset (label: sanitize-thread) =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs"
+  ctest --preset tsan --output-on-failure -j "$jobs"
 fi
 
 echo "check.sh: all green"

@@ -52,6 +52,15 @@ class Comm {
 
   const std::vector<int>& group() const { return impl().group; }
 
+  /// Dense world rank -> group rank table, sized to the world and holding
+  /// -1 for non-members. The storage lives as long as any Comm handle to
+  /// this communicator: the monitoring fast path caches `.data()` in its
+  /// recording plans (with the Comm retained alongside) so per-packet
+  /// translation is one indexed load.
+  const std::vector<int>& world_to_group_table() const {
+    return impl().world_to_group;
+  }
+
   bool operator==(const Comm& other) const {
     return impl_ == other.impl_ ||
            (impl_ && other.impl_ &&

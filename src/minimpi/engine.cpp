@@ -57,7 +57,10 @@ Engine::Engine(EngineConfig cfg)
 
 Engine::~Engine() = default;
 
-void Engine::set_send_hook(SendHook hook) { send_hook_ = std::move(hook); }
+void Engine::set_send_hook(SendHook hook) {
+  send_hook_ = std::move(hook);
+  send_hook_armed_.store(send_hook_ != nullptr, std::memory_order_release);
+}
 
 Comm Engine::intern_comm(const std::string& key,
                          std::vector<int> world_group) {
@@ -266,6 +269,9 @@ void Engine::sched_update_locked(int rank, Sched::St st, double clock) {
 
 void Engine::run(const std::function<void(Ctx&)>& rank_main) {
   const int n = world_size();
+  // No rank threads exist yet: a grace period for any RCU state the tool
+  // layer retired during the previous run.
+  if (quiescent_hook_) quiescent_hook_();
   abort_.store(false);
   blocked_.store(0);
   deliveries_.store(0);
@@ -432,8 +438,9 @@ void Ctx::send_bytes(int dst_world, const Comm& comm, int tag, CommKind kind,
 
   PktInfo info{world_rank_, dst_world, bytes,  kind,
                tag,         comm.context_id(), clock_, faults.attempts};
-  if (kind != CommKind::tool && engine_->send_hook_) {
-    const int recorded = engine_->send_hook_(info);
+  if (kind != CommKind::tool &&
+      engine_->send_hook_armed_.load(std::memory_order_acquire)) {
+    const int recorded = engine_->send_hook_(info, world_rank_);
     clock_ += static_cast<double>(recorded) * engine_->cfg_.monitor_event_cost_s;
   }
 
@@ -530,8 +537,8 @@ void Ctx::rma_transfer(int from_world, int to_world, const Comm& comm,
 
   PktInfo info{from_world, to_world, bytes, CommKind::osc, 0,
                comm.context_id(), clock_};
-  if (engine_->send_hook_) {
-    const int recorded = engine_->send_hook_(info);
+  if (engine_->send_hook_armed_.load(std::memory_order_acquire)) {
+    const int recorded = engine_->send_hook_(info, world_rank_);
     clock_ +=
         static_cast<double>(recorded) * engine_->cfg_.monitor_event_cost_s;
   }

@@ -59,7 +59,16 @@ struct PktInfo {
 
 /// Installed by the tool layer (mpit). Returns the number of monitoring
 /// records made so the engine can charge instrumentation overhead.
-using SendHook = std::function<int(const PktInfo&)>;
+///
+/// Concurrency contract: the hook runs on rank threads, concurrently and
+/// without any engine-side lock. `caller_world` is the rank whose thread is
+/// executing the call; it equals `pkt.src_world` for ordinary sends, but an
+/// RMA transfer reports its traffic attributed to `pkt.src_world` from
+/// whichever rank thread issued it, so the hook may read and update one
+/// rank's monitoring state from another rank's thread. Implementations must
+/// therefore be thread-safe without serializing the per-packet path (see
+/// mpit::Runtime::on_send for the lock-free RecordingPlan this enables).
+using SendHook = std::function<int(const PktInfo&, int caller_world)>;
 
 /// Per-communicator error-handling mode, the MPI_ERRORS_ARE_FATAL /
 /// MPI_ERRORS_RETURN analog. Under `fatal` (the default) an operation that
@@ -163,8 +172,27 @@ class Engine {
   telemetry::Hub& telemetry() { return hub_; }
   const telemetry::Hub& telemetry() const { return hub_; }
 
-  /// Must be installed before run(); called on sender threads.
+  /// Must be installed before run(); called on sender threads (see the
+  /// SendHook concurrency contract above). Installing a hook arms it.
   void set_send_hook(SendHook hook);
+
+  /// Cheap per-packet gate in front of the hook: when disarmed, the send
+  /// path skips the std::function dispatch entirely, so a tool runtime
+  /// with nothing to record costs one relaxed atomic load per packet. The
+  /// tool layer toggles this as recording plans appear and disappear;
+  /// stale reads are benign (the hook itself returns 0 when it has no
+  /// work), and a thread always observes its own arm/disarm in program
+  /// order, which is what virtual-clock determinism needs.
+  void set_send_hook_armed(bool armed) {
+    send_hook_armed_.store(armed, std::memory_order_release);
+  }
+
+  /// Invoked whenever the engine is provably quiescent -- at the start of
+  /// run(), before any rank thread exists. The tool layer uses this as the
+  /// RCU grace-period boundary to reclaim retired recording plans.
+  void set_quiescent_hook(std::function<void()> hook) {
+    quiescent_hook_ = std::move(hook);
+  }
 
   /// Opaque slot for the tool layer (mpit::Runtime) so user code can reach
   /// the tool stack from inside rank threads without global state.
@@ -291,6 +319,8 @@ class Engine {
   EngineConfig cfg_;
   telemetry::Hub hub_;
   SendHook send_hook_;
+  std::atomic<bool> send_hook_armed_{false};
+  std::function<void()> quiescent_hook_;
   void* tool_runtime_ = nullptr;
   net::NicCounters nic_;
   Comm world_comm_;

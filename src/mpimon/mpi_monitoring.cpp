@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -37,6 +39,16 @@ struct MonSession {
   /// Windowed snapshot sampler (MPI_M_snapshot_start); shared so the
   /// packet observer closure survives session-vector reallocation.
   std::shared_ptr<mpim::introspect::WindowSampler> sampler;
+  /// Cross-thread snapshot state shared with the packet observer. The
+  /// observer can run on a peer's thread (RMA attribution), so it must not
+  /// read the session table: `live` mirrors `state == active &&
+  /// snapshot_running`, and `mx` serializes every sampler access against
+  /// in-flight observer deliveries.
+  struct SnapShared {
+    std::mutex mx;
+    std::atomic<bool> live{false};
+  };
+  std::shared_ptr<SnapShared> snap;
   bool snapshot_running = false;
   int snapshot_flags = MPI_M_ALL_COMM;
 };
@@ -275,9 +287,13 @@ int MPI_M_suspend(MPI_M_msid msid) {
       [](MonSession& s) {
         stop_all_handles(s);
         // Close the sampler's open window so snapshot data is complete
-        // while the session data is readable.
-        if (s.sampler && s.snapshot_running)
+        // while the session data is readable. Gate off first so no
+        // in-flight observer lands a record after the flush.
+        if (s.sampler && s.snapshot_running) {
+          s.snap->live.store(false, std::memory_order_release);
+          std::lock_guard<std::mutex> lock(s.snap->mx);
           s.sampler->flush(Ctx::current().now());
+        }
         s.state = MonSession::St::suspended;
         mpim::telemetry::Hub& hub = tele();
         hub.add(hub.ids().mon_session_suspends, tele_rank());
@@ -299,6 +315,8 @@ int MPI_M_continue(MPI_M_msid msid) {
       [](MonSession& s) {
         start_all_handles(s);
         s.state = MonSession::St::active;
+        if (s.sampler && s.snapshot_running)
+          s.snap->live.store(true, std::memory_order_release);
         s.span_start_s = Ctx::current().now();
       });
 }
@@ -312,7 +330,10 @@ int MPI_M_reset(MPI_M_msid msid) {
       [](MonSession& s) {
         auto& rt = runtime();
         for (int h : s.handles) rt.handle_reset(s.tsession, h);
-        if (s.sampler) s.sampler->clear();
+        if (s.sampler) {
+          std::lock_guard<std::mutex> lock(s.snap->mx);
+          s.sampler->clear();
+        }
         tele().add(tele().ids().mon_session_resets, tele_rank());
       });
 }
@@ -324,8 +345,12 @@ int MPI_M_free(MPI_M_msid msid) {
         return s.state == MonSession::St::suspended;
       },
       [](MonSession& s) {
+        if (s.snap) s.snap->live.store(false, std::memory_order_release);
         runtime().session_free(s.tsession);  // also detaches the observer
+        // The observer closure keeps its own sampler/snap refs alive until
+        // the next grace period; dropping ours here is safe.
         s.sampler.reset();
+        s.snap.reset();
         s.snapshot_running = false;
         s.state = MonSession::St::freed;
       });
@@ -367,16 +392,49 @@ int MPI_M_get_data(MPI_M_msid msid, unsigned long* msg_counts,
 
 namespace {
 
-/// Failure-aware variant of gather_metric: a linear gather with a
+/// Reads the selected traffic classes of BOTH metrics as one interleaved
+/// row blob of 2n words: [counts row | sizes row]. Gathering the blob
+/// instead of two separate metric rows lets every gather/allgather/flush
+/// pay one collective instead of two (docs/PERF.md, "fused gather blob").
+void read_row_blob(MonSession& s, int flags,
+                   std::vector<unsigned long>& blob) {
+  const std::size_t n = static_cast<std::size_t>(s.comm.size());
+  blob.assign(2 * n, 0ul);
+  std::vector<unsigned long> row;
+  read_metric(s, flags, 0, row);
+  std::copy(row.begin(), row.end(), blob.begin());
+  read_metric(s, flags, 1, row);
+  std::copy(row.begin(), row.end(),
+            blob.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+/// Splits a gathered rows x 2n blob matrix back into the caller's count
+/// and size matrices (either may be MPI_M_DATA_IGNORE). A sentinel-filled
+/// blob row lands as sentinel rows in both outputs.
+void deinterleave_blob(const std::vector<unsigned long>& fused, std::size_t n,
+                       unsigned long* matrix_counts,
+                       unsigned long* matrix_sizes) {
+  for (std::size_t r = 0; r < n; ++r) {
+    const unsigned long* src = fused.data() + r * 2 * n;
+    if (matrix_counts != MPI_M_DATA_IGNORE)
+      std::copy(src, src + n, matrix_counts + r * n);
+    if (matrix_sizes != MPI_M_DATA_IGNORE)
+      std::copy(src + n, src + 2 * n, matrix_sizes + r * n);
+  }
+}
+
+/// Failure-aware variant of gather_rows: a linear gather with a
 /// per-contributor receive timeout instead of the tree collectives, so a
 /// crashed or stalled rank costs one timeout and a sentinel row instead of
-/// a hang. Returns the number of missing rows on receiving ranks.
+/// a hang. Rows may have any width (the fused blob is 2n wide). Returns
+/// the number of missing rows on receiving ranks.
 int gather_row_matrix_faulty(MonSession& s,
                              const std::vector<unsigned long>& row, int root,
                              unsigned long* recv) {
   Ctx& ctx = Ctx::current();
-  const std::size_t n = row.size();
-  const std::size_t row_bytes = n * sizeof(unsigned long);
+  const std::size_t rows = static_cast<std::size_t>(s.comm.size());
+  const std::size_t w = row.size();
+  const std::size_t row_bytes = w * sizeof(unsigned long);
   const int myrank = s.comm.group_rank_of_world(ctx.world_rank());
   const int groot = root < 0 ? 0 : root;
   const double timeout_s = mon_state().gather_timeout_s;
@@ -386,10 +444,10 @@ int gather_row_matrix_faulty(MonSession& s,
   const int redist_tag = mpim::mpi::coll::coll_tag(ctx.next_coll_seq(s.comm));
 
   if (myrank == groot) {
-    std::vector<unsigned long> matrix(n * n, 0ul);
+    std::vector<unsigned long> matrix(rows * w, 0ul);
     int missing = 0;
-    for (std::size_t r = 0; r < n; ++r) {
-      unsigned long* dst = matrix.data() + r * n;
+    for (std::size_t r = 0; r < rows; ++r) {
+      unsigned long* dst = matrix.data() + r * w;
       if (static_cast<int>(r) == groot) {
         std::copy(row.begin(), row.end(), dst);
         continue;
@@ -399,7 +457,7 @@ int gather_row_matrix_faulty(MonSession& s,
           s.comm.world_rank_of(static_cast<int>(r)), s.comm, gather_tag,
           CommKind::tool, dst, row_bytes, &st, timeout_s);
       if (rc != Ctx::RecvWait::ok) {
-        std::fill(dst, dst + n, MPI_M_DATA_MISSING);
+        std::fill(dst, dst + w, MPI_M_DATA_MISSING);
         ++missing;
         tele().add(tele().ids().mon_gather_timeouts, tele_rank());
       }
@@ -407,10 +465,10 @@ int gather_row_matrix_faulty(MonSession& s,
     if (root < 0) {
       // Redistribute matrix + missing count. Sending to a dead rank is
       // harmless: the message is simply never consumed.
-      std::vector<unsigned long> msg(n * n + 1);
+      std::vector<unsigned long> msg(rows * w + 1);
       std::copy(matrix.begin(), matrix.end(), msg.begin());
-      msg[n * n] = static_cast<unsigned long>(missing);
-      for (std::size_t r = 0; r < n; ++r) {
+      msg[rows * w] = static_cast<unsigned long>(missing);
+      for (std::size_t r = 0; r < rows; ++r) {
         if (static_cast<int>(r) == groot) continue;
         ctx.send_bytes(s.comm.world_rank_of(static_cast<int>(r)), s.comm,
                        redist_tag, CommKind::tool, msg.data(),
@@ -426,52 +484,60 @@ int gather_row_matrix_faulty(MonSession& s,
   if (root >= 0) return 0;
   // The gathering rank may spend up to one timeout per missing contributor
   // before our copy of the matrix arrives; budget for all of them.
-  std::vector<unsigned long> msg(n * n + 1);
+  std::vector<unsigned long> msg(rows * w + 1);
   mpim::mpi::Status st;
   const Ctx::RecvWait rc = ctx.recv_bytes_wait(
       s.comm.world_rank_of(groot), s.comm, redist_tag, CommKind::tool,
       msg.data(), msg.size() * sizeof(unsigned long), &st,
-      timeout_s * static_cast<double>(n + 1));
+      timeout_s * static_cast<double>(rows + 1));
   if (rc != Ctx::RecvWait::ok) {
-    if (recv != nullptr) std::fill(recv, recv + n * n, MPI_M_DATA_MISSING);
+    if (recv != nullptr)
+      std::fill(recv, recv + rows * w, MPI_M_DATA_MISSING);
     tele().add(tele().ids().mon_gather_timeouts, tele_rank());
-    return static_cast<int>(n);
+    return static_cast<int>(rows);
   }
   if (recv != nullptr) std::copy(msg.begin(), msg.end() - 1, recv);
-  return static_cast<int>(msg[n * n]);
+  return static_cast<int>(msg[rows * w]);
 }
 
-/// Gathers one metric matrix to everyone (root < 0) or to `root`.
-/// Traffic independent of the output pointer: a process that ignores the
-/// result still contributes its row through scratch space. Returns the
-/// number of contributors whose row could not be gathered (always 0 when
-/// the engine runs without a fault plan).
-int gather_metric(MonSession& s, int flags, int metric, int root,
-                  unsigned long* out) {
+/// Gathers each contributor's row (any width) into a comm-size x width
+/// matrix at `root` (or at everyone when root < 0) with exactly ONE
+/// collective, wrapped in a "mon.gather" telemetry span per participant so
+/// the single-collective contract is observable in span counts. Traffic is
+/// independent of the output pointer: a process that ignores the result
+/// still contributes its row through scratch space. Returns the number of
+/// contributors whose row could not be gathered (always 0 when the engine
+/// runs without a fault plan).
+int gather_rows(MonSession& s, const std::vector<unsigned long>& row,
+                int root, unsigned long* out) {
   Ctx& ctx = Ctx::current();
-  const std::size_t n = static_cast<std::size_t>(s.comm.size());
-  std::vector<unsigned long> row;
-  read_metric(s, flags, metric, row);
-
-  if (ctx.engine().config().fault_plan != nullptr)
-    return gather_row_matrix_faulty(s, row, root, out);
-
-  std::vector<unsigned long> scratch;
-  unsigned long* recv = out;
-  const int myrank = s.comm.group_rank_of_world(ctx.world_rank());
-  const bool receives = (root < 0) || (myrank == root);
-  if (receives && recv == nullptr) {
-    scratch.assign(n * n, 0ul);
-    recv = scratch.data();
-  }
-  if (root < 0) {
-    mpim::mpi::coll::allgather(ctx, row.data(), n, Type::UnsignedLong, recv,
-                               s.comm, CommKind::tool);
+  const std::size_t rows = static_cast<std::size_t>(s.comm.size());
+  const std::size_t w = row.size();
+  const double t0 = ctx.now();
+  int missing = 0;
+  if (ctx.engine().config().fault_plan != nullptr) {
+    missing = gather_row_matrix_faulty(s, row, root, out);
   } else {
-    mpim::mpi::coll::gather(ctx, row.data(), n, Type::UnsignedLong, recv,
-                            root, s.comm, CommKind::tool);
+    std::vector<unsigned long> scratch;
+    unsigned long* recv = out;
+    const int myrank = s.comm.group_rank_of_world(ctx.world_rank());
+    const bool receives = (root < 0) || (myrank == root);
+    if (receives && recv == nullptr) {
+      scratch.assign(rows * w, 0ul);
+      recv = scratch.data();
+    }
+    if (root < 0) {
+      mpim::mpi::coll::allgather(ctx, row.data(), w, Type::UnsignedLong,
+                                 recv, s.comm, CommKind::tool);
+    } else {
+      mpim::mpi::coll::gather(ctx, row.data(), w, Type::UnsignedLong, recv,
+                              root, s.comm, CommKind::tool);
+    }
   }
-  return 0;
+  tele().span_complete(tele_rank(), "mon.gather", 'S', t0,
+                       Ctx::current().now(), static_cast<std::int64_t>(w),
+                       static_cast<std::int64_t>(missing));
+  return missing;
 }
 
 int gather_data_common(MPI_M_msid msid, int root, unsigned long* matrix_counts,
@@ -484,8 +550,17 @@ int gather_data_common(MPI_M_msid msid, int root, unsigned long* matrix_counts,
       return MPI_M_SESSION_NOT_SUSPENDED;
     if (!flags_valid(flags)) return MPI_M_INVALID_FLAGS;
     if (root >= s->comm.size()) return MPI_M_INVALID_ROOT;
-    int missing = gather_metric(*s, flags, 0, root, matrix_counts);
-    missing += gather_metric(*s, flags, 1, root, matrix_sizes);
+
+    const std::size_t n = static_cast<std::size_t>(s->comm.size());
+    std::vector<unsigned long> blob;
+    read_row_blob(*s, flags, blob);
+    const int myrank =
+        s->comm.group_rank_of_world(Ctx::current().world_rank());
+    const bool receives = (root < 0) || (myrank == root);
+    std::vector<unsigned long> fused(receives ? n * 2 * n : 0, 0ul);
+    const int missing =
+        gather_rows(*s, blob, root, receives ? fused.data() : nullptr);
+    if (receives) deinterleave_blob(fused, n, matrix_counts, matrix_sizes);
     if (missing > 0) {
       tele().add(tele().ids().mon_partial_data, tele_rank());
       return MPI_M_PARTIAL_DATA;
@@ -775,29 +850,33 @@ int MPI_M_snapshot_start(MPI_M_msid msid, double window_s, int max_frames,
         });
 
     // The packet observer: filters this session's monitored traffic and
-    // feeds the sampler. Captures the state pointer + slot index (stable
-    // across session-vector growth), never the MonSession address.
-    MonState* statep = &st;
-    const int slot = msid;
+    // feeds the sampler. It may run on a peer's thread (RMA attribution),
+    // so it captures only shared state -- never the session table, whose
+    // entries the owning thread mutates and whose vector may reallocate.
+    // The `live` gate is rechecked under the sampler mutex so a delivery
+    // racing snapshot_stop/suspend can never land after their flush.
+    auto snap = std::make_shared<MonSession::SnapShared>();
+    snap->live.store(s->state == MonSession::St::active,
+                     std::memory_order_release);
     const Comm comm = s->comm;
     const int snap_flags = flags;
     runtime().set_session_observer(
         s->tsession,
-        [sampler, statep, slot, comm, snap_flags](const mpim::mpi::PktInfo& pkt) {
-          const MonSession& ms =
-              statep->sessions[static_cast<std::size_t>(slot)];
-          if (ms.state != MonSession::St::active || !ms.snapshot_running)
-            return;
+        [sampler, snap, comm, snap_flags](const mpim::mpi::PktInfo& pkt) {
+          if (!snap->live.load(std::memory_order_acquire)) return;
           const int bit = kind_bit(pkt.kind);
           if (bit < 0 || !(snap_flags & (1 << bit))) return;
           if (!comm.contains_world(pkt.src_world)) return;
           const int dst = comm.group_rank_of_world(pkt.dst_world);
           if (dst < 0) return;
+          std::lock_guard<std::mutex> lock(snap->mx);
+          if (!snap->live.load(std::memory_order_relaxed)) return;
           sampler->record(pkt.send_time_s, dst, bit,
                           static_cast<unsigned long>(pkt.bytes));
         });
 
     s->sampler = std::move(sampler);
+    s->snap = std::move(snap);
     s->snapshot_running = true;
     s->snapshot_flags = flags;
     hub->add(hub->ids().introspect_starts, rank);
@@ -811,7 +890,11 @@ int MPI_M_snapshot_stop(MPI_M_msid msid) {
     MonSession* s = nullptr;
     if (int rc = resolve_msid(st, msid, &s); rc != MPI_M_SUCCESS) return rc;
     if (!s->sampler || !s->snapshot_running) return MPI_M_NO_SNAPSHOT;
-    s->sampler->flush(Ctx::current().now());
+    s->snap->live.store(false, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(s->snap->mx);
+      s->sampler->flush(Ctx::current().now());
+    }
     s->snapshot_running = false;
     runtime().set_session_observer(s->tsession, nullptr);
     return MPI_M_SUCCESS;
@@ -954,13 +1037,14 @@ int MPI_M_rootflush(MPI_M_msid msid, int root, const char* filename,
     Ctx& ctx = Ctx::current();
     const int myrank = s->comm.group_rank_of_world(ctx.world_rank());
     const std::size_t n = static_cast<std::size_t>(s->comm.size());
-    std::vector<unsigned long> counts(myrank == root ? n * n : 0);
-    std::vector<unsigned long> sizes(myrank == root ? n * n : 0);
-    int missing = gather_metric(*s, flags, 0, root,
-                                myrank == root ? counts.data() : nullptr);
-    missing += gather_metric(*s, flags, 1, root,
-                             myrank == root ? sizes.data() : nullptr);
+    std::vector<unsigned long> blob;
+    read_row_blob(*s, flags, blob);
+    std::vector<unsigned long> fused(myrank == root ? n * 2 * n : 0, 0ul);
+    const int missing = gather_rows(*s, blob, root,
+                                    myrank == root ? fused.data() : nullptr);
     if (myrank != root) return MPI_M_SUCCESS;
+    std::vector<unsigned long> counts(n * n), sizes(n * n);
+    deinterleave_blob(fused, n, counts.data(), sizes.data());
 
     // [rank] in the file names is the root's rank in MPI_COMM_WORLD.
     const std::string world_rank = std::to_string(ctx.world_rank());

@@ -16,6 +16,34 @@
 
 namespace mpim::mon {
 
+namespace detail {
+
+/// The step of the window grid a batch of frames lies on: the smallest
+/// positive frame width. Every frame of one snapshot shares the sampler's
+/// window_s, but any single frame's `t1 - t0` is reconstructed from two
+/// rounded endpoints and can collapse to zero, so the step must be derived
+/// across the batch rather than per frame. Returns 0 when no frame has a
+/// positive width.
+inline double frame_grid_step(const double* t0_s, const double* t1_s,
+                              std::size_t nframes) {
+  double step = 0.0;
+  for (std::size_t w = 0; w < nframes; ++w) {
+    const double width = t1_s[w] - t0_s[w];
+    if (width > 0.0 && (step == 0.0 || width < step)) step = width;
+  }
+  return step;
+}
+
+/// Index of the window starting at `t0_s` on a grid of `step_s`-wide
+/// windows. Guards the degenerate zero-step grid (all windows zero width)
+/// by mapping every frame to window 0 instead of dividing by zero.
+inline long frame_window_index(double t0_s, double step_s) {
+  if (!(step_s > 0.0)) return 0;
+  return static_cast<long>(t0_s / step_s + 0.5);
+}
+
+}  // namespace detail
+
 /// Throws mpim::Error when an MPI_M_* call does not return MPI_M_SUCCESS.
 inline void check_rc(int rc, const char* what) {
   if (rc != MPI_M_SUCCESS)
@@ -136,11 +164,13 @@ class Session {
              "MPI_M_get_frames");
     std::vector<introspect::FrameMatrix> frames(
         static_cast<std::size_t>(nframes));
+    const double step =
+        detail::frame_grid_step(t0.data(), t1.data(), frames.size());
     for (std::size_t w = 0; w < frames.size(); ++w) {
       introspect::FrameMatrix& f = frames[w];
       f.t0_s = t0[w];
       f.t1_s = t1[w];
-      f.window = static_cast<long>(t0[w] / (t1[w] - t0[w]) + 0.5);
+      f.window = detail::frame_window_index(t0[w], step);
       f.counts = CommMatrix::square(n);
       f.bytes = CommMatrix::square(n);
       std::copy(counts.begin() + static_cast<std::ptrdiff_t>(w * n * n),

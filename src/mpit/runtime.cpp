@@ -1,21 +1,63 @@
 #include "mpit/runtime.h"
 
 #include <algorithm>
+#include <cstring>
+#include <new>
 
 namespace mpim::mpit {
 
+namespace {
+
+constexpr std::size_t kCacheLine = 64;
+
+std::size_t round_to_line(std::size_t bytes) {
+  return (bytes + kCacheLine - 1) / kCacheLine * kCacheLine;
+}
+
+}  // namespace
+
+Runtime::AccBlock::AccBlock(int group_size) : n(group_size) {
+  const auto slots = static_cast<std::size_t>(n);
+  static_assert(sizeof(std::atomic<unsigned long>) == sizeof(unsigned long));
+  const std::size_t own_bytes = round_to_line(2 * slots * sizeof(unsigned long));
+  const std::size_t foreign_bytes =
+      round_to_line(2 * slots * sizeof(std::atomic<unsigned long>));
+  raw_ = ::operator new(own_bytes + foreign_bytes, std::align_val_t{kCacheLine});
+  auto* base = static_cast<std::byte*>(raw_);
+  own_counts = reinterpret_cast<unsigned long*>(base);
+  own_sizes = own_counts + slots;
+  std::memset(base, 0, own_bytes);
+  auto* foreign = base + own_bytes;
+  foreign_counts = reinterpret_cast<std::atomic<unsigned long>*>(foreign);
+  foreign_sizes = foreign_counts + slots;
+  for (std::size_t i = 0; i < 2 * slots; ++i)
+    new (foreign_counts + i) std::atomic<unsigned long>(0ul);
+}
+
+Runtime::AccBlock::~AccBlock() {
+  // std::atomic<unsigned long> is trivially destructible.
+  ::operator delete(raw_, std::align_val_t{kCacheLine});
+}
+
 Runtime::Runtime(mpi::Engine& engine) : engine_(engine) {
   ranks_.reserve(static_cast<std::size_t>(engine.world_size()));
-  for (int r = 0; r < engine.world_size(); ++r)
+  for (int r = 0; r < engine.world_size(); ++r) {
     ranks_.push_back(std::make_unique<RankState>());
-  engine_.set_send_hook(
-      [this](const mpi::PktInfo& pkt) { return on_send(pkt); });
+    ranks_.back()->rank = r;
+  }
+  engine_.set_send_hook([this](const mpi::PktInfo& pkt, int caller_world) {
+    return on_send(pkt, caller_world);
+  });
+  engine_.set_quiescent_hook([this] { reclaim_retired(); });
   engine_.set_tool_runtime(this);
+  update_armed();  // nothing to record yet: disarm the per-packet gate
 }
 
 Runtime::~Runtime() {
   engine_.set_send_hook(nullptr);
+  engine_.set_quiescent_hook(nullptr);
   engine_.set_tool_runtime(nullptr);
+  reclaim_retired();
 }
 
 Runtime& Runtime::of(mpi::Engine& engine) {
@@ -29,26 +71,115 @@ Runtime::RankState& Runtime::my_rank_state() {
   return *ranks_[static_cast<std::size_t>(mpi::Ctx::current().world_rank())];
 }
 
-int Runtime::on_send(const mpi::PktInfo& pkt) {
-  for (const EventListener& listener : listeners_) listener(pkt);
+int Runtime::on_send(const mpi::PktInfo& pkt, int caller_world) {
+  if (!listeners_.empty())
+    for (const EventListener& listener : listeners_) listener(pkt);
+  if (pkt.kind == mpi::CommKind::tool) return 0;
   RankState& rs = *ranks_[static_cast<std::size_t>(pkt.src_world)];
-  std::lock_guard lock(rs.mutex);
+  const RecordingPlan* plan = rs.plan.load(std::memory_order_acquire);
+  if (plan == nullptr) return 0;
+
   int recorded = 0;
-  for (Session& session : rs.sessions) {
-    if (session.freed) continue;
-    if (session.observer) session.observer(pkt);
-    for (Handle& handle : session.handles) {
-      if (handle.freed || !handle.started || handle.kind != pkt.kind ||
-          handle.telemetry_metric >= 0)
-        continue;
-      const int dst = handle.comm.group_rank_of_world(pkt.dst_world);
-      if (dst < 0 || !handle.comm.contains_world(pkt.src_world)) continue;
-      handle.values[static_cast<std::size_t>(dst)] +=
-          handle.is_size ? static_cast<unsigned long>(pkt.bytes) : 1ul;
-      ++recorded;
+  const auto& entries = plan->by_kind[static_cast<std::size_t>(pkt.kind)];
+  if (!entries.empty()) {
+    // Plain single-writer slots when this is the sender's own thread; the
+    // atomic foreign slots when a peer thread attributes RMA traffic here.
+    const bool own = caller_world == pkt.src_world;
+    const auto bytes = static_cast<unsigned long>(pkt.bytes);
+    for (const RecordingPlan::Entry& e : entries) {
+      const int dst = e.world_to_group[pkt.dst_world];
+      if (dst < 0) continue;
+      if (own) {
+        e.own_counts[dst] += 1;
+        e.own_sizes[dst] += bytes;
+      } else {
+        e.foreign_counts[dst].fetch_add(1, std::memory_order_relaxed);
+        e.foreign_sizes[dst].fetch_add(bytes, std::memory_order_relaxed);
+      }
+      recorded += e.weight;
     }
   }
+  for (const auto& slot : plan->observers) {
+    std::lock_guard lock(slot->mutex);
+    if (slot->fn) slot->fn(pkt);
+  }
   return recorded;
+}
+
+void Runtime::rebuild_plan(RankState& rs) {
+  auto plan = std::make_unique<RecordingPlan>();
+  bool empty = true;
+  for (Session& s : rs.sessions) {
+    if (s.freed) continue;
+    if (s.observer) {
+      plan->observers.push_back(s.observer);
+      empty = false;
+    }
+    for (Handle& h : s.handles) {
+      if (h.freed || !h.started || h.telemetry_metric >= 0) continue;
+      // The sender-membership test moves from the per-packet path to here:
+      // this plan belongs to one fixed sender rank.
+      if (!h.comm.contains_world(rs.rank)) continue;
+      auto& bucket = plan->by_kind[static_cast<std::size_t>(h.kind)];
+      auto it = std::find_if(bucket.begin(), bucket.end(),
+                             [&](const RecordingPlan::Entry& e) {
+                               return e.own_counts == h.acc->own_counts;
+                             });
+      if (it != bucket.end()) {
+        ++it->weight;  // same accumulator: fuse, keep the record count
+      } else {
+        bucket.push_back({h.comm.world_to_group_table().data(),
+                          h.acc->own_counts, h.acc->own_sizes,
+                          h.acc->foreign_counts, h.acc->foreign_sizes, 1});
+        plan->acc_refs.push_back(h.acc);
+        plan->comm_refs.push_back(h.comm);
+        empty = false;
+      }
+    }
+  }
+
+  const RecordingPlan* prev = rs.plan.load(std::memory_order_relaxed);
+  const RecordingPlan* next = empty ? nullptr : plan.get();
+  rs.plan.store(next, std::memory_order_release);
+  if (rs.plan_owner) rs.retired.push_back(std::move(rs.plan_owner));
+  if (!empty) rs.plan_owner = std::move(plan);
+  if ((prev != nullptr) != (next != nullptr))
+    nonempty_plans_.fetch_add(next != nullptr ? 1 : -1,
+                              std::memory_order_relaxed);
+  update_armed();
+}
+
+void Runtime::update_armed() {
+  // Serialized so the last transition always wins: each caller updates the
+  // plan count (or listener list) first, then recomputes under the lock.
+  std::lock_guard lock(armed_mutex_);
+  engine_.set_send_hook_armed(
+      !listeners_.empty() ||
+      nonempty_plans_.load(std::memory_order_relaxed) > 0);
+}
+
+void Runtime::reclaim_retired() {
+  for (auto& rs : ranks_) {
+    std::lock_guard lock(rs->mutex);
+    rs->retired.clear();
+  }
+}
+
+std::shared_ptr<Runtime::AccBlock> Runtime::intern_acc(RankState& rs,
+                                                       const mpi::Comm& comm,
+                                                       mpi::CommKind kind) {
+  std::shared_ptr<AccBlock> found;
+  std::erase_if(rs.acc_registry, [&](AccKey& key) {
+    auto live = key.block.lock();
+    if (!live) return true;  // prune: every handle on it is gone
+    if (!found && key.context_id == comm.context_id() && key.kind == kind)
+      found = std::move(live);
+    return false;
+  });
+  if (found) return found;
+  auto block = std::make_shared<AccBlock>(comm.size());
+  rs.acc_registry.push_back({comm.context_id(), kind, block});
+  return block;
 }
 
 int Runtime::session_create() {
@@ -68,6 +199,7 @@ void Runtime::session_free(int session) {
   s.freed = true;
   s.handles.clear();
   s.observer = nullptr;
+  rebuild_plan(rs);
 }
 
 void Runtime::set_session_observer(int session, PktObserver observer) {
@@ -76,8 +208,15 @@ void Runtime::set_session_observer(int session, PktObserver observer) {
   if (session < 0 || session >= static_cast<int>(rs.sessions.size()) ||
       rs.sessions[static_cast<std::size_t>(session)].freed)
     throw MpitError("invalid pvar session");
-  rs.sessions[static_cast<std::size_t>(session)].observer =
-      std::move(observer);
+  auto& s = rs.sessions[static_cast<std::size_t>(session)];
+  if (observer) {
+    auto slot = std::make_shared<ObserverSlot>();
+    slot->fn = std::move(observer);
+    s.observer = std::move(slot);
+  } else {
+    s.observer = nullptr;
+  }
+  rebuild_plan(rs);
 }
 
 Runtime::Handle& Runtime::resolve(RankState& rs, int session, int handle) {
@@ -112,6 +251,7 @@ int Runtime::handle_alloc(int session, int pvar_index, const mpi::Comm& comm) {
                       info.name);
     h.values.assign(1, 0ul);  // [0] = reset baseline
   } else {
+    h.acc = intern_acc(rs, comm, info.kind);
     h.values.assign(static_cast<std::size_t>(comm.size()), 0ul);
   }
   s.handles.push_back(std::move(h));
@@ -122,9 +262,12 @@ void Runtime::handle_free(int session, int handle) {
   RankState& rs = my_rank_state();
   std::lock_guard lock(rs.mutex);
   Handle& h = resolve(rs, session, handle);
+  const bool was_recording = h.started && h.telemetry_metric < 0;
   h.freed = true;
+  h.acc.reset();
   h.values.clear();
   h.values.shrink_to_fit();
+  if (was_recording) rebuild_plan(rs);
 }
 
 void Runtime::handle_start(int session, int handle) {
@@ -133,6 +276,11 @@ void Runtime::handle_start(int session, int handle) {
   Handle& h = resolve(rs, session, handle);
   if (h.started) throw MpitError("pvar handle already started");
   h.started = true;
+  if (h.telemetry_metric >= 0) return;  // never in a plan
+  // Bias out the accumulator level so only traffic from now on is visible.
+  for (std::size_t d = 0; d < h.values.size(); ++d)
+    h.values[d] -= h.acc->read(h.is_size, static_cast<int>(d));
+  rebuild_plan(rs);
 }
 
 void Runtime::handle_stop(int session, int handle) {
@@ -141,6 +289,12 @@ void Runtime::handle_stop(int session, int handle) {
   Handle& h = resolve(rs, session, handle);
   if (!h.started) throw MpitError("pvar handle not started");
   h.started = false;
+  if (h.telemetry_metric >= 0) return;
+  // Freeze the started window into the bias; the value no longer follows
+  // the shared accumulator.
+  for (std::size_t d = 0; d < h.values.size(); ++d)
+    h.values[d] += h.acc->read(h.is_size, static_cast<int>(d));
+  rebuild_plan(rs);
 }
 
 int Runtime::handle_read(int session, int handle, unsigned long* out,
@@ -158,7 +312,9 @@ int Runtime::handle_read(int session, int handle, unsigned long* out,
               h.telemetry_metric, mpi::Ctx::current().world_rank()));
       out[0] = live - h.values[0];
     } else {
-      std::copy(h.values.begin(), h.values.end(), out);
+      for (int d = 0; d < n; ++d)
+        out[d] = h.values[static_cast<std::size_t>(d)] +
+                 (h.started ? h.acc->read(h.is_size, d) : 0ul);
     }
   }
   return n;
@@ -175,11 +331,14 @@ void Runtime::handle_reset(int session, int handle) {
             h.telemetry_metric, mpi::Ctx::current().world_rank()));
     return;
   }
-  std::fill(h.values.begin(), h.values.end(), 0ul);
+  for (std::size_t d = 0; d < h.values.size(); ++d)
+    h.values[d] =
+        h.started ? 0ul - h.acc->read(h.is_size, static_cast<int>(d)) : 0ul;
 }
 
 void Runtime::add_event_listener(EventListener listener) {
   listeners_.push_back(std::move(listener));
+  update_armed();  // listeners record even when every plan is empty
 }
 
 int Runtime::handle_count(int session, int handle) {

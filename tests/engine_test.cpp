@@ -293,8 +293,9 @@ TEST(Engine, SendHookSeesTrafficAndChargesOverhead) {
   cfg.monitor_event_cost_s = 1e-3;  // exaggerated, easy to observe
   Engine eng(cfg);
   std::atomic<int> hooked{0};
-  eng.set_send_hook([&](const PktInfo& pkt) {
+  eng.set_send_hook([&](const PktInfo& pkt, int caller_world) {
     hooked.fetch_add(1);
+    EXPECT_EQ(caller_world, pkt.src_world);  // ordinary send: own thread
     EXPECT_EQ(pkt.kind, CommKind::p2p);
     EXPECT_EQ(pkt.bytes, 4u);
     return 2;  // pretend two records were made

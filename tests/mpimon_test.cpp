@@ -692,6 +692,41 @@ TEST(MpiMon, OscTrafficFilteredBySessionFlag) {
   });
 }
 
+TEST(MpiMon, RmaGetAttributedToTargetAcrossThreads) {
+  // A get's traffic is src=target but the send hook runs on the origin's
+  // thread, so the target's accumulator takes the cross-thread (foreign
+  // slot) path. The target's session must still see the bytes it "sent".
+  Sim sim = make_sim(2);
+  sim.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id;
+    MPI_M_start(world, &id);
+    int cell = 7;
+    mpi::Win win = mpi::Win::create(&cell, sizeof cell, world);
+    win.fence();
+    if (ctx.world_rank() == 1) {
+      int got = 0;
+      win.get(&got, 1, mpi::Type::Int, 0, 0);  // rank 1 reads rank 0's cell
+      EXPECT_EQ(got, 7);
+    }
+    win.fence();
+    MPI_M_suspend(id);
+    unsigned long counts[2], sizes[2];
+    MPI_M_get_data(id, counts, sizes, MPI_M_OSC_ONLY);
+    if (ctx.world_rank() == 0) {
+      // Traffic 0 -> 1, recorded from rank 1's thread into rank 0's slots.
+      EXPECT_EQ(counts[1], 1u);
+      EXPECT_EQ(sizes[1], 4u);
+    } else {
+      EXPECT_EQ(counts[0], 0u);
+      EXPECT_EQ(sizes[0], 0u);
+    }
+    MPI_M_free(id);
+    MPI_M_finalize();
+  });
+}
+
 TEST(MpiMon, CombinedFlagsSumKinds) {
   Sim sim = make_sim(2);
   sim.run([](Ctx& ctx) {
@@ -772,6 +807,97 @@ TEST(MpiMon, DoubleSuspendAndActiveDataAccessReportExactCodes) {
     MPI_M_free(id);
     MPI_M_finalize();
   });
+}
+
+TEST(MpiMon, FrameGridStepPicksSmallestPositiveWidth) {
+  // One frame's reconstructed width can collapse to zero; the grid step
+  // must come from the batch, not from any single frame.
+  const double t0[] = {0.25, 0.5, 0.75};
+  const double t1[] = {0.25, 0.75, 1.0};
+  EXPECT_DOUBLE_EQ(mon::detail::frame_grid_step(t0, t1, 3), 0.25);
+
+  const double z0[] = {0.0, 0.5};
+  const double z1[] = {0.0, 0.5};
+  EXPECT_DOUBLE_EQ(mon::detail::frame_grid_step(z0, z1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(mon::detail::frame_grid_step(t0, t1, 0), 0.0);
+}
+
+TEST(MpiMon, FrameWindowIndexGuardsZeroStepAndRounds) {
+  EXPECT_EQ(mon::detail::frame_window_index(0.75, 0.25), 3);
+  // t0 slightly off the exact grid point still rounds to the right index.
+  EXPECT_EQ(mon::detail::frame_window_index(0.25 * 7 - 1e-12, 0.25), 7);
+  EXPECT_EQ(mon::detail::frame_window_index(0.0, 0.25), 0);
+  // Degenerate grid (all windows zero width): no division by zero.
+  EXPECT_EQ(mon::detail::frame_window_index(0.5, 0.0), 0);
+}
+
+TEST(MpiMon, GatherFramesReconstructsWindowIndices) {
+  Sim sim = make_sim(2);
+  sim.run([](Ctx& ctx) {
+    mon::Environment env;
+    mon::Session s(ctx.world());
+    s.snapshot_start(/*window_s=*/1e-3, /*max_frames=*/8);
+    exchange_ring(ctx.world(), 256, 3);
+    mpi::compute(2.5e-3);  // land traffic in a later window too
+    exchange_ring(ctx.world(), 256, 3);
+    s.snapshot_stop();
+    s.suspend();
+    const auto frames = s.gather_frames(8);
+    ASSERT_FALSE(frames.empty());
+    for (const auto& f : frames) {
+      // Index must sit on the sampler's grid: window * step == t0.
+      EXPECT_GE(f.window, 0);
+      EXPECT_NEAR(static_cast<double>(f.window) * 1e-3, f.t0_s, 1e-9);
+      EXPECT_NEAR(f.t1_s - f.t0_s, 1e-3, 1e-9);
+    }
+    // Strictly increasing window indices across the batch.
+    for (std::size_t i = 1; i < frames.size(); ++i)
+      EXPECT_GT(frames[i].window, frames[i - 1].window);
+  });
+}
+
+TEST(MpiMon, GathersEmitExactlyOneCollectiveSpanPerCall) {
+  // The fused gather contract: every MPI_M_{allgather,rootgather}_data and
+  // MPI_M_rootflush call moves counts AND sizes with ONE collective,
+  // observable as exactly one "mon.gather" span per call and participant.
+  Sim sim = make_sim(4);
+  sim.engine().telemetry().set_enabled(true);
+  const std::string prof = std::filesystem::temp_directory_path() /
+                           "mpim_span_count_flush";
+  sim.run([&](Ctx& ctx) {
+    mon::Environment env;
+    mon::Session s(ctx.world());
+    exchange_ring(ctx.world(), 128);
+    s.suspend();
+    (void)s.gather_counts();  // allgather, counts only
+    (void)s.gather_sizes();   // allgather, sizes only
+    CommMatrix c = CommMatrix::square(4), b = CommMatrix::square(4);
+    ASSERT_EQ(MPI_M_allgather_data(s.id(), c.data(), b.data(), MPI_M_ALL_COMM),
+              MPI_M_SUCCESS);  // both matrices, still one collective
+    ASSERT_EQ(MPI_M_rootgather_data(
+                  s.id(), 0,
+                  mpi::comm_rank(ctx.world()) == 0 ? c.data()
+                                                   : MPI_M_DATA_IGNORE,
+                  mpi::comm_rank(ctx.world()) == 0 ? b.data()
+                                                   : MPI_M_DATA_IGNORE,
+                  MPI_M_ALL_COMM),
+              MPI_M_SUCCESS);
+    ASSERT_EQ(MPI_M_rootflush(s.id(), 0, prof.c_str(), MPI_M_ALL_COMM),
+              MPI_M_SUCCESS);
+  });
+  for (int rank = 0; rank < 4; ++rank) {
+    int gather_spans = 0;
+    for (const auto& sp : sim.engine().telemetry().spans(rank)) {
+      if (std::string(sp.name) == "mon.gather") {
+        ++gather_spans;
+        EXPECT_EQ(sp.a, 8);  // fused row width 2n
+        EXPECT_EQ(sp.b, 0);  // nothing missing without a fault plan
+      }
+    }
+    EXPECT_EQ(gather_spans, 5) << "rank " << rank;
+  }
+  std::remove((prof + "_counts.0.prof").c_str());
+  std::remove((prof + "_sizes.0.prof").c_str());
 }
 
 TEST(MpiMon, GatherTimeoutSetterValidatesAndSticks) {

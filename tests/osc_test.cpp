@@ -97,8 +97,13 @@ TEST(Osc, TrafficReportedAsOscKindWithGetAttributedToTarget) {
   auto cfg = cfg4();
   Engine eng(cfg);
   std::atomic<int> puts{0}, gets_from_target{0};
-  eng.set_send_hook([&](const PktInfo& pkt) {
+  eng.set_send_hook([&](const PktInfo& pkt, int caller_world) {
     if (pkt.kind != CommKind::osc) return 0;
+    // A get's traffic is attributed to the target rank but reported from
+    // the origin's thread: caller may differ from src (SendHook contract).
+    if (pkt.src_world == 2 && pkt.dst_world == 3) {
+      EXPECT_EQ(caller_world, 3);
+    }
     if (pkt.dst_world == 0) puts.fetch_add(1);          // put 1 -> 0
     if (pkt.src_world == 2 && pkt.dst_world == 3)
       gets_from_target.fetch_add(1);                    // get by 3 from 2

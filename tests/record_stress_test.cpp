@@ -1,0 +1,112 @@
+// Concurrent-recording stress: rank threads hammer the lock-free send path
+// (including cross-thread RMA attribution into a peer's accumulators) while
+// other ranks churn the control plane -- session create/free, snapshot
+// observer attach/detach -- forcing constant RecordingPlan rebuilds under
+// live readers. Built for the tsan preset (label "sanitize-thread"): any
+// missing synchronization in the RCU publication, the foreign slot
+// fetch_adds, or the observer slots shows up as a data race. The final
+// phase makes a deterministic correctness check: after a barrier quiesces
+// all cross-rank attribution, a fresh session must count this rank's own
+// traffic exactly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "minimpi/api.h"
+#include "minimpi/engine.h"
+#include "mpimon/mpi_monitoring.h"
+#include "mpit/runtime.h"
+
+namespace mpim {
+namespace {
+
+using mpi::Comm;
+using mpi::Ctx;
+
+TEST(RecordStress, PlanChurnUnderConcurrentTrafficStaysExact) {
+  constexpr int kRanks = 8;
+  // Sized so the full test stays in the low seconds under TSan on one core
+  // while still overlapping thousands of plan reads with rebuilds.
+  constexpr int kHammerIters = 1500;
+  constexpr int kChurnCycles = 100;
+  constexpr unsigned long kFinalIters = 64;
+
+  topo::Topology t({2, 2, 2}, {"node", "socket", "core"});
+  std::vector<net::LinkParams> params = {
+      {1e-5, 1e8}, {1e-6, 1e9}, {1e-7, 1e10}, {0.0, 1e12}};
+  net::CostModel cost(t, params, 1e-7);
+  mpi::EngineConfig cfg{.cost_model = cost,
+                        .placement = topo::round_robin_placement(kRanks, t)};
+  cfg.watchdog_wall_timeout_s = 120.0;
+  mpi::Engine engine(std::move(cfg));
+
+  mpit::Runtime tool(engine);
+  std::atomic<long> observed{0};
+  tool.add_event_listener(
+      [&](const mpi::PktInfo&) { observed.fetch_add(1); });
+
+  engine.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int me = ctx.world_rank();
+    char buf[8] = {0};
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+
+    if (me % 2 == 0) {
+      // Hammer: reads the plan on every send; the rma_transfer attributes
+      // traffic to the odd neighbour, writing that rank's foreign slots
+      // from this thread while it is rebuilding its plan.
+      for (int i = 0; i < kHammerIters; ++i) {
+        ctx.send_bytes(me, world, 3, mpi::CommKind::p2p, buf, sizeof buf);
+        ctx.recv_bytes(me, world, 3, mpi::CommKind::p2p, buf, sizeof buf);
+        ctx.rma_transfer(me + 1, me, world, sizeof buf);
+      }
+    } else {
+      // Churner: every cycle publishes several plans (starts, snapshot
+      // observer attach/detach, suspends, frees) while the neighbour's
+      // thread races through them.
+      for (int c = 0; c < kChurnCycles; ++c) {
+        MPI_M_msid a = -1, b = -1;
+        ASSERT_EQ(MPI_M_start(world, &a), MPI_M_SUCCESS);
+        ASSERT_EQ(MPI_M_start(world, &b), MPI_M_SUCCESS);
+        ASSERT_EQ(MPI_M_snapshot_start(a, 1e-3, 4, MPI_M_ALL_COMM),
+                  MPI_M_SUCCESS);
+        ctx.send_bytes(me, world, 3, mpi::CommKind::p2p, buf, sizeof buf);
+        ctx.recv_bytes(me, world, 3, mpi::CommKind::p2p, buf, sizeof buf);
+        ASSERT_EQ(MPI_M_snapshot_stop(a), MPI_M_SUCCESS);
+        ASSERT_EQ(MPI_M_suspend(a), MPI_M_SUCCESS);
+        ASSERT_EQ(MPI_M_free(a), MPI_M_SUCCESS);
+        ASSERT_EQ(MPI_M_suspend(b), MPI_M_SUCCESS);
+        ASSERT_EQ(MPI_M_free(b), MPI_M_SUCCESS);
+      }
+    }
+
+    // Quiesce cross-rank attribution, then check exactness: only this
+    // rank's own traffic can land in its row from here on.
+    mpi::barrier(world);
+    MPI_M_msid id = -1;
+    ASSERT_EQ(MPI_M_start(world, &id), MPI_M_SUCCESS);
+    for (unsigned long i = 0; i < kFinalIters; ++i) {
+      ctx.send_bytes(me, world, 5, mpi::CommKind::p2p, buf, sizeof buf);
+      ctx.recv_bytes(me, world, 5, mpi::CommKind::p2p, buf, sizeof buf);
+      ctx.rma_transfer(me, me, world, sizeof buf);
+    }
+    ASSERT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+    unsigned long counts[kRanks] = {0}, sizes[kRanks] = {0};
+    ASSERT_EQ(MPI_M_get_data(id, counts, sizes, MPI_M_ALL_COMM),
+              MPI_M_SUCCESS);
+    EXPECT_EQ(counts[me], 2 * kFinalIters);
+    EXPECT_EQ(sizes[me], 2 * kFinalIters * sizeof buf);
+    for (int peer = 0; peer < kRanks; ++peer) {
+      if (peer == me) continue;
+      EXPECT_EQ(counts[peer], 0u) << "peer " << peer;
+    }
+    ASSERT_EQ(MPI_M_free(id), MPI_M_SUCCESS);
+    MPI_M_finalize();
+  });
+
+  // The listener ran concurrently on every rank thread.
+  EXPECT_GT(observed.load(), static_cast<long>(kRanks) * kHammerIters / 2);
+}
+
+}  // namespace
+}  // namespace mpim
