@@ -12,7 +12,13 @@
 #      threads hammer the lock-free send path while the control plane
 #      churns RecordingPlans)
 #
-# Usage: scripts/check.sh [--default-only|--asan-only|--tsan-only]
+# --recovery-only is the focused fault-recovery lane: the recovery suite and
+# the crash-under-churn stress suite (ULFM shrink/ack/agree, session rebind,
+# degradation governor) under BOTH sanitizer presets, plus the
+# faulty_reorder crash-shrink-recover example and bench_recovery's
+# built-in acceptance check on the default build.
+#
+# Usage: scripts/check.sh [--default-only|--asan-only|--tsan-only|--recovery-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,13 +26,15 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 run_default=1
 run_asan=1
 run_tsan=1
+run_recovery=0
 case "${1:-}" in
   --default-only) run_asan=0; run_tsan=0 ;;
   --asan-only) run_default=0; run_tsan=0 ;;
   --tsan-only) run_default=0; run_asan=0 ;;
+  --recovery-only) run_default=0; run_asan=0; run_tsan=0; run_recovery=1 ;;
   "") ;;
   *)
-    echo "usage: $0 [--default-only|--asan-only|--tsan-only]" >&2
+    echo "usage: $0 [--default-only|--asan-only|--tsan-only|--recovery-only]" >&2
     exit 2
     ;;
 esac
@@ -47,6 +55,7 @@ if [ "$run_default" = 1 ]; then
   mkdir -p results
   ./build/bench/bench_introspect --quick --csv results
   ./build/bench/bench_record --quick --csv results
+  ./build/bench/bench_recovery --quick --csv results
   if command -v python3 >/dev/null 2>&1; then
     python3 scripts/bench_trend.py
   else
@@ -66,6 +75,30 @@ if [ "$run_tsan" = 1 ]; then
   cmake --preset tsan
   cmake --build --preset tsan -j "$jobs"
   ctest --preset tsan --output-on-failure -j "$jobs"
+fi
+
+if [ "$run_recovery" = 1 ]; then
+  # --test-dir instead of the ctest presets: the preset label filters
+  # (sanitize / sanitize-thread) would AND with -L and hide the suite.
+  echo "== recovery lane: asan preset (labels: fault|recovery|sanitize-thread) =="
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs"
+  ctest --test-dir build-asan --output-on-failure -j "$jobs" \
+    -L 'fault|recovery|sanitize-thread'
+
+  echo "== recovery lane: tsan preset (labels: fault|recovery|sanitize-thread) =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs"
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+    -L 'fault|recovery|sanitize-thread'
+
+  echo "== recovery lane: crash-shrink-recover e2e + bench acceptance =="
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" \
+    --target faulty_reorder bench_recovery
+  ./build/examples/faulty_reorder >/dev/null
+  mkdir -p results
+  ./build/bench/bench_recovery --quick --csv results
 fi
 
 echo "check.sh: all green"

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "fault/fault_plan.h"
+#include "support/env.h"
 #include "telemetry/log.h"
 
 namespace mpim::mpi {
@@ -148,6 +149,28 @@ ErrMode Engine::errmode(const Comm& comm) const {
   return it == errmodes_.end() ? ErrMode::fatal : it->second;
 }
 
+void Engine::revoke_comm(const Comm& comm) {
+  check(!comm.is_null(), "revoke on null communicator");
+  {
+    std::lock_guard lock(revoke_mutex_);
+    if (!revoked_.insert(comm.context_id()).second) return;  // idempotent
+  }
+  revoked_count_.fetch_add(1, std::memory_order_release);
+  telemetry::log(telemetry::LogLevel::info, -1, "engine",
+                 "communicator " + std::to_string(comm.context_id()) +
+                     " revoked");
+  // Revocation is progress: blocked members must wake, observe it and
+  // raise CommRevokedError instead of tripping the watchdog.
+  deliveries_.fetch_add(1, std::memory_order_relaxed);
+  for (auto& st : ranks_) st->cv.notify_all();
+}
+
+bool Engine::comm_revoked(const Comm& comm) const {
+  if (revoked_count_.load(std::memory_order_acquire) == 0) return false;
+  std::lock_guard lock(revoke_mutex_);
+  return revoked_.count(comm.context_id()) != 0;
+}
+
 void Engine::mark_dead(int world_rank, double when_s) {
   {
     std::lock_guard lock(fail_mutex_);
@@ -188,11 +211,12 @@ std::vector<int> Engine::dead_ranks() const {
 }
 
 double Engine::effective_watchdog_s() const {
-  if (const char* env = std::getenv("MPIM_WATCHDOG_S")) {
-    char* end = nullptr;
-    const double v = std::strtod(env, &end);
-    if (end != env && v > 0.0) return v;
-  }
+  const auto env = support::env_positive_double("MPIM_WATCHDOG_S");
+  if (env.ok()) return env.value;
+  if (env.invalid())
+    telemetry::log(telemetry::LogLevel::warn, -1, "engine",
+                   "ignoring invalid MPIM_WATCHDOG_S=\"" + env.raw +
+                       "\" (want a finite number > 0); using the default");
   // Bigger worlds make slower wall-clock progress on an oversubscribed
   // host, so scale the configured timeout with the world size.
   return cfg_.watchdog_wall_timeout_s *
@@ -220,6 +244,26 @@ std::string Engine::deadlock_report(int reporter) const {
   std::ostringstream os;
   os << "deadlock: every live rank blocked with no message progress for "
      << watchdog_s_ << "s (detected by rank " << reporter << ")\n";
+  // Snapshot the failure state before taking pending_mutex_ (the two locks
+  // are never held together): a hang that follows a crash usually means a
+  // survivor still depends on the dead rank, which reads very differently
+  // from a logic deadlock.
+  std::vector<std::pair<int, double>> failed;
+  {
+    std::lock_guard lock(fail_mutex_);
+    for (int r = 0; r < world_size(); ++r)
+      if (dead_at_[static_cast<std::size_t>(r)] >= 0.0)
+        failed.emplace_back(r, dead_at_[static_cast<std::size_t>(r)]);
+  }
+  if (failed.empty()) {
+    os << "  failed ranks: none (logic deadlock)\n";
+  } else {
+    os << "  failed ranks:";
+    for (const auto& [r, when] : failed)
+      os << " " << r << " (crashed at t=" << when << "s)";
+    os << "\n  note: survivors blocked on a failed rank should shrink and"
+          " continue (see docs/FAULTS.md, Recovery)\n";
+  }
   std::lock_guard lock(pending_mutex_);
   for (int r = 0; r < world_size(); ++r) {
     const PendingOp& p = pending_[static_cast<std::size_t>(r)];
@@ -282,6 +326,11 @@ void Engine::run(const std::function<void(Ctx&)>& rank_main) {
     dead_at_.assign(static_cast<std::size_t>(n), -1.0);
   }
   dead_count_.store(0);
+  {
+    std::lock_guard lock(revoke_mutex_);
+    revoked_.clear();
+  }
+  revoked_count_.store(0);
   {
     std::lock_guard lock(pending_mutex_);
     pending_.assign(static_cast<std::size_t>(n), PendingOp{});
@@ -394,19 +443,77 @@ void Ctx::fault_check() {
   }
 }
 
-void Ctx::raise_peer_dead(int src_world, const Comm& comm, int tag) {
-  const double when = engine_->dead_time(src_world);
+void Ctx::raise_peer_dead(int peer_world, const Comm& comm, int tag,
+                          const char* op) {
+  const double when = engine_->dead_time(peer_world);
   clock_ = std::max(clock_, when);
   RankFailedError err(
-      src_world, when,
-      "rank " + std::to_string(src_world) + " crashed at t=" +
+      peer_world, when,
+      "rank " + std::to_string(peer_world) + " crashed at t=" +
           std::to_string(when) + "s while rank " +
-          std::to_string(world_rank_) + " waited in recv(src=" +
-          std::to_string(src_world) + ", tag=" + std::to_string(tag) +
+          std::to_string(world_rank_) + " was in " + op + "(peer=" +
+          std::to_string(peer_world) + ", tag=" + std::to_string(tag) +
           ", comm=" + std::to_string(comm.context_id()) + ")");
   if (engine_->errmode(comm) == ErrMode::fatal)
     engine_->fail_run(std::make_exception_ptr(err));
   throw err;
+}
+
+void Ctx::raise_revoked(const Comm& comm, const char* op) {
+  CommRevokedError err(
+      comm.context_id(),
+      "communicator " + std::to_string(comm.context_id()) +
+          " was revoked while rank " + std::to_string(world_rank_) +
+          " was in " + op);
+  if (engine_->errmode(comm) == ErrMode::fatal)
+    engine_->fail_run(std::make_exception_ptr(err));
+  throw err;
+}
+
+int Ctx::ack_failures(const Comm& comm) {
+  check(!comm.is_null(), "failure_ack on null communicator");
+  auto& acked = ft_acked_[comm.context_id()];
+  acked.resize(static_cast<std::size_t>(comm.size()), 0);
+  int n = 0;
+  for (int g = 0; g < comm.size(); ++g) {
+    auto& slot = acked[static_cast<std::size_t>(g)];
+    if (slot == 0 && engine_->rank_dead(comm.world_rank_of(g))) slot = 1;
+    if (slot != 0) ++n;
+  }
+  return n;
+}
+
+std::vector<int> Ctx::acked_failures(const Comm& comm) const {
+  check(!comm.is_null(), "get_failed on null communicator");
+  std::vector<int> out;
+  auto it = ft_acked_.find(comm.context_id());
+  if (it == ft_acked_.end()) return out;
+  for (std::size_t g = 0; g < it->second.size(); ++g)
+    if (it->second[g] != 0) out.push_back(static_cast<int>(g));
+  return out;
+}
+
+bool Ctx::failure_acked(const Comm& comm, int world_rank) const {
+  auto it = ft_acked_.find(comm.context_id());
+  if (it == ft_acked_.end()) return false;
+  const int g = comm.group_rank_of_world(world_rank);
+  return g >= 0 && static_cast<std::size_t>(g) < it->second.size() &&
+         it->second[static_cast<std::size_t>(g)] != 0;
+}
+
+void Ctx::ack_failure_bitmap(const Comm& comm,
+                             const std::vector<std::uint8_t>& dead_by_group) {
+  check(dead_by_group.size() == static_cast<std::size_t>(comm.size()),
+        "failure bitmap size mismatch");
+  auto& acked = ft_acked_[comm.context_id()];
+  acked.resize(static_cast<std::size_t>(comm.size()), 0);
+  for (std::size_t g = 0; g < dead_by_group.size(); ++g)
+    if (dead_by_group[g] != 0) acked[g] = 1;
+}
+
+void Ctx::observe_rank_failure(int world_rank) {
+  const double when = engine_->dead_time(world_rank);
+  if (when >= 0.0) clock_ = std::max(clock_, when);
 }
 
 std::uint32_t Ctx::next_coll_seq(const Comm& comm) {
@@ -424,6 +531,24 @@ void Ctx::send_bytes(int dst_world, const Comm& comm, int tag, CommKind kind,
   check(comm.contains_world(world_rank_), "sender not in communicator");
   check(comm.contains_world(dst_world), "destination not in communicator");
   fault_check();
+  if (kind != CommKind::tool && engine_->comm_revoked(comm))
+    raise_revoked(comm, "send");
+  // Acked-dead short-circuit (ULFM failure_ack): once this rank has
+  // acknowledged the peer's death, sending to it is an immediate typed
+  // failure instead of silent fire-and-forget. Unacked death deliberately
+  // does NOT divert the send -- whether the engine has marked a crash yet
+  // is wall-clock racy, and send costs must stay a pure function of
+  // virtual time. Tool-kind traffic is exempt: shrink/agree and the
+  // monitoring gathers must keep sending to every member unconditionally.
+  if (kind != CommKind::tool && !ft_acked_.empty()) {
+    auto acked_it = ft_acked_.find(comm.context_id());
+    if (acked_it != ft_acked_.end()) {
+      const int g = comm.group_rank_of_world(dst_world);
+      if (g >= 0 && static_cast<std::size_t>(g) < acked_it->second.size() &&
+          acked_it->second[static_cast<std::size_t>(g)] != 0)
+        raise_peer_dead(dst_world, comm, tag, "send");
+    }
+  }
 
   // Consult the fault plan before the monitoring hook so the packet record
   // carries the attempt count the wire actually saw. The virtual-time
@@ -756,6 +881,8 @@ Status Ctx::recv_bytes(int src_world, const Comm& comm, int tag, CommKind kind,
   }
   if (src_world != kAnySource && engine_->rank_dead(src_world))
     raise_peer_dead(src_world, comm, tag);
+  if (kind != CommKind::tool && engine_->comm_revoked(comm))
+    raise_revoked(comm, "recv");
   const Engine::PendingOp op{Engine::PendingOp::What::recv, src_world, tag,
                              kind, comm.context_id(), clock_};
   PendingGuard pending_guard(engine_, world_rank_, op);
@@ -765,6 +892,8 @@ Status Ctx::recv_bytes(int src_world, const Comm& comm, int tag, CommKind kind,
                               &status, true);
     if (!done && src_world != kAnySource && engine_->rank_dead(src_world))
       raise_peer_dead(src_world, comm, tag);
+    if (!done && kind != CommKind::tool && engine_->comm_revoked(comm))
+      raise_revoked(comm, "recv");
     return done;
   });
   lock.unlock();
@@ -805,6 +934,8 @@ Ctx::RecvWait Ctx::recv_bytes_wait(int src_world, const Comm& comm, int tag,
       clock_ = std::max(clock_, engine_->dead_time(src_world));
       return RecvWait::peer_dead;
     }
+    if (kind != CommKind::tool && engine_->comm_revoked(comm))
+      raise_revoked(comm, "recv_wait");
     if (engine_->abort_.load()) throw AbortError();
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) return RecvWait::timeout;

@@ -27,6 +27,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "minimpi/comm.h"
@@ -222,8 +223,21 @@ class Engine {
   std::vector<int> dead_ranks() const;
 
   /// The watchdog timeout actually used: MPIM_WATCHDOG_S when set in the
-  /// environment, else watchdog_wall_timeout_s scaled by world size.
+  /// environment (invalid values are rejected with a logged warning), else
+  /// watchdog_wall_timeout_s scaled by world size.
   double effective_watchdog_s() const;
+
+  /// ULFM-style revocation (see minimpi/ft.h). Marks the communicator
+  /// unusable engine-wide: member ranks blocked in or entering non-tool
+  /// operations on it raise CommRevokedError (honoring the communicator's
+  /// errmode). Tool-kind traffic is exempt so the monitoring plane and the
+  /// recovery protocols (shrink/agree) keep working on a revoked comm.
+  /// Revocation observation is wall-clock racy by nature; clock
+  /// determinism on a revoked communicator is deliberately given up (the
+  /// escape hatch trades reproducibility for liveness) and resumes on the
+  /// shrunk successor. State is cleared when the next run() starts.
+  void revoke_comm(const Comm& comm);
+  bool comm_revoked(const Comm& comm) const;
 
   /// Records `err` as the run's failure, tears every rank down and throws
   /// AbortError on the calling thread (run() rethrows `err`). The
@@ -336,6 +350,10 @@ class Engine {
   mutable std::mutex errmode_mutex_;
   std::unordered_map<int, ErrMode> errmodes_;  ///< context id -> mode
 
+  mutable std::mutex revoke_mutex_;
+  std::unordered_set<int> revoked_;      ///< revoked context ids
+  std::atomic<int> revoked_count_{0};    ///< fast path: 0 = nothing revoked
+
   mutable std::mutex fail_mutex_;
   std::vector<double> dead_at_;  ///< crash clock per rank; < 0 when alive
   std::atomic<int> dead_count_{0};
@@ -417,6 +435,26 @@ class Ctx {
   void rma_transfer(int from_world, int to_world, const Comm& comm,
                     std::size_t bytes);
 
+  // --- ULFM-style failure acknowledgement (see minimpi/ft.h) -------------
+  /// Snapshots the engine's currently-detected failures among `comm`'s
+  /// members into this rank's acked set; returns how many members are now
+  /// acked. Deterministic when called after an operation that observed the
+  /// failure (a recv that raised RankFailedError, comm_shrink, comm_agree):
+  /// the observing operation happens-after the crash mark.
+  int ack_failures(const Comm& comm);
+  /// Group ranks acked as failed for `comm`, ascending.
+  std::vector<int> acked_failures(const Comm& comm) const;
+  /// True when world rank `world_rank` has been acked as failed for `comm`.
+  bool failure_acked(const Comm& comm, int world_rank) const;
+  /// Merges a group-rank failure bitmap into the acked set (comm_shrink's
+  /// agreed dead set, which may run ahead of local detection).
+  void ack_failure_bitmap(const Comm& comm,
+                          const std::vector<std::uint8_t>& dead_by_group);
+  /// Advances the clock to a dead rank's crash time, exactly as a receive
+  /// that observed the failure would: failure-aware paths that skip a dead
+  /// contributor still complete at a deterministic virtual instant.
+  void observe_rank_failure(int world_rank);
+
   /// Collective sequence number for a communicator: identical across all
   /// member ranks because collectives execute in the same order on each.
   std::uint32_t next_coll_seq(const Comm& comm);
@@ -438,9 +476,14 @@ class Ctx {
   /// Consults the fault plan at an operation boundary: applies one-shot
   /// stalls and terminates the rank (RankCrashExit) past its crash time.
   void fault_check();
-  /// Raises the failure for a receive whose source rank is dead: fatal
-  /// errmode tears the run down, ret mode throws RankFailedError.
-  [[noreturn]] void raise_peer_dead(int src_world, const Comm& comm, int tag);
+  /// Raises the failure for an operation whose peer rank is dead: fatal
+  /// errmode tears the run down, ret mode throws RankFailedError. `op`
+  /// names the operation for the message ("recv", "send", ...).
+  [[noreturn]] void raise_peer_dead(int peer_world, const Comm& comm, int tag,
+                                    const char* op = "recv");
+  /// Raises CommRevokedError for an operation on a revoked communicator,
+  /// honoring the communicator's errmode like raise_peer_dead.
+  [[noreturn]] void raise_revoked(const Comm& comm, const char* op);
 
   /// NIC-contention path of an inter-node transfer: waits at the min-clock
   /// gate, reserves the tx/rx ports and returns the arrival time (out
@@ -458,6 +501,9 @@ class Ctx {
   Rng noise_rng_{0};
   std::unordered_map<int, std::uint32_t> coll_seq_;
   std::unordered_map<int, std::uint32_t> mgmt_seq_;
+  /// context id -> group-rank bitmap of acked failures (rank-local state,
+  /// touched only by this rank's thread).
+  std::unordered_map<int, std::vector<std::uint8_t>> ft_acked_;
 };
 
 }  // namespace mpim::mpi

@@ -1,0 +1,185 @@
+#include "minimpi/ft.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "minimpi/coll.h"
+#include "minimpi/engine.h"
+#include "support/error.h"
+#include "telemetry/log.h"
+
+namespace mpim::mpi {
+
+namespace {
+
+/// One all-to-all exchange round of the recovery protocols: sends
+/// `payload` to every other member *unconditionally* (a send's cost never
+/// depends on wall-clock failure knowledge, so clocks stay deterministic;
+/// a delivery into a dead rank's inbox is harmless), then collects every
+/// member's payload with a failure-aware bounded receive. Members that
+/// cannot contribute -- crashed, or silent past the watchdog timeout --
+/// are marked in `dead`; received payloads are handed to `fold`.
+template <typename Fold>
+void exchange_round(Ctx& ctx, const Comm& comm, int me,
+                    std::vector<std::uint8_t>& dead, const void* payload,
+                    std::size_t bytes, Fold&& fold) {
+  Engine& eng = ctx.engine();
+  const int n = comm.size();
+  const int tag = coll::coll_tag(ctx.next_coll_seq(comm));
+  const double timeout_s = eng.effective_watchdog_s();
+  for (int g = 0; g < n; ++g) {
+    if (g == me) continue;
+    ctx.send_bytes(comm.world_rank_of(g), comm, tag, CommKind::tool, payload,
+                   bytes);
+  }
+  std::vector<std::uint8_t> incoming(bytes);
+  for (int g = 0; g < n; ++g) {
+    if (g == me) continue;
+    Status st;
+    const Ctx::RecvWait rc =
+        ctx.recv_bytes_wait(comm.world_rank_of(g), comm, tag, CommKind::tool,
+                            incoming.data(), bytes, &st, timeout_s);
+    if (rc == Ctx::RecvWait::ok) {
+      fold(incoming.data(), g);
+      continue;
+    }
+    dead[static_cast<std::size_t>(g)] = 1;
+    if (rc == Ctx::RecvWait::timeout)
+      telemetry::log(telemetry::LogLevel::warn, ctx.world_rank(), "ft",
+                     "recovery exchange: member " + std::to_string(g) +
+                         " (world " + std::to_string(comm.world_rank_of(g)) +
+                         ") silent past " + std::to_string(timeout_s) +
+                         "s, treating as failed");
+  }
+}
+
+/// The locally-known dead set of `comm` in group-rank bitmap form.
+std::vector<std::uint8_t> local_dead_view(Ctx& ctx, const Comm& comm) {
+  const Engine& eng = ctx.engine();
+  std::vector<std::uint8_t> dead(static_cast<std::size_t>(comm.size()), 0);
+  for (int g = 0; g < comm.size(); ++g)
+    if (eng.rank_dead(comm.world_rank_of(g)))
+      dead[static_cast<std::size_t>(g)] = 1;
+  return dead;
+}
+
+int my_group_rank(Ctx& ctx, const Comm& comm, const char* op) {
+  check(!comm.is_null(), std::string(op) + " on null communicator");
+  const int me = comm.group_rank_of_world(ctx.world_rank());
+  check(me >= 0, std::string(op) + ": caller not in communicator");
+  return me;
+}
+
+}  // namespace
+
+int comm_failure_ack(const Comm& comm) {
+  return Ctx::current().ack_failures(comm);
+}
+
+std::vector<int> comm_get_failed(const Comm& comm) {
+  return Ctx::current().acked_failures(comm);
+}
+
+void comm_revoke(const Comm& comm) {
+  Ctx::current().engine().revoke_comm(comm);
+}
+
+bool comm_is_revoked(const Comm& comm) {
+  return Ctx::current().engine().comm_revoked(comm);
+}
+
+Comm comm_shrink(const Comm& comm) {
+  Ctx& ctx = Ctx::current();
+  Engine& eng = ctx.engine();
+  const int me = my_group_rank(ctx, comm, "comm_shrink");
+  const int n = comm.size();
+  // The epoch makes repeated shrinks of one parent distinct communicators
+  // even when the survivor set is unchanged.
+  const std::uint32_t epoch = ctx.next_mgmt_seq(comm);
+
+  // Two rounds of dead-set flooding. Round 1 reconciles views of crashes
+  // that predate the shrink (members that received the victim's last words
+  // vs. members that did not); round 2 spreads the round-1 union, covering
+  // a crash *during* round 1. A crash during round 2 is the documented
+  // unprotected window (docs/FAULTS.md).
+  std::vector<std::uint8_t> dead = local_dead_view(ctx, comm);
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::uint8_t> mine = dead;  // snapshot: sends carry one view
+    exchange_round(ctx, comm, me, dead, mine.data(), mine.size(),
+                   [&](const std::uint8_t* peer_view, int /*from*/) {
+                     for (int g = 0; g < n; ++g)
+                       dead[static_cast<std::size_t>(g)] |= peer_view[g];
+                   });
+  }
+  dead[static_cast<std::size_t>(me)] = 0;  // the caller is alive
+
+  // Agreed failures become acked: later operations on the parent fail
+  // fast instead of re-discovering the crash.
+  ctx.ack_failure_bitmap(comm, dead);
+
+  std::vector<int> survivors;
+  std::string roster;
+  for (int g = 0; g < n; ++g) {
+    if (dead[static_cast<std::size_t>(g)] != 0) continue;
+    survivors.push_back(comm.world_rank_of(g));
+    roster += "." + std::to_string(g);
+  }
+  // Survivor list in the key: should the unprotected window ever split the
+  // views, factions intern *different* communicators (a deterministic
+  // watchdog failure downstream) instead of silently sharing one comm
+  // with disagreeing groups.
+  const std::string key = "shrink:" + std::to_string(comm.context_id()) +
+                          ":" + std::to_string(epoch) + ":" + roster;
+  Comm out = eng.intern_comm(key, std::move(survivors));
+  eng.set_errmode(out, eng.errmode(comm));
+  return out;
+}
+
+bool comm_agree(const Comm& comm, int* flag) {
+  Ctx& ctx = Ctx::current();
+  const int me = my_group_rank(ctx, comm, "comm_agree");
+  const int n = comm.size();
+  check(flag != nullptr, "comm_agree needs a flag");
+
+  // Failures already acked at entry do not count against agreement
+  // (ULFM: acked failures make MPIX_Comm_agree return MPI_SUCCESS).
+  std::vector<std::uint8_t> entry_acked(static_cast<std::size_t>(n), 0);
+  for (int g = 0; g < n; ++g)
+    if (ctx.failure_acked(comm, comm.world_rank_of(g)))
+      entry_acked[static_cast<std::size_t>(g)] = 1;
+
+  std::uint64_t acc =
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(*flag));
+  std::vector<std::uint8_t> dead = local_dead_view(ctx, comm);
+  // Round 1 exchanges raw contributions; round 2 exchanges the partial
+  // ANDs, so a contribution one member missed still reaches it
+  // transitively through any member that got it.
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::uint8_t> payload(sizeof(std::uint64_t) +
+                                      static_cast<std::size_t>(n));
+    std::memcpy(payload.data(), &acc, sizeof acc);
+    std::memcpy(payload.data() + sizeof acc, dead.data(), dead.size());
+    std::vector<std::uint8_t> mine = payload;
+    exchange_round(ctx, comm, me, dead, mine.data(), mine.size(),
+                   [&](const std::uint8_t* bytes, int /*from*/) {
+                     std::uint64_t theirs = 0;
+                     std::memcpy(&theirs, bytes, sizeof theirs);
+                     acc &= theirs;
+                     for (int g = 0; g < n; ++g)
+                       dead[static_cast<std::size_t>(g)] |=
+                           bytes[sizeof theirs + static_cast<std::size_t>(g)];
+                   });
+  }
+  dead[static_cast<std::size_t>(me)] = 0;
+
+  *flag = static_cast<int>(static_cast<std::uint32_t>(acc));
+  for (int g = 0; g < n; ++g)
+    if (dead[static_cast<std::size_t>(g)] != 0 &&
+        entry_acked[static_cast<std::size_t>(g)] == 0)
+      return false;
+  return true;
+}
+
+}  // namespace mpim::mpi

@@ -1,0 +1,64 @@
+// ULFM-style fault-tolerance primitives (MPIX_Comm_* analogs).
+//
+// The engine already *detects* failures (FaultPlan crashes, typed
+// RankFailedError, failure-aware timed receives); this header is the
+// *recovery* vocabulary on top:
+//
+//   comm_failure_ack / comm_get_failed -- acknowledge locally-observed
+//     failures so later operations on acked-dead peers short-circuit with
+//     RankFailedError instead of re-eating a timeout.
+//   comm_revoke / comm_is_revoked -- engine-wide poison pill: members
+//     blocked in (or entering) operations on the revoked communicator
+//     raise CommRevokedError, so survivors scattered across a broken
+//     collective converge onto the recovery path instead of deadlocking.
+//   comm_shrink -- agree on the dead set and intern a survivors-only
+//     communicator with deterministic rank renumbering (group order of the
+//     parent, dead members removed).
+//   comm_agree -- fault-tolerant agreement: bitwise-AND of `*flag` over
+//     the members that can still communicate.
+//
+// Determinism contract: shrink and agree exchange their views with
+// unconditional sends to every member (send costs never depend on
+// wall-clock failure knowledge) and failure-aware timed receives whose
+// outcome -- message or crash-time completion -- is a pure function of
+// virtual time. One documented window remains: a rank crashing *during the
+// final exchange round* can leave survivors with divergent views (see
+// docs/FAULTS.md, Recovery).
+#pragma once
+
+#include <vector>
+
+#include "minimpi/comm.h"
+
+namespace mpim::mpi {
+
+/// Acknowledges every failure of a member of `comm` that this rank has
+/// observed so far. Returns the total number of acked members. After the
+/// ack, send/recv involving those members raise RankFailedError
+/// immediately (honoring the communicator's errmode).
+int comm_failure_ack(const Comm& comm);
+
+/// Group ranks of `comm` this rank has acked as failed, ascending.
+std::vector<int> comm_get_failed(const Comm& comm);
+
+/// Revokes `comm` engine-wide (idempotent). Tool-kind traffic is exempt,
+/// so monitoring gathers and shrink/agree still run on a revoked comm.
+void comm_revoke(const Comm& comm);
+bool comm_is_revoked(const Comm& comm);
+
+/// Collective over the surviving members: agrees on the dead set and
+/// returns a survivors-only communicator. Rank renumbering is
+/// deterministic (parent group order with dead members removed), the
+/// result is interned so every survivor gets the same context id, and the
+/// parent's errmode carries over. The agreed dead set is also acked, so
+/// later operations on the *parent* involving dead members fail fast.
+Comm comm_shrink(const Comm& comm);
+
+/// Fault-tolerant agreement on `*flag` (in/out, bitwise AND over the
+/// members that contributed). Returns true when every live member's
+/// contribution was folded in and every excluded member had already been
+/// acked by this rank; false when an unacked failure perturbed the result
+/// (ULFM's MPI_ERR_PROC_FAILED analog -- ack and retry to accept it).
+bool comm_agree(const Comm& comm, int* flag);
+
+}  // namespace mpim::mpi

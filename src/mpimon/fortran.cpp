@@ -69,6 +69,15 @@ void mpi_m_reset_(const int* msid, int* ierr) { *ierr = MPI_M_reset(*msid); }
 
 void mpi_m_free_(const int* msid, int* ierr) { *ierr = MPI_M_free(*msid); }
 
+void mpi_m_rebind_(const int* msid, const int* newcomm_f, int* ierr) {
+  *ierr = MPI_M_rebind(*msid, fcomm_lookup(*newcomm_f));
+}
+
+void mpi_m_session_tombstones_(const int* msid, int* world_ranks,
+                               const int* capacity, int* count, int* ierr) {
+  *ierr = MPI_M_session_tombstones(*msid, world_ranks, *capacity, count);
+}
+
 void mpi_m_get_info_(const int* msid, int* provided, int* array_size,
                      int* ierr) {
   *ierr = MPI_M_get_info(*msid, provided, array_size);

@@ -27,6 +27,9 @@ void mpi_m_suspend_(const int* msid, int* ierr);
 void mpi_m_continue_(const int* msid, int* ierr);
 void mpi_m_reset_(const int* msid, int* ierr);
 void mpi_m_free_(const int* msid, int* ierr);
+void mpi_m_rebind_(const int* msid, const int* newcomm_f, int* ierr);
+void mpi_m_session_tombstones_(const int* msid, int* world_ranks,
+                               const int* capacity, int* count, int* ierr);
 void mpi_m_get_info_(const int* msid, int* provided, int* array_size,
                      int* ierr);
 void mpi_m_get_data_(const int* msid, unsigned long* msg_counts,

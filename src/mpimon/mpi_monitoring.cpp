@@ -15,8 +15,11 @@
 #include "introspect/snapshot.h"
 #include "minimpi/coll.h"
 #include "minimpi/engine.h"
+#include "mpimon/governor.h"
 #include "mpit/runtime.h"
+#include "support/env.h"
 #include "telemetry/hub.h"
+#include "telemetry/log.h"
 
 namespace {
 
@@ -51,6 +54,12 @@ struct MonSession {
   std::shared_ptr<SnapShared> snap;
   bool snapshot_running = false;
   int snapshot_flags = MPI_M_ALL_COMM;
+  /// World ranks dropped from the binding by MPI_M_rebind (union over
+  /// every rebind of this session).
+  std::vector<int> tombstones;
+  /// Frame bytes this session's sampler holds against the governor's
+  /// memory budget (0 when no budget or no sampler).
+  std::uint64_t gov_reserved = 0;
 };
 
 mpim::telemetry::Hub& tele() {
@@ -60,11 +69,13 @@ mpim::telemetry::Hub& tele() {
 int tele_rank() { return Ctx::current().world_rank(); }
 
 double default_gather_timeout() {
-  if (const char* env = std::getenv("MPIM_GATHER_TIMEOUT_S")) {
-    char* end = nullptr;
-    const double v = std::strtod(env, &end);
-    if (end != env && v > 0.0) return v;
-  }
+  const auto env = mpim::support::env_positive_double("MPIM_GATHER_TIMEOUT_S");
+  if (env.ok()) return env.value;
+  if (env.invalid())
+    mpim::telemetry::log(
+        mpim::telemetry::LogLevel::warn, -1, "mpimon",
+        "ignoring invalid MPIM_GATHER_TIMEOUT_S=\"" + env.raw +
+            "\" (want a finite number > 0); using the 5 s default");
   return 5.0;
 }
 
@@ -90,7 +101,16 @@ int guarded(Fn&& fn) {
     return fn();
   } catch (const mpim::mpi::AbortError&) {
     throw;
+  } catch (const mpim::mpi::RankCrashExit&) {
+    // The calling rank itself is crashing: it must unwind out of its main
+    // function, not limp on with an error code (a zombie rank would stall
+    // every collective it is still a member of).
+    throw;
   } catch (const mpim::mpit::MpitError&) {
+    return MPI_M_MPIT_FAIL;
+  } catch (const mpim::CommRevokedError&) {
+    // A revoked communicator is an MPI-layer refusal, not missing data:
+    // the caller should shrink and rebind before asking again.
     return MPI_M_MPIT_FAIL;
   } catch (const mpim::RankFailedError&) {
     return MPI_M_PARTIAL_DATA;
@@ -204,6 +224,9 @@ int MPI_M_finalize() {
     for (MonSession& s : st.sessions) {
       if (s.state == MonSession::St::suspended) {
         rt.session_free(s.tsession);
+        if (s.gov_reserved > 0)
+          mpim::mon::Governor::of(Ctx::current().engine())
+              .release(s.gov_reserved);
         s.state = MonSession::St::freed;
       }
     }
@@ -302,6 +325,21 @@ int MPI_M_suspend(MPI_M_msid msid) {
         if (s.span_start_s >= 0.0)
           hub.span_complete(tele_rank(), "mon.session", 'S', s.span_start_s,
                             Ctx::current().now());
+        // Modeled-overhead budget: recorded events x the engine's
+        // per-event cost against the active span, all virtual quantities,
+        // so the alarm decision is deterministic per rank.
+        auto& gov = mpim::mon::Governor::of(Ctx::current().engine());
+        if (gov.overhead_budget_pct() > 0.0 && s.span_start_s >= 0.0) {
+          std::vector<unsigned long> row;
+          read_metric(s, MPI_M_ALL_COMM, 0, row);
+          unsigned long events = 0;
+          for (unsigned long v : row) events += v;
+          gov.report_overhead(
+              tele_rank(),
+              static_cast<double>(events) *
+                  Ctx::current().engine().config().monitor_event_cost_s,
+              Ctx::current().now() - s.span_start_s);
+        }
         s.span_start_s = -1.0;
       });
 }
@@ -352,8 +390,93 @@ int MPI_M_free(MPI_M_msid msid) {
         s.sampler.reset();
         s.snap.reset();
         s.snapshot_running = false;
+        if (s.gov_reserved > 0) {
+          mpim::mon::Governor::of(Ctx::current().engine())
+              .release(s.gov_reserved);
+          s.gov_reserved = 0;
+        }
+        s.tombstones.clear();
         s.state = MonSession::St::freed;
       });
+}
+
+int MPI_M_rebind(MPI_M_msid msid, Comm newcomm) {
+  return guarded([&] {
+    MonState& st = mon_state();
+    MonSession* s = nullptr;
+    if (int rc = resolve_msid(st, msid, &s); rc != MPI_M_SUCCESS) return rc;
+    if (s->state != MonSession::St::suspended)
+      return MPI_M_SESSION_NOT_SUSPENDED;
+    if (newcomm.is_null() ||
+        !newcomm.contains_world(Ctx::current().world_rank()))
+      return MPI_M_INTERNAL_FAIL;
+
+    auto& rt = runtime();
+    const std::size_t n_old = static_cast<std::size_t>(s->comm.size());
+    const std::size_t n_new = static_cast<std::size_t>(newcomm.size());
+
+    // Read the accumulated history off the old binding; the handles are
+    // stopped while suspended, so the rows are stable.
+    std::array<std::vector<unsigned long>, 6> rows;
+    for (std::size_t p = 0; p < 6; ++p) {
+      rows[p].assign(n_old, 0ul);
+      rt.handle_read(s->tsession, s->handles[p], rows[p].data(),
+                     static_cast<int>(n_old));
+    }
+    for (std::size_t g = 0; g < n_old; ++g) {
+      const int w = s->comm.world_rank_of(static_cast<int>(g));
+      if (!newcomm.contains_world(w)) s->tombstones.push_back(w);
+    }
+
+    // Drop the sampler: its frame grid and peer numbering were sized for
+    // the old group. session_free also detaches the packet observer.
+    if (s->snap) s->snap->live.store(false, std::memory_order_release);
+    rt.session_free(s->tsession);
+    s->sampler.reset();
+    s->snap.reset();
+    s->snapshot_running = false;
+    if (s->gov_reserved > 0) {
+      mpim::mon::Governor::of(Ctx::current().engine())
+          .release(s->gov_reserved);
+      s->gov_reserved = 0;
+    }
+
+    // Fresh mpit session + handles on the successor, seeded with each
+    // surviving member's history (remapped by world rank).
+    s->tsession = rt.session_create();
+    for (int pvar = 0; pvar < 6; ++pvar)
+      s->handles[static_cast<std::size_t>(pvar)] =
+          rt.handle_alloc(s->tsession, pvar, newcomm);
+    std::vector<unsigned long> seeded(n_new, 0ul);
+    for (std::size_t p = 0; p < 6; ++p) {
+      for (std::size_t j = 0; j < n_new; ++j) {
+        const int w = newcomm.world_rank_of(static_cast<int>(j));
+        const int g_old = s->comm.group_rank_of_world(w);
+        seeded[j] = g_old >= 0 ? rows[p][static_cast<std::size_t>(g_old)]
+                               : 0ul;
+      }
+      rt.handle_write(s->tsession, s->handles[p], seeded.data(),
+                      static_cast<int>(n_new));
+    }
+    s->comm = newcomm;
+    tele().add(tele().ids().mon_rebinds, tele_rank());
+    return MPI_M_SUCCESS;
+  });
+}
+
+int MPI_M_session_tombstones(MPI_M_msid msid, int* world_ranks, int capacity,
+                             int* count) {
+  return guarded([&] {
+    MonState& st = mon_state();
+    MonSession* s = nullptr;
+    if (int rc = resolve_msid(st, msid, &s); rc != MPI_M_SUCCESS) return rc;
+    const int total = static_cast<int>(s->tombstones.size());
+    if (world_ranks != MPI_M_INT_IGNORE)
+      for (int i = 0; i < std::min(total, capacity); ++i)
+        world_ranks[i] = s->tombstones[static_cast<std::size_t>(i)];
+    if (count != MPI_M_INT_IGNORE) *count = total;
+    return MPI_M_SUCCESS;
+  });
 }
 
 int MPI_M_get_info(MPI_M_msid msid, int* provided, int* array_size) {
@@ -452,10 +575,26 @@ int gather_row_matrix_faulty(MonSession& s,
         std::copy(row.begin(), row.end(), dst);
         continue;
       }
+      const int peer_world = s.comm.world_rank_of(static_cast<int>(r));
+      // Known-dead contributor with no pre-crash row still in the inbox:
+      // skip the wait outright instead of re-entering it. Matching first
+      // and advancing to the crash time mirror recv_bytes_wait's own
+      // match-then-peer_dead order, so the data gathered and the virtual
+      // clock are identical to the un-skipped run -- only the wall-time
+      // stall and the counter differ.
+      if (ctx.engine().rank_dead(peer_world) &&
+          !ctx.iprobe_bytes(peer_world, s.comm, gather_tag, CommKind::tool,
+                            nullptr)) {
+        ctx.observe_rank_failure(peer_world);
+        std::fill(dst, dst + w, MPI_M_DATA_MISSING);
+        ++missing;
+        tele().add(tele().ids().mon_dead_skips, tele_rank());
+        continue;
+      }
       mpim::mpi::Status st;
-      const Ctx::RecvWait rc = ctx.recv_bytes_wait(
-          s.comm.world_rank_of(static_cast<int>(r)), s.comm, gather_tag,
-          CommKind::tool, dst, row_bytes, &st, timeout_s);
+      const Ctx::RecvWait rc =
+          ctx.recv_bytes_wait(peer_world, s.comm, gather_tag, CommKind::tool,
+                              dst, row_bytes, &st, timeout_s);
       if (rc != Ctx::RecvWait::ok) {
         std::fill(dst, dst + w, MPI_M_DATA_MISSING);
         ++missing;
@@ -479,9 +618,21 @@ int gather_row_matrix_faulty(MonSession& s,
     return missing;
   }
 
-  ctx.send_bytes(s.comm.world_rank_of(groot), s.comm, gather_tag,
-                 CommKind::tool, row.data(), row_bytes);
+  const int root_world = s.comm.world_rank_of(groot);
+  ctx.send_bytes(root_world, s.comm, gather_tag, CommKind::tool, row.data(),
+                 row_bytes);
   if (root >= 0) return 0;
+  // Dead gathering rank with no redistributed matrix in flight: every row
+  // is lost, but at least do not wait the full budget to learn it.
+  if (ctx.engine().rank_dead(root_world) &&
+      !ctx.iprobe_bytes(root_world, s.comm, redist_tag, CommKind::tool,
+                        nullptr)) {
+    ctx.observe_rank_failure(root_world);
+    if (recv != nullptr)
+      std::fill(recv, recv + rows * w, MPI_M_DATA_MISSING);
+    tele().add(tele().ids().mon_dead_skips, tele_rank());
+    return static_cast<int>(rows);
+  }
   // The gathering rank may spend up to one timeout per missing contributor
   // before our copy of the matrix arrives; budget for all of them.
   std::vector<unsigned long> msg(rows * w + 1);
@@ -773,10 +924,20 @@ int gather_frames_faulty(MonSession& s,
     blobs[0] = blob;
     for (std::size_t r = 1; r < n; ++r) {
       blobs[r].assign(blob.size(), 0ul);
+      const int peer_world = s.comm.world_rank_of(static_cast<int>(r));
+      // Same known-dead skip as gather_row_matrix_faulty: match-first,
+      // then crash-time clock advance, so only the wall stall differs.
+      if (ctx.engine().rank_dead(peer_world) &&
+          !ctx.iprobe_bytes(peer_world, s.comm, gather_tag, CommKind::tool,
+                            nullptr)) {
+        ctx.observe_rank_failure(peer_world);
+        missing_rank[r] = true;
+        tele().add(tele().ids().mon_dead_skips, tele_rank());
+        continue;
+      }
       mpim::mpi::Status st;
       const Ctx::RecvWait rc = ctx.recv_bytes_wait(
-          s.comm.world_rank_of(static_cast<int>(r)), s.comm, gather_tag,
-          CommKind::tool, blobs[r].data(),
+          peer_world, s.comm, gather_tag, CommKind::tool, blobs[r].data(),
           blobs[r].size() * sizeof(unsigned long), &st, timeout_s);
       if (rc != Ctx::RecvWait::ok) {
         missing_rank[r] = true;
@@ -791,12 +952,23 @@ int gather_frames_faulty(MonSession& s,
     return static_cast<int>(result[1]);
   }
 
-  ctx.send_bytes(s.comm.world_rank_of(0), s.comm, gather_tag, CommKind::tool,
-                 blob.data(), blob.size() * sizeof(unsigned long));
+  const int root_world = s.comm.world_rank_of(0);
+  ctx.send_bytes(root_world, s.comm, gather_tag, CommKind::tool, blob.data(),
+                 blob.size() * sizeof(unsigned long));
+  if (ctx.engine().rank_dead(root_world) &&
+      !ctx.iprobe_bytes(root_world, s.comm, redist_tag, CommKind::tool,
+                        nullptr)) {
+    ctx.observe_rank_failure(root_world);
+    std::fill(result.begin(), result.end(), MPI_M_DATA_MISSING);
+    result[0] = 0;
+    result[1] = static_cast<unsigned long>(n);
+    tele().add(tele().ids().mon_dead_skips, tele_rank());
+    return static_cast<int>(n);
+  }
   mpim::mpi::Status st;
   const Ctx::RecvWait rc = ctx.recv_bytes_wait(
-      s.comm.world_rank_of(0), s.comm, redist_tag, CommKind::tool,
-      result.data(), result.size() * sizeof(unsigned long), &st,
+      root_world, s.comm, redist_tag, CommKind::tool, result.data(),
+      result.size() * sizeof(unsigned long), &st,
       timeout_s * static_cast<double>(n + 1));
   if (rc != Ctx::RecvWait::ok) {
     std::fill(result.begin(), result.end(), MPI_M_DATA_MISSING);
@@ -820,8 +992,29 @@ int MPI_M_snapshot_start(MPI_M_msid msid, double window_s, int max_frames,
     if (!flags_valid(flags)) return MPI_M_INVALID_FLAGS;
     if (!(window_s > 0.0) || max_frames < 1) return MPI_M_INTERNAL_FAIL;
 
+    // Degradation governor: a replaced (stopped) snapshot gives its frame
+    // reservation back first, then the new one asks for storage. Under a
+    // shed ladder >= 1 the requested window widens x2 -- fewer frames per
+    // virtual second. All host-side: virtual clocks never see the budget.
+    auto& gov = mpim::mon::Governor::of(Ctx::current().engine());
+    if (s->gov_reserved > 0) {
+      gov.release(s->gov_reserved);
+      s->gov_reserved = 0;
+    }
+    const double eff_window_s = window_s * gov.window_scale();
+    const std::uint64_t frame_bytes =
+        sizeof(mpim::introspect::Frame) +
+        static_cast<std::uint64_t>(s->comm.size()) *
+            sizeof(mpim::introspect::FrameCell);
+    const int granted = gov.reserve_frames(tele_rank(), max_frames,
+                                           frame_bytes);
+    if (granted == 0) return MPI_M_SESSION_OVERFLOW;
+    s->gov_reserved = gov.mem_enabled()
+                          ? static_cast<std::uint64_t>(granted) * frame_bytes
+                          : 0;
+
     auto sampler = std::make_shared<mpim::introspect::WindowSampler>(
-        s->comm.size(), window_s, static_cast<std::size_t>(max_frames));
+        s->comm.size(), eff_window_s, static_cast<std::size_t>(granted));
 
     // Telemetry per frame: counters plus a phase span per detected phase.
     // Never charges virtual time; disabled telemetry costs one load.

@@ -118,6 +118,28 @@ int MPI_M_reset(MPI_M_msid msid);
 /// Frees a suspended session (data no longer available).
 int MPI_M_free(MPI_M_msid msid);
 
+// --- fault recovery ----------------------------------------------------------
+
+/// Rebinds a *suspended* session onto `newcomm` -- typically the shrunk
+/// successor of its communicator after mpim::mpi::comm_shrink. The
+/// accumulated per-peer counts and sizes of every member shared by the old
+/// and new communicator are carried over (remapped by world rank); rows of
+/// members that disappeared are tombstoned (MPI_M_session_tombstones). Any
+/// attached snapshot sampler is dropped: its frame grid was sized for the
+/// old group. The session stays suspended; MPI_M_continue resumes
+/// recording on the new communicator. Collective over `newcomm` by
+/// convention, though no traffic is generated. Errors:
+/// MPI_M_SESSION_NOT_SUSPENDED unless suspended, MPI_M_INTERNAL_FAIL when
+/// `newcomm` is null or does not contain the caller.
+int MPI_M_rebind(MPI_M_msid msid, mpim::mpi::Comm newcomm);
+
+/// Tombstones of a session: world ranks that were members of a previous
+/// binding but are absent from the current one (their rows were dropped at
+/// MPI_M_rebind). Writes up to `capacity` entries to `world_ranks` (may be
+/// MPI_M_INT_IGNORE) and the total to `count`. Local; any state.
+int MPI_M_session_tombstones(MPI_M_msid msid, int* world_ranks, int capacity,
+                             int* count);
+
 // --- data access ------------------------------------------------------------------
 
 /// provided: level of thread support (always "multiple" here);

@@ -13,7 +13,7 @@ namespace {
 // Telemetry names must match the registry catalog in telemetry/hub.cpp:
 // handle_alloc resolves the backing metric by this exact name.
 constexpr mpi::CommKind kTele = mpi::CommKind::tool;  // class marker only
-constexpr std::array<PvarInfo, 33> kPvars{{
+constexpr std::array<PvarInfo, 40> kPvars{{
     {"pml_monitoring_messages_count",
      "number of point-to-point messages sent per peer",
      mpi::CommKind::p2p, false, PvarClass::peer_monitoring},
@@ -101,6 +101,28 @@ constexpr std::array<PvarInfo, 33> kPvars{{
     {"mpim_introspect_treematch_gain_milli",
      "estimated TreeMatch cost reduction x1000",
      kTele, false, PvarClass::telemetry},
+    // --- fault recovery + degradation governor, appended PR 6 ---
+    {"mpim_mon_rebinds_total",
+     "monitoring sessions rebound onto a shrunk communicator",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_mon_dead_skips_total",
+     "gather rows skipped immediately because the contributor is dead",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_governor_shed_steps_total",
+     "degradation governor fidelity-shedding steps taken",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_governor_refusals_total",
+     "monitoring reservations refused at maximum shedding",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_governor_overhead_alarms_total",
+     "sessions whose modeled overhead exceeded MPIM_OVERHEAD_PCT",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_governor_shed_level",
+     "current governor shed level (0 none .. 3 spans dropped)",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_governor_mem_bytes",
+     "monitoring-plane bytes accounted against MPIM_MEM_BUDGET_BYTES",
+     kTele, true, PvarClass::telemetry},
 }};
 
 }  // namespace

@@ -336,6 +336,24 @@ void Runtime::handle_reset(int session, int handle) {
         h.started ? 0ul - h.acc->read(h.is_size, static_cast<int>(d)) : 0ul;
 }
 
+void Runtime::handle_write(int session, int handle,
+                           const unsigned long* values, int count) {
+  RankState& rs = my_rank_state();
+  std::lock_guard lock(rs.mutex);
+  Handle& h = resolve(rs, session, handle);
+  if (h.telemetry_metric >= 0)
+    throw MpitError("pvar handle_write: telemetry handles are read-only");
+  if (h.started)
+    throw MpitError("pvar handle_write requires a stopped handle");
+  if (count != static_cast<int>(h.values.size()))
+    throw MpitError("pvar handle_write value count mismatch");
+  // A stopped handle's value IS its bias, so seeding is a plain copy; no
+  // plan rebuild (stopped handles are not in the published plan).
+  for (int d = 0; d < count; ++d)
+    h.values[static_cast<std::size_t>(d)] =
+        values[static_cast<std::size_t>(d)];
+}
+
 void Runtime::add_event_listener(EventListener listener) {
   listeners_.push_back(std::move(listener));
   update_armed();  // listeners record even when every plan is empty

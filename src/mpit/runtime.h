@@ -75,6 +75,12 @@ class Runtime {
   /// Returns the number of values written (= comm size).
   int handle_read(int session, int handle, unsigned long* out, int capacity);
   void handle_reset(int session, int handle);
+  /// Overwrites a *stopped* peer-monitoring handle's per-peer values.
+  /// The session-rebind seeding primitive: history accumulated on a dying
+  /// communicator is carried onto a fresh handle bound to its successor
+  /// before the first start. `count` must equal the handle's value count.
+  void handle_write(int session, int handle, const unsigned long* values,
+                    int count);
 
   /// Number of values of a handle (= size of the bound communicator).
   int handle_count(int session, int handle);

@@ -1,0 +1,58 @@
+#include "support/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace mpim::support {
+
+namespace {
+
+/// True when everything from `p` to the end of the string is whitespace.
+bool only_trailing_space(const char* p) {
+  for (; *p != '\0'; ++p)
+    if (std::isspace(static_cast<unsigned char>(*p)) == 0) return false;
+  return true;
+}
+
+}  // namespace
+
+EnvValue<double> env_positive_double(const char* name) {
+  EnvValue<double> out;
+  const char* env = std::getenv(name);
+  if (env == nullptr) return out;
+  out.raw = env;
+  out.status = EnvValue<double>::Status::invalid;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(env, &end);
+  if (end == env || !only_trailing_space(end)) return out;
+  if (errno == ERANGE || !std::isfinite(v) || !(v > 0.0)) return out;
+  out.status = EnvValue<double>::Status::ok;
+  out.value = v;
+  return out;
+}
+
+EnvValue<std::uint64_t> env_positive_u64(const char* name) {
+  EnvValue<std::uint64_t> out;
+  const char* env = std::getenv(name);
+  if (env == nullptr) return out;
+  out.raw = env;
+  out.status = EnvValue<std::uint64_t>::Status::invalid;
+  // strtoull accepts a leading minus sign (wrapping the value); reject any
+  // string whose first non-space character is not a digit.
+  const char* p = env;
+  while (std::isspace(static_cast<unsigned char>(*p)) != 0) ++p;
+  if (std::isdigit(static_cast<unsigned char>(*p)) == 0) return out;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(p, &end, 10);
+  if (end == p || !only_trailing_space(end)) return out;
+  if (errno == ERANGE || v == 0) return out;
+  out.status = EnvValue<std::uint64_t>::Status::ok;
+  out.value = static_cast<std::uint64_t>(v);
+  return out;
+}
+
+}  // namespace mpim::support

@@ -1,0 +1,43 @@
+// Strict environment-variable parsing.
+//
+// std::strtod-style "parse a prefix, ignore the rest" semantics let typos
+// like "5s", "-3" or "nan" silently configure a subsystem with garbage.
+// These helpers parse the *whole* string, validate the numeric range, and
+// report exactly what happened so callers can log a structured warning and
+// fall back to their default instead of guessing.
+//
+// support cannot depend on telemetry, so no logging happens here; callers
+// own the warning.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mpim::support {
+
+/// Outcome of parsing one environment variable.
+template <typename T>
+struct EnvValue {
+  enum class Status {
+    unset,    ///< variable absent from the environment
+    ok,       ///< parsed and validated; `value` holds the result
+    invalid,  ///< set but rejected (garbage, partial parse, out of range)
+  };
+  Status status = Status::unset;
+  T value{};        ///< valid only when status == ok
+  std::string raw;  ///< original text when set (for diagnostics)
+
+  bool ok() const { return status == Status::ok; }
+  bool invalid() const { return status == Status::invalid; }
+};
+
+/// Parses `name` as a finite double > 0. Trailing whitespace is accepted;
+/// anything else after the number (units, garbage) is rejected, as are
+/// NaN, infinities, zero, negatives, and empty strings.
+EnvValue<double> env_positive_double(const char* name);
+
+/// Parses `name` as a decimal std::uint64_t > 0. Rejects signs, NaN/inf
+/// spellings, partial parses, zero, and values that overflow.
+EnvValue<std::uint64_t> env_positive_u64(const char* name);
+
+}  // namespace mpim::support

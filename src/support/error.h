@@ -43,6 +43,20 @@ class RankFailedError : public Error {
   double crash_time_s_ = 0.0;
 };
 
+/// Thrown when an operation runs on a communicator that a member revoked
+/// (ULFM-style `comm_revoke`). Revocation is a recovery signal: survivors
+/// catch this, agree on the failure, and shrink to a fresh communicator.
+class CommRevokedError : public Error {
+ public:
+  CommRevokedError(int context_id, const std::string& what)
+      : Error(what), context_id_(context_id) {}
+
+  int context_id() const { return context_id_; }
+
+ private:
+  int context_id_ = -1;
+};
+
 /// Thrown when a timed receive gives up before a matching message arrives.
 class TimeoutError : public Error {
  public:

@@ -1,5 +1,6 @@
 #include "telemetry/hub.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "support/error.h"
@@ -17,7 +18,10 @@ void copy_name(char* dst, const char* src) {
 }  // namespace
 
 Hub::Hub(int nranks, std::size_t span_capacity)
-    : nranks_(nranks), registry_(nranks) {
+    : nranks_(nranks),
+      span_capacity_(span_capacity == 0 ? 1 : span_capacity),
+      span_soft_capacity_(span_capacity == 0 ? 1 : span_capacity),
+      registry_(nranks) {
   spans_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r)
     spans_.push_back(std::make_unique<RankSpans>(span_capacity));
@@ -71,6 +75,27 @@ Hub::Hub(int nranks, std::size_t span_capacity)
       "gather contributors missing after timeout");
   ids_.mon_partial_data = reg.define_counter(
       "mpim_mon_partial_data_total", "MPI_M_PARTIAL_DATA returns");
+  ids_.mon_rebinds = reg.define_counter(
+      "mpim_mon_rebinds_total",
+      "monitoring sessions rebound onto a shrunk communicator");
+  ids_.mon_dead_skips = reg.define_counter(
+      "mpim_mon_dead_skips_total",
+      "gather rows skipped immediately because the contributor is dead");
+  ids_.gov_shed_steps = reg.define_counter(
+      "mpim_governor_shed_steps_total",
+      "degradation governor fidelity-shedding steps taken");
+  ids_.gov_refusals = reg.define_counter(
+      "mpim_governor_refusals_total",
+      "monitoring reservations refused at maximum shedding");
+  ids_.gov_overhead_alarms = reg.define_counter(
+      "mpim_governor_overhead_alarms_total",
+      "sessions whose modeled overhead exceeded MPIM_OVERHEAD_PCT");
+  ids_.gov_shed_level = reg.define_gauge(
+      "mpim_governor_shed_level",
+      "current governor shed level (0 none .. 3 spans dropped)");
+  ids_.gov_mem_bytes = reg.define_gauge(
+      "mpim_governor_mem_bytes",
+      "monitoring-plane bytes accounted against MPIM_MEM_BUDGET_BYTES");
 
   ids_.reorder_treematch_ns = reg.define_counter(
       "mpim_reorder_treematch_ns_total", "TreeMatch CPU time, ns");
@@ -103,8 +128,15 @@ Hub::Hub(int nranks, std::size_t span_capacity)
       "estimated TreeMatch cost reduction x1000");
 }
 
+void Hub::set_span_soft_capacity(std::size_t cap) {
+  const std::size_t clamped =
+      std::min(cap == 0 ? std::size_t{1} : cap, span_capacity_);
+  span_soft_capacity_.store(clamped, std::memory_order_relaxed);
+  for (auto& rs : spans_) rs->ring.set_limit(clamped);
+}
+
 bool Hub::span_begin(int rank, const char* name, char cat, double t_s) {
-  if (!enabled()) return false;
+  if (!enabled() || spans_suppressed()) return false;
   check(rank >= 0 && rank < nranks_, "telemetry span rank out of range");
   RankSpans& rs = *spans_[static_cast<std::size_t>(rank)];
   if (rs.open_depth >= kMaxOpenSpans) return false;  // too deep: drop quietly
@@ -133,7 +165,7 @@ void Hub::span_end(int rank, double t_s, std::int64_t a, std::int64_t b) {
 
 void Hub::span_complete(int rank, const char* name, char cat, double t0_s,
                         double t1_s, std::int64_t a, std::int64_t b) {
-  if (!enabled()) return;
+  if (!enabled() || spans_suppressed()) return;
   check(rank >= 0 && rank < nranks_, "telemetry span rank out of range");
   RankSpans& rs = *spans_[static_cast<std::size_t>(rank)];
   SpanRec rec;

@@ -58,6 +58,14 @@ struct StdIds {
   int mon_session_resets = -1;
   int mon_gather_timeouts = -1;    ///< counter: per missing contributor
   int mon_partial_data = -1;       ///< counter: MPI_M_PARTIAL_DATA returns
+  // fault recovery (shrink/rebind) and the degradation governor
+  int mon_rebinds = -1;            ///< counter: MPI_M_rebind successes
+  int mon_dead_skips = -1;         ///< counter: gather rows skipped, known dead
+  int gov_shed_steps = -1;         ///< counter: governor fidelity-shed steps
+  int gov_refusals = -1;           ///< counter: reservations refused at max shed
+  int gov_overhead_alarms = -1;    ///< counter: MPIM_OVERHEAD_PCT violations
+  int gov_shed_level = -1;         ///< gauge: current shed level (0..3)
+  int gov_mem_bytes = -1;          ///< gauge: accounted monitoring bytes
   // reorder decisions
   int reorder_treematch_ns = -1;   ///< counter: TreeMatch CPU time, ns
   int reorder_applied = -1;        ///< counter: TreeMatch decisions applied
@@ -119,6 +127,24 @@ class Hub {
   std::uint64_t spans_recorded() const;
   std::uint64_t spans_dropped() const;
 
+  // --- degradation-governor hooks (src/mpimon/governor.h) ---
+  /// Ring capacity the spans were allocated with (per rank).
+  std::size_t span_capacity() const { return span_capacity_; }
+  /// Effective live-record cap per rank ring. The backing store is never
+  /// reallocated (push is lock-free on rank threads); lowering the cap
+  /// sheds the accounted working set and tightens the wrap point.
+  std::size_t span_soft_capacity() const {
+    return span_soft_capacity_.load(std::memory_order_relaxed);
+  }
+  void set_span_soft_capacity(std::size_t cap);
+  /// Final shedding step: drop span recording entirely (metrics stay).
+  bool spans_suppressed() const {
+    return spans_suppressed_.load(std::memory_order_relaxed);
+  }
+  void set_spans_suppressed(bool on) {
+    spans_suppressed_.store(on, std::memory_order_relaxed);
+  }
+
   /// Clears spans and zeroes all metrics (call between runs, not during).
   void reset();
 
@@ -138,7 +164,10 @@ class Hub {
   };
 
   int nranks_;
+  std::size_t span_capacity_;
   std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> span_soft_capacity_;
+  std::atomic<bool> spans_suppressed_{false};
   Registry registry_;
   StdIds ids_;
   std::vector<std::unique_ptr<RankSpans>> spans_;

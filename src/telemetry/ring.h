@@ -21,13 +21,28 @@ namespace mpim::telemetry {
 template <typename T>
 class Ring {
  public:
-  explicit Ring(std::size_t capacity) : buf_(capacity == 0 ? 1 : capacity) {}
+  explicit Ring(std::size_t capacity)
+      : buf_(capacity == 0 ? 1 : capacity), limit_(buf_.size()) {}
 
   std::size_t capacity() const { return buf_.size(); }
 
+  /// Effective capacity: the backing store is never reallocated (push()
+  /// runs lock-free on rank threads), but a degradation governor can lower
+  /// the live-record cap at runtime. Records past the limit are treated as
+  /// overwritten. Shrinking the limit mid-stream may briefly interleave
+  /// stale slots into a concurrent snapshot -- acceptable for an advisory
+  /// trace, and the next clear() resolves it.
+  std::size_t limit() const {
+    return std::min(limit_.load(std::memory_order_relaxed), buf_.size());
+  }
+  void set_limit(std::size_t n) {
+    limit_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  }
+
   void push(const T& v) {
+    const std::size_t cap = limit();
     const std::uint64_t n = pushed_.load(std::memory_order_relaxed);
-    buf_[static_cast<std::size_t>(n % buf_.size())] = v;
+    buf_[static_cast<std::size_t>(n % cap)] = v;
     pushed_.store(n + 1, std::memory_order_release);
   }
 
@@ -39,19 +54,19 @@ class Ring {
   /// Records lost to wraparound (oldest-first overwrite policy).
   std::uint64_t dropped() const {
     const std::uint64_t n = pushed();
-    return n > buf_.size() ? n - buf_.size() : 0;
+    return n > limit() ? n - limit() : 0;
   }
 
   /// Records currently held.
   std::size_t size() const {
     return static_cast<std::size_t>(
-        std::min<std::uint64_t>(pushed(), buf_.size()));
+        std::min<std::uint64_t>(pushed(), limit()));
   }
 
   /// Held records, oldest first.
   std::vector<T> snapshot() const {
     const std::uint64_t n = pushed();
-    const std::size_t cap = buf_.size();
+    const std::size_t cap = limit();
     const std::size_t held = static_cast<std::size_t>(
         std::min<std::uint64_t>(n, cap));
     std::vector<T> out;
@@ -66,6 +81,7 @@ class Ring {
 
  private:
   std::vector<T> buf_;
+  std::atomic<std::size_t> limit_;
   std::atomic<std::uint64_t> pushed_{0};
 };
 

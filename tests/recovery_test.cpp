@@ -1,0 +1,643 @@
+// Fault recovery: the ULFM-style primitives (ack / get_failed / revoke /
+// shrink / agree), monitoring-session rebind onto a shrunk communicator,
+// the failure-aware dead-skip gathers, the degradation governor, and the
+// strict environment parsing backing them. Each ctest case runs in its own
+// process, so setenv/unsetenv inside a test cannot leak across cases.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "minimpi/api.h"
+#include "minimpi/engine.h"
+#include "minimpi/ft.h"
+#include "mpimon/governor.h"
+#include "mpimon/mpi_monitoring.h"
+#include "mpit/runtime.h"
+#include "support/env.h"
+#include "telemetry/hub.h"
+
+namespace mpim::mpi {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+EngineConfig recovery_cfg(int nranks,
+                          std::shared_ptr<fault::FaultPlan> plan = nullptr) {
+  topo::Topology t({2, 1, 4}, {"node", "socket", "core"});
+  std::vector<net::LinkParams> params = {
+      {1e-5, 1e8}, {1e-6, 1e9}, {1e-7, 1e10}, {0.0, 1e12}};
+  net::CostModel cost(t, params, /*send_overhead=*/1e-7);
+  EngineConfig cfg{.cost_model = cost,
+                   .placement = topo::round_robin_placement(nranks, t)};
+  cfg.watchdog_wall_timeout_s = 5.0;
+  cfg.fault_plan = std::move(plan);
+  return cfg;
+}
+
+std::shared_ptr<fault::FaultPlan> crash_plan(
+    std::vector<std::pair<int, double>> crashes) {
+  auto plan = std::make_shared<fault::FaultPlan>(1);
+  for (const auto& [rank, at_s] : crashes) {
+    fault::RankFault crash;
+    crash.rank = rank;
+    crash.crash_at_s = at_s;
+    plan->add(crash);
+  }
+  return plan;
+}
+
+// --- strict environment parsing (satellite a) --------------------------------
+
+TEST(RecoveryEnv, PositiveDoubleParsesWholeStringOnly) {
+  ::unsetenv("MPIM_TEST_ENV_D");
+  EXPECT_EQ(support::env_positive_double("MPIM_TEST_ENV_D").status,
+            support::EnvValue<double>::Status::unset);
+
+  const auto expect_ok = [](const char* text, double want) {
+    ::setenv("MPIM_TEST_ENV_D", text, 1);
+    const auto v = support::env_positive_double("MPIM_TEST_ENV_D");
+    EXPECT_TRUE(v.ok()) << "text=\"" << text << "\"";
+    EXPECT_DOUBLE_EQ(v.value, want);
+  };
+  const auto expect_invalid = [](const char* text) {
+    ::setenv("MPIM_TEST_ENV_D", text, 1);
+    const auto v = support::env_positive_double("MPIM_TEST_ENV_D");
+    EXPECT_TRUE(v.invalid()) << "text=\"" << text << "\"";
+    EXPECT_EQ(v.raw, text);
+  };
+  expect_ok("0.5", 0.5);
+  expect_ok("1e3", 1000.0);
+  expect_ok("2.5 ", 2.5);  // trailing whitespace tolerated
+  expect_invalid("5s");    // units are not numbers
+  expect_invalid("-3");
+  expect_invalid("0");
+  expect_invalid("nan");
+  expect_invalid("inf");
+  expect_invalid("");
+  expect_invalid("1e999");  // overflow
+  ::unsetenv("MPIM_TEST_ENV_D");
+}
+
+TEST(RecoveryEnv, PositiveU64RejectsSignsPartialParsesAndOverflow) {
+  const auto expect_ok = [](const char* text, std::uint64_t want) {
+    ::setenv("MPIM_TEST_ENV_U", text, 1);
+    const auto v = support::env_positive_u64("MPIM_TEST_ENV_U");
+    EXPECT_TRUE(v.ok()) << "text=\"" << text << "\"";
+    EXPECT_EQ(v.value, want);
+  };
+  const auto expect_invalid = [](const char* text) {
+    ::setenv("MPIM_TEST_ENV_U", text, 1);
+    EXPECT_TRUE(support::env_positive_u64("MPIM_TEST_ENV_U").invalid())
+        << "text=\"" << text << "\"";
+  };
+  expect_ok("123", 123u);
+  expect_ok("18446744073709551615", ~0ull);  // UINT64_MAX is still > 0
+  expect_invalid("12x");
+  expect_invalid("-1");
+  expect_invalid("+5");  // explicit signs rejected: digits only
+  expect_invalid("0");
+  expect_invalid("18446744073709551616");  // overflow
+  ::unsetenv("MPIM_TEST_ENV_U");
+}
+
+TEST(RecoveryEnv, GatherTimeoutFallsBackToDefaultOnGarbage) {
+  // Callable outside any engine: resolves from the environment directly.
+  ::setenv("MPIM_GATHER_TIMEOUT_S", "banana", 1);
+  EXPECT_DOUBLE_EQ(MPI_M_get_gather_timeout(), 5.0);
+  ::setenv("MPIM_GATHER_TIMEOUT_S", "-2", 1);
+  EXPECT_DOUBLE_EQ(MPI_M_get_gather_timeout(), 5.0);
+  ::setenv("MPIM_GATHER_TIMEOUT_S", "0.75", 1);
+  EXPECT_DOUBLE_EQ(MPI_M_get_gather_timeout(), 0.75);
+  ::unsetenv("MPIM_GATHER_TIMEOUT_S");
+  EXPECT_DOUBLE_EQ(MPI_M_get_gather_timeout(), 5.0);
+}
+
+TEST(RecoveryEnv, WatchdogOverrideIgnoresInvalidValues) {
+  auto cfg = recovery_cfg(2);
+  cfg.watchdog_wall_timeout_s = 2.0;
+  ::setenv("MPIM_WATCHDOG_S", "soon", 1);
+  {
+    Engine eng(cfg);
+    EXPECT_DOUBLE_EQ(eng.effective_watchdog_s(), 2.0);  // fell back
+  }
+  ::setenv("MPIM_WATCHDOG_S", "-1", 1);
+  {
+    Engine eng(cfg);
+    EXPECT_DOUBLE_EQ(eng.effective_watchdog_s(), 2.0);
+  }
+  ::setenv("MPIM_WATCHDOG_S", "0.5", 1);
+  {
+    Engine eng(cfg);
+    EXPECT_DOUBLE_EQ(eng.effective_watchdog_s(), 0.5);
+  }
+  ::unsetenv("MPIM_WATCHDOG_S");
+}
+
+// --- ack / get_failed / agree ------------------------------------------------
+
+TEST(RecoveryUlfm, AckedFailuresShortCircuitWithoutTimeout) {
+  Engine eng(recovery_cfg(3, crash_plan({{2, 1e-3}})));
+  std::atomic<int> immediate_failures{0};
+  eng.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    comm_set_errhandler(world, ErrMode::ret);
+    if (ctx.world_rank() == 2) {
+      compute(1.0);  // dies at t = 1e-3
+      return;
+    }
+    // Observe the failure the slow way once...
+    int v = 0;
+    EXPECT_THROW(recv(&v, 1, Type::Int, 2, 0, world), RankFailedError);
+    // ...ack it, and every later operation on the dead peer fails fast.
+    EXPECT_EQ(comm_failure_ack(world), 1);
+    EXPECT_EQ(comm_get_failed(world), std::vector<int>{2});
+    try {
+      send(&v, 1, Type::Int, 2, 1, world);
+    } catch (const RankFailedError& e) {
+      EXPECT_EQ(e.world_rank(), 2);
+      immediate_failures.fetch_add(1);
+    }
+    try {
+      recv(&v, 1, Type::Int, 2, 1, world);
+    } catch (const RankFailedError&) {
+      immediate_failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(immediate_failures.load(), 4);  // send + recv on both survivors
+}
+
+TEST(RecoveryUlfm, AgreeFoldsFlagsAndFlagsUnackedFailures) {
+  Engine eng(recovery_cfg(4, crash_plan({{3, 1e-3}})));
+  eng.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    comm_set_errhandler(world, ErrMode::ret);
+    if (ctx.world_rank() == 3) {
+      compute(1.0);
+      return;
+    }
+    int flag = ctx.world_rank() == 0 ? 0b0110 : 0b0111;
+    // First agreement runs into the unacked crash of rank 3.
+    EXPECT_FALSE(comm_agree(world, &flag));
+    EXPECT_EQ(flag, 0b0110);  // the surviving contributions still folded
+    // Ack what the agreement taught us, then agree cleanly.
+    EXPECT_GE(comm_failure_ack(world), 1);
+    int flag2 = 0b1100 | ctx.world_rank();
+    EXPECT_TRUE(comm_agree(world, &flag2));
+    EXPECT_EQ(flag2, 0b1100);
+  });
+}
+
+// --- shrink ------------------------------------------------------------------
+
+TEST(RecoveryShrink, SurvivorsGetSameRenumberedCommAndFinishTheRing) {
+  Engine eng(recovery_cfg(4, crash_plan({{2, 1e-3}})));
+  std::array<std::atomic<int>, 4> ctx_ids{};
+  std::array<std::atomic<int>, 4> new_ranks{};
+  for (auto& a : ctx_ids) a.store(-1);
+  auto workload = [&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    comm_set_errhandler(world, ErrMode::ret);
+    if (ctx.world_rank() == 2) {
+      compute(1.0);
+      return;
+    }
+    const Comm alive = comm_shrink(world);
+    ASSERT_FALSE(alive.is_null());
+    ASSERT_EQ(alive.size(), 3);
+    // Deterministic renumbering: parent order with the dead removed.
+    const int me = comm_rank(alive);
+    ctx_ids[static_cast<std::size_t>(ctx.world_rank())].store(
+        alive.context_id());
+    new_ranks[static_cast<std::size_t>(ctx.world_rank())].store(me);
+    // The shrink acked the agreed dead set on the parent.
+    EXPECT_EQ(comm_get_failed(world), std::vector<int>{2});
+    // Errmode carried from the parent.
+    EXPECT_EQ(comm_get_errhandler(alive), ErrMode::ret);
+    // A full ring on the shrunk communicator completes: nobody is dead.
+    int token = me;
+    const int n = comm_size(alive);
+    send(&token, 1, Type::Int, (me + 1) % n, 9, alive);
+    recv(&token, 1, Type::Int, (me + n - 1) % n, 9, alive);
+    EXPECT_EQ(token, (me + n - 1) % n);
+  };
+  eng.run(workload);
+  EXPECT_EQ(ctx_ids[0].load(), ctx_ids[1].load());
+  EXPECT_EQ(ctx_ids[0].load(), ctx_ids[3].load());
+  EXPECT_EQ(new_ranks[0].load(), 0);
+  EXPECT_EQ(new_ranks[1].load(), 1);
+  EXPECT_EQ(new_ranks[3].load(), 2);
+
+  // Bit-identical virtual clocks across reruns of the whole recovery.
+  const auto first = eng.final_clocks();
+  eng.run(workload);
+  EXPECT_EQ(first, eng.final_clocks());
+}
+
+TEST(RecoveryShrink, DoubleCrashShrinksToFourSurvivors) {
+  Engine eng(recovery_cfg(6, crash_plan({{1, 5e-4}, {4, 2e-3}})));
+  auto workload = [&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    comm_set_errhandler(world, ErrMode::ret);
+    const int r = ctx.world_rank();
+    if (r == 1 || r == 4) {
+      compute(1.0);
+      return;
+    }
+    compute(3e-3);  // both crashes are in the past before anyone shrinks
+    const Comm alive = comm_shrink(world);
+    ASSERT_EQ(alive.size(), 4);
+    const int me = comm_rank(alive);
+    // Parent order 0,2,3,5 -> 0,1,2,3.
+    const std::array<int, 6> want{0, -1, 1, 2, -1, 3};
+    EXPECT_EQ(me, want[static_cast<std::size_t>(r)]);
+    int token = me;
+    send(&token, 1, Type::Int, (me + 1) % 4, 3, alive);
+    recv(&token, 1, Type::Int, (me + 3) % 4, 3, alive);
+  };
+  eng.run(workload);
+  const auto first = eng.final_clocks();
+  eng.run(workload);
+  EXPECT_EQ(first, eng.final_clocks());
+}
+
+TEST(RecoveryShrink, CrashBeforeAnyTrafficStillYieldsWorkingComm) {
+  Engine eng(recovery_cfg(3, crash_plan({{0, 0.0}})));
+  mpit::Runtime tool(eng);
+  eng.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    comm_set_errhandler(world, ErrMode::ret);
+    if (ctx.world_rank() == 0) {
+      compute(0.0);
+      return;
+    }
+    const Comm alive = comm_shrink(world);
+    ASSERT_EQ(alive.size(), 2);
+    // Monitoring started directly on the shrunk comm never sees the hole.
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id = -1;
+    ASSERT_EQ(MPI_M_start(alive, &id), MPI_M_SUCCESS);
+    const int me = comm_rank(alive);
+    std::vector<std::byte> buf(400);
+    send(buf.data(), buf.size(), Type::Byte, 1 - me, 0, alive);
+    recv(buf.data(), buf.size(), Type::Byte, 1 - me, 0, alive);
+    ASSERT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+    std::vector<unsigned long> sizes(4);
+    EXPECT_EQ(MPI_M_allgather_data(id, MPI_M_DATA_IGNORE, sizes.data(),
+                                   MPI_M_ALL_COMM),
+              MPI_M_SUCCESS);
+    EXPECT_EQ(sizes[1], 400ul);
+    EXPECT_EQ(sizes[2], 400ul);
+    EXPECT_EQ(MPI_M_free(id), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_finalize(), MPI_M_SUCCESS);
+  });
+}
+
+// --- revoke ------------------------------------------------------------------
+
+TEST(RecoveryRevoke, WakesBlockedReceiversOntoTheRecoveryPath) {
+  Engine eng(recovery_cfg(4, crash_plan({{3, 1e-3}})));
+  std::atomic<int> revoked_seen{0};
+  eng.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    comm_set_errhandler(world, ErrMode::ret);
+    const int r = ctx.world_rank();
+    if (r == 3) {
+      compute(1.0);
+      return;
+    }
+    if (r == 0) {
+      // Rank 0 notices the failure and revokes so ranks 1/2 -- blocked on
+      // receives that can never complete -- converge onto the shrink.
+      int v = 0;
+      EXPECT_THROW(recv(&v, 1, Type::Int, 3, 0, world), RankFailedError);
+      comm_revoke(world);
+      EXPECT_TRUE(comm_is_revoked(world));
+    } else {
+      try {
+        int v = 0;
+        recv(&v, 1, Type::Int, 3 - r, 77, world);  // 1<->2, nobody sends
+        ADD_FAILURE() << "recv on a revoked comm must not complete";
+      } catch (const CommRevokedError& e) {
+        EXPECT_EQ(e.context_id(), world.context_id());
+        revoked_seen.fetch_add(1);
+      } catch (const RankFailedError&) {
+        // Acceptable alternate wake-up; the shrink below still runs.
+      }
+    }
+    const Comm alive = comm_shrink(world);
+    ASSERT_EQ(alive.size(), 3);
+    const int me = comm_rank(alive);
+    int token = me;
+    send(&token, 1, Type::Int, (me + 1) % 3, 1, alive);
+    recv(&token, 1, Type::Int, (me + 2) % 3, 1, alive);
+  });
+  EXPECT_EQ(revoked_seen.load(), 2);
+}
+
+// --- session rebind ----------------------------------------------------------
+
+TEST(RecoveryRebind, CarriesSurvivorHistoryAndTombstonesTheDead) {
+  Engine eng(recovery_cfg(4, crash_plan({{3, 5e-3}})));
+  mpit::Runtime tool(eng);
+  eng.telemetry().set_enabled(true);
+  eng.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    comm_set_errhandler(world, ErrMode::ret);
+    const int r = ctx.world_rank();
+    if (r == 3) {
+      compute(1.0);  // dies mid-run, after the session started
+      return;
+    }
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    ASSERT_EQ(MPI_M_set_gather_timeout(0.2), MPI_M_SUCCESS);
+    MPI_M_msid id = -1;
+    ASSERT_EQ(MPI_M_start(world, &id), MPI_M_SUCCESS);
+    // Pre-crash traffic among the survivors: 0 -> 1 -> 2 -> 0, 1000 B.
+    std::vector<std::byte> buf(1000);
+    send(buf.data(), buf.size(), Type::Byte, (r + 1) % 3, 0, world);
+    recv(buf.data(), buf.size(), Type::Byte, (r + 2) % 3, 0, world);
+    ASSERT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+
+    // On the original binding the gather sees the hole.
+    std::vector<unsigned long> sizes4(16);
+    EXPECT_EQ(MPI_M_allgather_data(id, MPI_M_DATA_IGNORE, sizes4.data(),
+                                   MPI_M_ALL_COMM),
+              MPI_M_PARTIAL_DATA);
+    EXPECT_EQ(sizes4[3 * 4 + 0], MPI_M_DATA_MISSING);
+
+    // Shrink and rebind: history carried, dead rank tombstoned.
+    const Comm alive = comm_shrink(world);
+    ASSERT_EQ(alive.size(), 3);
+    ASSERT_EQ(MPI_M_rebind(id, alive), MPI_M_SUCCESS);
+    int ntomb = -1;
+    int tomb = -1;
+    ASSERT_EQ(MPI_M_session_tombstones(id, &tomb, 1, &ntomb), MPI_M_SUCCESS);
+    EXPECT_EQ(ntomb, 1);
+    EXPECT_EQ(tomb, 3);
+
+    // Post-rebind gather: complete survivor matrix, zero stalls.
+    std::vector<unsigned long> sizes3(9);
+    EXPECT_EQ(MPI_M_allgather_data(id, MPI_M_DATA_IGNORE, sizes3.data(),
+                                   MPI_M_ALL_COMM),
+              MPI_M_SUCCESS);
+    for (int i = 0; i < 3; ++i)
+      EXPECT_EQ(sizes3[static_cast<std::size_t>(i * 3 + (i + 1) % 3)],
+                1000ul)
+          << "row " << i;
+
+    // The rebound session keeps recording: continue, more traffic, and the
+    // totals accumulate on top of the carried history.
+    ASSERT_EQ(MPI_M_continue(id), MPI_M_SUCCESS);
+    const int me = comm_rank(alive);
+    send(buf.data(), 500, Type::Byte, (me + 1) % 3, 1, alive);
+    recv(buf.data(), 500, Type::Byte, (me + 2) % 3, 1, alive);
+    ASSERT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_allgather_data(id, MPI_M_DATA_IGNORE, sizes3.data(),
+                                   MPI_M_ALL_COMM),
+              MPI_M_SUCCESS);
+    for (int i = 0; i < 3; ++i)
+      EXPECT_EQ(sizes3[static_cast<std::size_t>(i * 3 + (i + 1) % 3)],
+                1500ul)
+          << "row " << i;
+    EXPECT_EQ(MPI_M_free(id), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_finalize(), MPI_M_SUCCESS);
+  });
+  // The post-rebind gathers never waited out a timeout; the pre-rebind one
+  // skipped the known-dead row immediately (dead-skip, not timeout) or, if
+  // the root's recv raced the crash mark, timed out at most once per rank.
+  const auto& hub = eng.telemetry();
+  std::uint64_t rebinds = 0;
+  for (int r = 0; r < 4; ++r)
+    rebinds += hub.registry().scalar_value(hub.ids().mon_rebinds, r);
+  EXPECT_EQ(rebinds, 3u);
+}
+
+TEST(RecoveryRebind, RootRankCrashRecoversViaShrinkAndRebind) {
+  Engine eng(recovery_cfg(4, crash_plan({{0, 5e-3}})));
+  mpit::Runtime tool(eng);
+  eng.telemetry().set_enabled(true);
+  eng.run([&](Ctx& ctx) {
+    const Comm world = ctx.world();
+    comm_set_errhandler(world, ErrMode::ret);
+    const int r = ctx.world_rank();
+    if (r == 0) {
+      compute(1.0);  // the gathering rank itself dies
+      return;
+    }
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    ASSERT_EQ(MPI_M_set_gather_timeout(0.2), MPI_M_SUCCESS);
+    MPI_M_msid id = -1;
+    ASSERT_EQ(MPI_M_start(world, &id), MPI_M_SUCCESS);
+    std::vector<std::byte> buf(800);
+    const int peers[3] = {1, 2, 3};
+    const int me = r - 1;
+    send(buf.data(), buf.size(), Type::Byte, peers[(me + 1) % 3], 0, world);
+    recv(buf.data(), buf.size(), Type::Byte, peers[(me + 2) % 3], 0, world);
+    ASSERT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+
+    // The allgather funnels through group rank 0 -- the dead one. Every
+    // survivor gets the degraded result instead of hanging.
+    std::vector<unsigned long> sizes4(16);
+    EXPECT_EQ(MPI_M_allgather_data(id, MPI_M_DATA_IGNORE, sizes4.data(),
+                                   MPI_M_ALL_COMM),
+              MPI_M_PARTIAL_DATA);
+
+    const Comm alive = comm_shrink(world);
+    ASSERT_EQ(alive.size(), 3);
+    ASSERT_EQ(MPI_M_rebind(id, alive), MPI_M_SUCCESS);
+    std::vector<unsigned long> sizes3(9);
+    EXPECT_EQ(MPI_M_allgather_data(id, MPI_M_DATA_IGNORE, sizes3.data(),
+                                   MPI_M_ALL_COMM),
+              MPI_M_SUCCESS);
+    // Survivor traffic fully preserved: old world rank r sent 800 B to
+    // peers[(r-1+1)%3]; in the shrunk comm both moved down one rank.
+    for (int i = 0; i < 3; ++i)
+      EXPECT_EQ(sizes3[static_cast<std::size_t>(i * 3 + (i + 1) % 3)], 800ul);
+    EXPECT_EQ(MPI_M_free(id), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_finalize(), MPI_M_SUCCESS);
+  });
+}
+
+TEST(RecoveryRebind, RejectsActiveSessionsAndForeignComms) {
+  Engine eng(recovery_cfg(2));
+  mpit::Runtime tool(eng);
+  eng.run([&](Ctx& ctx) {
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id = -1;
+    ASSERT_EQ(MPI_M_start(ctx.world(), &id), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_rebind(id, ctx.world()), MPI_M_SESSION_NOT_SUSPENDED);
+    ASSERT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_rebind(id, Comm()), MPI_M_INTERNAL_FAIL);
+    EXPECT_EQ(MPI_M_rebind(99, ctx.world()), MPI_M_INVALID_MSID);
+    // Rebinding onto the same communicator is a (useless) no-op that keeps
+    // every row: world ranks all survive the identity "shrink".
+    EXPECT_EQ(MPI_M_rebind(id, ctx.world()), MPI_M_SUCCESS);
+    int ntomb = -1;
+    ASSERT_EQ(
+        MPI_M_session_tombstones(id, MPI_M_INT_IGNORE, 0, &ntomb),
+        MPI_M_SUCCESS);
+    EXPECT_EQ(ntomb, 0);
+    EXPECT_EQ(MPI_M_free(id), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_finalize(), MPI_M_SUCCESS);
+  });
+}
+
+// --- deadlock report names the failed ranks (satellite b) --------------------
+
+TEST(RecoveryReport, DeadlockReportListsFailedRanksWithCrashTimes) {
+  auto cfg = recovery_cfg(3, crash_plan({{2, 1e-3}}));
+  cfg.watchdog_wall_timeout_s = 0.5;
+  Engine eng(cfg);
+  std::string report;
+  try {
+    eng.run([](Ctx& ctx) {
+      const Comm world = ctx.world();
+      if (ctx.world_rank() == 2) {
+        compute(1.0);
+        return;
+      }
+      // Survivors deadlock against each other (mismatched tags), with the
+      // crash already on the books: the report must surface it.
+      int v = 0;
+      if (ctx.world_rank() == 0)
+        recv(&v, 1, Type::Int, 1, 5, world);
+      else
+        recv(&v, 1, Type::Int, 0, 7, world);
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    report = e.what();
+  }
+  EXPECT_TRUE(contains(report, "failed ranks:")) << report;
+  EXPECT_TRUE(contains(report, "2 (crashed at t=")) << report;
+  EXPECT_TRUE(contains(report, "docs/FAULTS.md")) << report;
+}
+
+TEST(RecoveryReport, LogicDeadlockReportsNoFailedRanks) {
+  auto cfg = recovery_cfg(2);
+  cfg.watchdog_wall_timeout_s = 0.5;
+  Engine eng(cfg);
+  std::string report;
+  try {
+    eng.run([](Ctx& ctx) {
+      int v = 0;
+      recv(&v, 1, Type::Int, 1 - ctx.world_rank(), 5 + ctx.world_rank(),
+           ctx.world());
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    report = e.what();
+  }
+  EXPECT_TRUE(contains(report, "failed ranks: none")) << report;
+}
+
+// --- degradation governor ----------------------------------------------------
+
+TEST(RecoveryGovernor, ShedsFidelityUnderMemoryBudgetWithoutClockDrift) {
+  auto workload = [](Ctx& ctx) {
+    const Comm world = ctx.world();
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id = -1;
+    ASSERT_EQ(MPI_M_start(world, &id), MPI_M_SUCCESS);
+    // Small enough that all four ranks' reservations fit the shared
+    // budget (the pool is first-come, so an oversized ask by one rank
+    // would legitimately starve the rest into SESSION_OVERFLOW).
+    ASSERT_EQ(MPI_M_snapshot_start(id, 1e-4, 16, MPI_M_ALL_COMM),
+              MPI_M_SUCCESS);
+    const int r = ctx.world_rank();
+    const int n = comm_size(world);
+    std::vector<std::byte> buf(2000);
+    for (int it = 0; it < 20; ++it) {
+      send(buf.data(), buf.size(), Type::Byte, (r + 1) % n, it, world);
+      recv(buf.data(), buf.size(), Type::Byte, (r + n - 1) % n, it, world);
+    }
+    ASSERT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+    std::vector<unsigned long> sizes(
+        static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+    EXPECT_EQ(MPI_M_allgather_data(id, MPI_M_DATA_IGNORE, sizes.data(),
+                                   MPI_M_ALL_COMM),
+              MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_free(id), MPI_M_SUCCESS);
+    EXPECT_EQ(MPI_M_finalize(), MPI_M_SUCCESS);
+  };
+
+  ::unsetenv("MPIM_MEM_BUDGET_BYTES");
+  Engine plain(recovery_cfg(4));
+  mpit::Runtime plain_tool(plain);
+  plain.run(workload);
+  const auto plain_clocks = plain.final_clocks();
+
+  // A budget far below the standing span rings: the ctor already walks the
+  // whole shed ladder before any snapshot reservation is granted.
+  ::setenv("MPIM_MEM_BUDGET_BYTES", "20000", 1);
+  Engine budgeted(recovery_cfg(4));
+  mpit::Runtime budgeted_tool(budgeted);
+  budgeted.telemetry().set_enabled(true);
+  budgeted.run(workload);
+  ::unsetenv("MPIM_MEM_BUDGET_BYTES");
+
+  auto& gov = mon::Governor::of(budgeted);
+  EXPECT_TRUE(gov.mem_enabled());
+  EXPECT_EQ(gov.mem_budget(), 20000u);
+  EXPECT_GE(gov.shed_steps(), 3u);  // the full ladder: widen, halve, drop
+  EXPECT_EQ(gov.shed_level(), 3);
+  EXPECT_LE(gov.mem_level(), gov.mem_budget());
+  // Shedding is visible in telemetry...
+  const auto& hub = budgeted.telemetry();
+  std::uint64_t steps = 0;
+  for (int r = 0; r < 4; ++r)
+    steps += hub.registry().scalar_value(hub.ids().gov_shed_steps, r);
+  EXPECT_GE(steps, 3u);
+  // ...and the virtual clocks never moved: all shedding is host-side.
+  EXPECT_EQ(plain_clocks, budgeted.final_clocks());
+}
+
+TEST(RecoveryGovernor, OverheadBudgetRaisesAlarmAndLevelOneShed) {
+  // Any monitored traffic exceeds a microscopic overhead budget.
+  ::setenv("MPIM_OVERHEAD_PCT", "1e-9", 1);
+  Engine eng(recovery_cfg(2));
+  mpit::Runtime tool(eng);
+  eng.run([](Ctx& ctx) {
+    const Comm world = ctx.world();
+    ASSERT_EQ(MPI_M_init(), MPI_M_SUCCESS);
+    MPI_M_msid id = -1;
+    ASSERT_EQ(MPI_M_start(world, &id), MPI_M_SUCCESS);
+    std::vector<std::byte> buf(1000);
+    const int peer = 1 - ctx.world_rank();
+    send(buf.data(), buf.size(), Type::Byte, peer, 0, world);
+    recv(buf.data(), buf.size(), Type::Byte, peer, 0, world);
+    ASSERT_EQ(MPI_M_suspend(id), MPI_M_SUCCESS);
+    ASSERT_EQ(MPI_M_free(id), MPI_M_SUCCESS);
+    ASSERT_EQ(MPI_M_finalize(), MPI_M_SUCCESS);
+  });
+  ::unsetenv("MPIM_OVERHEAD_PCT");
+  auto& gov = mon::Governor::of(eng);
+  EXPECT_GT(gov.overhead_budget_pct(), 0.0);
+  EXPECT_GE(gov.overhead_alarms(), 1u);
+  EXPECT_GE(gov.shed_level(), 1);  // alarm triggers the level-1 shed
+}
+
+TEST(RecoveryGovernor, InvalidBudgetEnvDisablesTheBudget) {
+  ::setenv("MPIM_MEM_BUDGET_BYTES", "lots", 1);
+  ::setenv("MPIM_OVERHEAD_PCT", "-5", 1);
+  Engine eng(recovery_cfg(2));
+  eng.run([](Ctx& ctx) {
+    auto& gov = mon::Governor::of(ctx.engine());
+    EXPECT_FALSE(gov.mem_enabled());
+    EXPECT_DOUBLE_EQ(gov.overhead_budget_pct(), 0.0);
+    EXPECT_EQ(gov.shed_level(), 0);
+  });
+  ::unsetenv("MPIM_MEM_BUDGET_BYTES");
+  ::unsetenv("MPIM_OVERHEAD_PCT");
+}
+
+}  // namespace
+}  // namespace mpim::mpi
