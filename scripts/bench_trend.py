@@ -30,8 +30,9 @@ REGRESSION_LIMIT = 0.10  # fraction; >10% slower on a hot-path metric fails
 # gate on. Everything else is informational.
 HOT_PATH_METRICS = ("ns_per_send", "us_per_roundtrip")
 # Throughput metrics where "smaller is slower": these gate on a *drop*
-# beyond REGRESSION_LIMIT (bench_record's recording fast path).
-HOT_PATH_INVERSE_METRICS = ("sends_per_sec",)
+# beyond REGRESSION_LIMIT (bench_record's recording fast path and
+# bench_stream's plane ingest).
+HOT_PATH_INVERSE_METRICS = ("sends_per_sec", "events_per_sec")
 
 
 def flatten(doc):

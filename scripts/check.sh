@@ -18,7 +18,13 @@
 # faulty_reorder crash-shrink-recover example and bench_recovery's
 # built-in acceptance check on the default build.
 #
-# Usage: scripts/check.sh [--default-only|--asan-only|--tsan-only|--recovery-only]
+# --stream-only is the focused streaming-plane lane: the obsplane suite
+# (ingest rings, sketches, correlation, exporter teardown) under BOTH
+# sanitizer presets, then on the default build the stream_monitor
+# fault-injected e2e example, a monview --live render of its stream, and
+# bench_stream's hook-overhead acceptance check fed into the trend gate.
+#
+# Usage: scripts/check.sh [--default-only|--asan-only|--tsan-only|--recovery-only|--stream-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,14 +33,16 @@ run_default=1
 run_asan=1
 run_tsan=1
 run_recovery=0
+run_stream=0
 case "${1:-}" in
   --default-only) run_asan=0; run_tsan=0 ;;
   --asan-only) run_default=0; run_tsan=0 ;;
   --tsan-only) run_default=0; run_asan=0 ;;
   --recovery-only) run_default=0; run_asan=0; run_tsan=0; run_recovery=1 ;;
+  --stream-only) run_default=0; run_asan=0; run_tsan=0; run_stream=1 ;;
   "") ;;
   *)
-    echo "usage: $0 [--default-only|--asan-only|--tsan-only|--recovery-only]" >&2
+    echo "usage: $0 [--default-only|--asan-only|--tsan-only|--recovery-only|--stream-only]" >&2
     exit 2
     ;;
 esac
@@ -56,6 +64,7 @@ if [ "$run_default" = 1 ]; then
   ./build/bench/bench_introspect --quick --csv results
   ./build/bench/bench_record --quick --csv results
   ./build/bench/bench_recovery --quick --csv results
+  ./build/bench/bench_stream --quick --csv results
   if command -v python3 >/dev/null 2>&1; then
     python3 scripts/bench_trend.py
   else
@@ -99,6 +108,35 @@ if [ "$run_recovery" = 1 ]; then
   ./build/examples/faulty_reorder >/dev/null
   mkdir -p results
   ./build/bench/bench_recovery --quick --csv results
+fi
+
+if [ "$run_stream" = 1 ]; then
+  # --test-dir for the same reason as the recovery lane: the ctest preset
+  # label filters would AND with -L obsplane and hide the suite.
+  echo "== stream lane: asan preset (label: obsplane) =="
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs"
+  ctest --test-dir build-asan --output-on-failure -j "$jobs" -L obsplane
+
+  echo "== stream lane: tsan preset (label: obsplane) =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs"
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L obsplane
+
+  echo "== stream lane: fault-injected e2e + live view + bench acceptance =="
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" \
+    --target stream_monitor monview bench_stream
+  mkdir -p results
+  ./build/examples/stream_monitor >/dev/null
+  ./build/src/tools/monview --live results/stream_monitor.jsonl --once \
+    >/dev/null
+  ./build/bench/bench_stream --quick --csv results
+  if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/bench_trend.py
+  else
+    echo "bench_trend: python3 not found, skipping trajectory gate" >&2
+  fi
 fi
 
 echo "check.sh: all green"

@@ -147,6 +147,24 @@ std::vector<WindowMetrics> analyze_impl(const std::vector<FrameMatrix>& frames,
 
 }  // namespace
 
+FrameTotals frame_totals(const Frame& frame) {
+  FrameTotals tot;
+  for (const FrameCell& c : frame.cells) {
+    unsigned long cell_bytes = 0;
+    for (int k = 0; k < kNumKinds; ++k) {
+      tot.msgs += c.counts[k];
+      cell_bytes += c.bytes[k];
+    }
+    tot.bytes += cell_bytes;
+    if (cell_bytes > tot.top_peer_bytes ||
+        (tot.top_peer < 0 && cell_bytes > 0)) {
+      tot.top_peer = c.peer;
+      tot.top_peer_bytes = cell_bytes;
+    }
+  }
+  return tot;
+}
+
 std::vector<WindowMetrics> analyze_windows(
     const std::vector<FrameMatrix>& frames) {
   return analyze_impl(frames, nullptr, nullptr);

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "introspect/snapshot.h"
 #include "netmodel/cost_model.h"
 #include "support/matrix.h"
 #include "topo/topology.h"
@@ -53,6 +54,19 @@ double mismatch_byte_hops(const CommMatrix& bytes, const topo::Topology& topo,
 double treematch_gain(const CommMatrix& bytes, const topo::Topology& topo,
                       const topo::Placement& placement,
                       const net::CostModel& cost);
+
+// --- single-frame totals -----------------------------------------------------
+
+/// Scalar summary of one sampler frame (all traffic kinds summed). The
+/// streaming plane stages these instead of whole sparse matrices.
+struct FrameTotals {
+  unsigned long msgs = 0;
+  unsigned long bytes = 0;
+  int top_peer = -1;  ///< peer receiving the most bytes; -1 if none
+  unsigned long top_peer_bytes = 0;
+};
+
+FrameTotals frame_totals(const Frame& frame);
 
 // --- window sequences --------------------------------------------------------
 

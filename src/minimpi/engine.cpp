@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
@@ -316,6 +317,7 @@ void Engine::run(const std::function<void(Ctx&)>& rank_main) {
   // No rank threads exist yet: a grace period for any RCU state the tool
   // layer retired during the previous run.
   if (quiescent_hook_) quiescent_hook_();
+  if (run_begin_hook_) run_begin_hook_();
   abort_.store(false);
   blocked_.store(0);
   deliveries_.store(0);
@@ -368,6 +370,8 @@ void Engine::run(const std::function<void(Ctx&)>& rank_main) {
       ctx.noise_rng_.reseed(cfg_.noise_seed * 0x9e3779b97f4a7c15ULL +
                             static_cast<std::uint64_t>(r) * 0x100000001b3ULL +
                             run_count_);
+      if (epoch_hook_ && epoch_period_s_ > 0.0)
+        ctx.next_epoch_s_ = epoch_period_s_;
       g_current_ctx = &ctx;
       try {
         rank_main(ctx);
@@ -385,6 +389,11 @@ void Engine::run(const std::function<void(Ctx&)>& rank_main) {
       }
       g_current_ctx = nullptr;
       final_clocks_[static_cast<std::size_t>(r)] = ctx.now();
+      // Final epoch flush on the rank's own thread, for every exit path --
+      // including a fault-plan crash, so the streaming plane keeps a
+      // crashed rank's last partial epoch (exporter teardown ordering).
+      if (epoch_hook_ && epoch_period_s_ > 0.0)
+        epoch_hook_(r, ctx.now(), /*final_flush=*/true);
       if (cfg_.nic_contention) {
         std::lock_guard lock(sched_.mx);
         sched_update_locked(r, Sched::St::done, ctx.now());
@@ -399,6 +408,10 @@ void Engine::run(const std::function<void(Ctx&)>& rank_main) {
 
   max_virtual_time_ = 0.0;
   for (double c : final_clocks_) max_virtual_time_ = std::max(max_virtual_time_, c);
+
+  // Before the rethrow: a failed run still gets its exporters finalized, so
+  // everything flushed up to the failure survives in the output.
+  if (run_end_hook_) run_end_hook_();
 
   if (first_error_) std::rethrow_exception(first_error_);
 }
@@ -418,6 +431,19 @@ void Ctx::advance(double seconds) {
   if (plan != nullptr) seconds *= plan->slowdown(world_rank_);
   clock_ += seconds;
   fault_check();
+  epoch_check();
+}
+
+void Ctx::epoch_cross() {
+  const double period = engine_->epoch_period_s_;
+  if (!(period > 0.0)) {
+    next_epoch_s_ = std::numeric_limits<double>::infinity();
+    return;
+  }
+  // Fire before re-arming: the hook sees the clock that crossed, and the
+  // next boundary is the start of the epoch after the one the clock is in.
+  engine_->epoch_hook_(world_rank_, clock_, /*final_flush=*/false);
+  next_epoch_s_ = (std::floor(clock_ / period) + 1.0) * period;
 }
 
 void Ctx::compute_flops(double flops) {
@@ -625,6 +651,7 @@ void Ctx::send_bytes(int dst_world, const Comm& comm, int tag, CommKind kind,
       engine_->nic_.record_tx(engine_->topology().node_of(leaf_src), clock_,
                               bytes);
     clock_ += tx + cost.send_overhead();
+    epoch_check();
     return;
   }
 
@@ -651,6 +678,7 @@ void Ctx::send_bytes(int dst_world, const Comm& comm, int tag, CommKind kind,
 
   engine_->deliver(std::move(msg));
   clock_ = tx_start + tx + cost.send_overhead();
+  epoch_check();
 }
 
 void Ctx::rma_transfer(int from_world, int to_world, const Comm& comm,
@@ -690,6 +718,7 @@ void Ctx::rma_transfer(int from_world, int to_world, const Comm& comm,
     engine_->nic_.record_tx(engine_->topology().node_of(leaf_from), tx_start,
                             bytes);
   }
+  epoch_check();
 }
 
 double Ctx::contended_transfer(int leaf_src, int leaf_dst, double tx_s,
@@ -877,6 +906,7 @@ Status Ctx::recv_bytes(int src_world, const Comm& comm, int tag, CommKind kind,
                          true)) {
     lock.unlock();
     fault_check();
+    epoch_check();
     return status;
   }
   if (src_world != kAnySource && engine_->rank_dead(src_world))
@@ -898,6 +928,7 @@ Status Ctx::recv_bytes(int src_world, const Comm& comm, int tag, CommKind kind,
   });
   lock.unlock();
   fault_check();
+  epoch_check();
   return status;
 }
 

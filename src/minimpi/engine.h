@@ -23,6 +23,7 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -200,6 +201,40 @@ class Engine {
   void set_tool_runtime(void* runtime) { tool_runtime_ = runtime; }
   void* tool_runtime() const { return tool_runtime_; }
 
+  /// Called on a rank's own thread whenever its virtual clock crosses an
+  /// epoch boundary (period_s-wide grid shared by all ranks), and once more
+  /// at thread exit with final_flush = true (including crash teardown, so a
+  /// crashed rank's last partial epoch is still flushed). The hook must
+  /// never charge virtual time: with or without it, clocks are bit
+  /// identical. Install before run(); disarmed, the per-operation cost is
+  /// one double compare.
+  using EpochHook = std::function<void(int rank, double now_s, bool final_flush)>;
+  void set_epoch_hook(EpochHook hook, double period_s) {
+    epoch_hook_ = std::move(hook);
+    epoch_period_s_ = epoch_hook_ && period_s > 0.0 ? period_s : 0.0;
+  }
+  double epoch_period_s() const { return epoch_period_s_; }
+
+  /// Called at the start of run(), after the quiescent hook, before rank
+  /// threads exist (the streaming plane re-arms per-run state here).
+  void set_run_begin_hook(std::function<void()> hook) {
+    run_begin_hook_ = std::move(hook);
+  }
+  /// Called at the end of run() after every rank thread is joined and
+  /// BEFORE a recorded rank failure is rethrown -- exporters that hook
+  /// here keep everything flushed up to the crash even on failed runs.
+  void set_run_end_hook(std::function<void()> hook) {
+    run_end_hook_ = std::move(hook);
+  }
+
+  /// Slot for the streaming aggregation plane (src/obsplane). Unlike
+  /// tool objects this survives across run() calls; the engine only holds
+  /// the ownership, obsplane::Plane::attach manages it.
+  void set_obs_plane(std::shared_ptr<void> plane) {
+    obs_plane_ = std::move(plane);
+  }
+  void* obs_plane() const { return obs_plane_.get(); }
+
   /// Spawns one thread per rank, runs `rank_main` in each, joins, and
   /// rethrows the first exception any rank raised.
   void run(const std::function<void(Ctx&)>& rank_main);
@@ -335,6 +370,11 @@ class Engine {
   SendHook send_hook_;
   std::atomic<bool> send_hook_armed_{false};
   std::function<void()> quiescent_hook_;
+  EpochHook epoch_hook_;
+  double epoch_period_s_ = 0.0;  ///< 0 disables the epoch grid
+  std::function<void()> run_begin_hook_;
+  std::function<void()> run_end_hook_;
+  std::shared_ptr<void> obs_plane_;
   void* tool_runtime_ = nullptr;
   net::NicCounters nic_;
   Comm world_comm_;
@@ -476,6 +516,16 @@ class Ctx {
   /// Consults the fault plan at an operation boundary: applies one-shot
   /// stalls and terminates the rank (RankCrashExit) past its crash time.
   void fault_check();
+
+  /// Epoch-hook gate: one double compare when the clock has not crossed
+  /// the next epoch boundary (or no hook is installed:
+  /// next_epoch_s_ = +inf). Called at clock-advancing sites; never charges
+  /// virtual time itself.
+  void epoch_check() {
+    if (clock_ >= next_epoch_s_) epoch_cross();
+  }
+  /// Slow path of epoch_check: fires the hook and re-arms the boundary.
+  void epoch_cross();
   /// Raises the failure for an operation whose peer rank is dead: fatal
   /// errmode tears the run down, ret mode throws RankFailedError. `op`
   /// names the operation for the message ("recv", "send", ...).
@@ -498,6 +548,9 @@ class Ctx {
   Engine* engine_;
   int world_rank_;
   double clock_ = 0.0;
+  /// Next epoch boundary the clock has not crossed yet; +inf when no epoch
+  /// hook is installed (set up by Engine::run per rank thread).
+  double next_epoch_s_ = std::numeric_limits<double>::infinity();
   Rng noise_rng_{0};
   std::unordered_map<int, std::uint32_t> coll_seq_;
   std::unordered_map<int, std::uint32_t> mgmt_seq_;

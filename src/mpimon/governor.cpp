@@ -5,6 +5,7 @@
 #include <string>
 
 #include "minimpi/engine.h"
+#include "obsplane/plane.h"
 #include "support/env.h"
 #include "telemetry/hub.h"
 #include "telemetry/log.h"
@@ -61,7 +62,7 @@ void Governor::set_mem_gauge_locked() {
 
 bool Governor::shed_step_locked(int rank) {
   const int lvl = shed_level_.load(std::memory_order_relaxed);
-  if (lvl >= 3) return false;
+  if (lvl >= 4) return false;
   const int next = lvl + 1;
   telemetry::Hub& hub = engine_.telemetry();
   std::string what;
@@ -89,6 +90,19 @@ bool Governor::shed_step_locked(int rank) {
       break;
     }
     case 3:
+      // Streaming plane: double the epochs merged per store bucket. The
+      // plane halves its bucket count on the spot and re-reports its
+      // working-set gauge; a detached plane makes this step a cheap no-op
+      // (the ladder still advances so level 4 stays the last resort).
+      if (obsplane::Plane* plane = obsplane::Plane::attached(engine_)) {
+        plane->widen_windows();
+        what = "widening streaming-plane store windows to " +
+               std::to_string(plane->window_merge()) + " epochs/bucket";
+      } else {
+        what = "widening streaming-plane store windows (no plane attached)";
+      }
+      break;
+    case 4:
       hub.set_spans_suppressed(true);
       level_.fetch_sub(
           std::min(span_accounted_, level_.load(std::memory_order_relaxed)),

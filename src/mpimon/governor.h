@@ -8,9 +8,10 @@
 //
 //   level 1  widen introspect snapshot windows (x2, new snapshots only)
 //   level 2  halve the telemetry span-ring effective capacity
-//   level 3  drop per-packet/collective span recording entirely
+//   level 3  widen streaming-plane store windows (x2 epochs per bucket)
+//   level 4  drop per-packet/collective span recording entirely
 //
-// and only past level 3 are frame reservations trimmed or refused. Every
+// and only past level 4 are frame reservations trimmed or refused. Every
 // step is logged, counted in telemetry (mpim_governor_* metrics) and
 // exported as pvars.
 //

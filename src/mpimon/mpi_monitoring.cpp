@@ -17,6 +17,7 @@
 #include "minimpi/engine.h"
 #include "mpimon/governor.h"
 #include "mpit/runtime.h"
+#include "obsplane/plane.h"
 #include "support/env.h"
 #include "telemetry/hub.h"
 #include "telemetry/log.h"
@@ -1021,12 +1022,18 @@ int MPI_M_snapshot_start(MPI_M_msid msid, double window_s, int max_frames,
     mpim::telemetry::Hub* hub = &tele();
     const int rank = tele_rank();
     auto* raw = sampler.get();
+    mpim::mpi::Engine* eng = &Ctx::current().engine();
     auto phase_t0 = std::make_shared<double>(-1.0);
     auto dropped_seen = std::make_shared<std::uint64_t>(0);
     sampler->set_frame_callback(
-        [hub, rank, raw, phase_t0, dropped_seen](
+        [hub, rank, raw, eng, phase_t0, dropped_seen](
             const mpim::introspect::Frame& f) {
           hub->add(hub->ids().introspect_frames, rank);
+          // Streaming plane: stage the closed frame's totals. The callback
+          // may fire on a foreign thread (RMA attribution), which on_frame
+          // tolerates (mutexed side queue, not the per-rank rings).
+          if (auto* plane = mpim::obsplane::Plane::attached(*eng))
+            plane->on_frame(rank, f);
           if (*phase_t0 < 0.0) *phase_t0 = f.t0_s;
           if (f.boundary) {
             hub->add(hub->ids().introspect_boundaries, rank);

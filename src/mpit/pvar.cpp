@@ -13,7 +13,7 @@ namespace {
 // Telemetry names must match the registry catalog in telemetry/hub.cpp:
 // handle_alloc resolves the backing metric by this exact name.
 constexpr mpi::CommKind kTele = mpi::CommKind::tool;  // class marker only
-constexpr std::array<PvarInfo, 40> kPvars{{
+constexpr std::array<PvarInfo, 47> kPvars{{
     {"pml_monitoring_messages_count",
      "number of point-to-point messages sent per peer",
      mpi::CommKind::p2p, false, PvarClass::peer_monitoring},
@@ -118,11 +118,33 @@ constexpr std::array<PvarInfo, 40> kPvars{{
      "sessions whose modeled overhead exceeded MPIM_OVERHEAD_PCT",
      kTele, false, PvarClass::telemetry},
     {"mpim_governor_shed_level",
-     "current governor shed level (0 none .. 3 spans dropped)",
+     "current governor shed level (0 none .. 4 spans dropped)",
      kTele, false, PvarClass::telemetry},
     {"mpim_governor_mem_bytes",
      "monitoring-plane bytes accounted against MPIM_MEM_BUDGET_BYTES",
      kTele, true, PvarClass::telemetry},
+    // --- streaming aggregation plane, appended PR 7 ---
+    {"mpim_obsplane_events_total",
+     "streaming-plane staged events drained into the store",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_obsplane_drops_total",
+     "streaming-plane staged events dropped under back-pressure",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_obsplane_epochs_total",
+     "streaming-plane epoch blocks emitted",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_obsplane_findings_total",
+     "cross-layer correlation findings emitted at run end",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_obsplane_series",
+     "live (rank, metric) series in the plane store",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_obsplane_mem_bytes",
+     "streaming-plane working-set bytes",
+     kTele, true, PvarClass::telemetry},
+    {"mpim_obsplane_window_merge",
+     "epochs merged per store bucket (doubles per governor widen step)",
+     kTele, false, PvarClass::telemetry},
 }};
 
 }  // namespace

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <new>
 
+#include "obsplane/plane.h"
+
 namespace mpim::mpit {
 
 namespace {
@@ -51,6 +53,9 @@ Runtime::Runtime(mpi::Engine& engine) : engine_(engine) {
   engine_.set_quiescent_hook([this] { reclaim_retired(); });
   engine_.set_tool_runtime(this);
   update_armed();  // nothing to record yet: disarm the per-packet gate
+  // Environment-driven streaming plane: a no-op unless MPIM_STREAM_FILE
+  // is set, so tool attach cannot perturb existing runs.
+  obsplane::Plane::attach_from_env(engine_);
 }
 
 Runtime::~Runtime() {

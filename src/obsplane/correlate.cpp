@@ -1,0 +1,157 @@
+#include "obsplane/correlate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "fault/fault_plan.h"
+#include "netmodel/nic_counters.h"
+
+namespace mpim::obsplane {
+
+namespace {
+
+std::string rank_name(int r) {
+  return r < 0 ? std::string("*") : std::to_string(r);
+}
+
+bool is_recovery_event(const std::string& what) {
+  return what == "reorder" || what == "rebind" || what == "crash" ||
+         what == "dead_skip" || what == "identity_fallback";
+}
+
+/// "reorder@19, rebind@21" for up to `maxn` distinct recovery reactions at
+/// or after epoch e0 (the earliest occurrence of each kind).
+std::string triggered_list(const std::vector<EventRec>& events, long e0,
+                           std::size_t maxn) {
+  std::vector<std::pair<std::string, long>> firsts;
+  for (const EventRec& ev : events) {
+    if (ev.epoch < e0 || !is_recovery_event(ev.what)) continue;
+    auto it = std::find_if(firsts.begin(), firsts.end(),
+                           [&](const auto& p) { return p.first == ev.what; });
+    if (it == firsts.end())
+      firsts.emplace_back(ev.what, ev.epoch);
+    else
+      it->second = std::min(it->second, ev.epoch);
+  }
+  std::sort(firsts.begin(), firsts.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::ostringstream os;
+  std::size_t n = 0;
+  for (const auto& p : firsts) {
+    if (n == maxn) break;
+    if (n != 0) os << ", ";
+    os << p.first << "@" << p.second;
+    ++n;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<Finding> correlate(const CorrelateInput& in) {
+  std::vector<Finding> out;
+  if (in.epoch_s <= 0.0) return out;
+  const double eps = in.epoch_s;
+
+  // --- link degradation windows vs the observed timeline -------------------
+  if (in.plan != nullptr) {
+    for (const auto& lf : in.plan->link_faults()) {
+      if (lf.degrade_factor <= 1.0 || lf.degrade_until_s <= lf.degrade_from_s)
+        continue;
+      long e0 = static_cast<long>(lf.degrade_from_s / eps);
+      long e1 = static_cast<long>(std::ceil(lf.degrade_until_s / eps)) - 1;
+      if (e1 < e0) e1 = e0;
+      if (in.max_epoch >= 0) e1 = std::min(e1, in.max_epoch);
+      const std::string subject =
+          "link " + rank_name(lf.src) + "->" + rank_name(lf.dst);
+
+      std::ostringstream os;
+      os << std::setprecision(6);
+      os << subject << " degraded x" << lf.degrade_factor << " in epochs "
+         << e0 << ".." << e1 << " (t " << lf.degrade_from_s << ".."
+         << lf.degrade_until_s << "s)";
+
+      // Evidence 1: transmit-throughput dip on the sending node.
+      if (in.nic != nullptr && lf.src >= 0 &&
+          lf.src < static_cast<int>(in.node_of_rank.size()) &&
+          in.max_epoch > e1) {
+        const int node = in.node_of_rank[static_cast<std::size_t>(lf.src)];
+        const double in_epochs = static_cast<double>(e1 - e0 + 1);
+        const std::uint64_t in_tx =
+            in.nic->bytes_until(node, static_cast<double>(e1 + 1) * eps) -
+            in.nic->bytes_until(node, static_cast<double>(e0) * eps);
+        const std::uint64_t total_tx = in.nic->bytes_until(
+            node, static_cast<double>(in.max_epoch + 1) * eps);
+        const double out_epochs =
+            static_cast<double>(in.max_epoch + 1) - in_epochs;
+        if (out_epochs > 0.0) {
+          const double in_rate = static_cast<double>(in_tx) / in_epochs;
+          const double out_rate =
+              static_cast<double>(total_tx - in_tx) / out_epochs;
+          os << ": node " << node << " tx " << std::llround(in_rate)
+             << " B/epoch in-window vs " << std::llround(out_rate)
+             << " outside";
+        }
+      }
+
+      // Evidence 2: retransmit spike inside the window.
+      std::uint64_t in_r = 0, total_r = 0;
+      for (const auto& kv : in.retransmits_by_epoch) {
+        total_r += kv.second;
+        if (kv.first >= e0 && kv.first <= e1) in_r += kv.second;
+      }
+      if (total_r > 0)
+        os << "; retransmits " << in_r << " in-window vs " << (total_r - in_r)
+           << " outside";
+
+      // Evidence 3: bytes that flowed while the window was open (frames).
+      std::uint64_t in_m = 0;
+      for (const auto& kv : in.mismatch_by_epoch)
+        if (kv.first >= e0 && kv.first <= e1) in_m += kv.second;
+      if (in_m > 0) os << "; " << in_m << " frame bytes in-window";
+
+      const std::string trig = triggered_list(in.events, e0, 4);
+      if (!trig.empty()) os << "; triggered: " << trig;
+
+      Finding f;
+      f.kind = "link_degraded";
+      f.subject = subject;
+      f.e0 = e0;
+      f.e1 = e1;
+      f.text = os.str();
+      out.push_back(std::move(f));
+    }
+  }
+
+  // --- crashes and the recovery reactions that followed ---------------------
+  for (const EventRec& ev : in.events) {
+    if (ev.what != "crash") continue;
+    std::uint64_t skips = 0, rebinds = 0, reorders = 0, fallbacks = 0;
+    for (const EventRec& e2 : in.events) {
+      if (e2.epoch < ev.epoch) continue;
+      if (e2.what == "dead_skip") ++skips;
+      if (e2.what == "rebind") ++rebinds;
+      if (e2.what == "reorder") ++reorders;
+      if (e2.what == "identity_fallback") ++fallbacks;
+    }
+    std::ostringstream os;
+    os << std::setprecision(6);
+    os << "rank " << ev.rank << " crashed at t=" << ev.t_s << "s (epoch "
+       << ev.epoch << "); recovery after: " << skips << " dead-skips, "
+       << rebinds << " rebinds, " << reorders << " reorders, " << fallbacks
+       << " identity fallbacks";
+    Finding f;
+    f.kind = "rank_crash";
+    f.subject = "rank " + std::to_string(ev.rank);
+    f.e0 = ev.epoch;
+    f.e1 = in.max_epoch >= ev.epoch ? in.max_epoch : ev.epoch;
+    f.text = os.str();
+    out.push_back(std::move(f));
+  }
+
+  return out;
+}
+
+}  // namespace mpim::obsplane

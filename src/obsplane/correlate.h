@@ -1,0 +1,59 @@
+#pragma once
+// Cross-layer correlation over the plane's epoch-aligned timeline.
+//
+// Joins three layers the rest of the stack records independently:
+//   * fault-plan ground truth (link degradation windows, crash schedules),
+//   * network counters (per-node NIC tx, retransmit totals per epoch),
+//   * application/recovery events (phase boundaries, reorders, rebinds,
+//     dead-skips, crashes) as they appeared on the timeline.
+// and derives human-readable findings such as
+//   "link 1->2 degraded x8 in epochs 12..17: node 0 tx 3.1 MB/epoch
+//    in-window vs 11.9 MB/epoch outside; retransmits 84 vs 3;
+//    triggered: reorder@19, rebind@21".
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mpim::fault {
+class FaultPlan;
+}
+namespace mpim::net {
+class NicCounters;
+}
+
+namespace mpim::obsplane {
+
+/// One timeline event on the derived event lane.
+struct EventRec {
+  long epoch = 0;
+  int rank = -1;      ///< -1 = not rank-specific
+  double t_s = 0.0;
+  std::string what;   ///< crash | rebind | dead_skip | reorder |
+                      ///< identity_fallback | phase | session
+  std::string name;   ///< span name when derived from a span
+};
+
+struct Finding {
+  std::string kind;     ///< link_degraded | rank_crash
+  std::string subject;  ///< "link 1->2" | "rank 3"
+  long e0 = -1;         ///< first affected epoch
+  long e1 = -1;         ///< last affected epoch
+  std::string text;     ///< full human-readable finding
+};
+
+struct CorrelateInput {
+  double epoch_s = 1.0e-3;
+  long max_epoch = -1;                     ///< highest emitted epoch
+  const fault::FaultPlan* plan = nullptr;  ///< may be null
+  const net::NicCounters* nic = nullptr;   ///< may be null
+  std::vector<int> node_of_rank;           ///< world rank -> node id
+  std::map<long, std::uint64_t> retransmits_by_epoch;
+  std::map<long, std::uint64_t> mismatch_by_epoch;
+  std::vector<EventRec> events;
+};
+
+std::vector<Finding> correlate(const CorrelateInput& in);
+
+}  // namespace mpim::obsplane

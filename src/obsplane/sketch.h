@@ -1,0 +1,166 @@
+#pragma once
+// Mergeable sketch summaries for the streaming aggregation plane.
+//
+// Two bounded-memory summaries over streams of unsigned deltas:
+//   * Log2Hist      -- fixed 64-bucket histogram keyed by bit width; exact
+//                      counts, O(1) observe/merge, monotone bucket bounds.
+//   * QuantileSketch -- a bounded value-sorted list of (value, weight)
+//                      centroids; when full the adjacent pair with the
+//                      smallest combined weight collapses into its weighted
+//                      mean (streaming-histogram compaction, a la Ben-Haim &
+//                      Tom-Tov). Deterministic (no RNG) so runs are
+//                      reproducible; quantile answers are approximate but
+//                      rank error per merge is bounded by the lighter side,
+//                      and light fresh centroids merge first so heavy mass
+//                      and the distribution tails survive.
+//
+// Both are POD-ish, copyable, and mergeable so the store can fold shard
+// summaries together when the governor widens windows.
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mpim::obsplane {
+
+class Log2Hist {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void observe(std::uint64_t v) {
+    ++buckets_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+  }
+
+  void merge(const Log2Hist& other) {
+    for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t bucket(int i) const { return buckets_[static_cast<std::size_t>(i)]; }
+
+  /// Upper bound of bucket i: values v with bucket_of(v)==i satisfy
+  /// v <= bucket_upper(i).
+  static std::uint64_t bucket_upper(int i) {
+    if (i <= 0) return 0;
+    if (i >= 63) return ~0ull;
+    return (1ull << i) - 1ull;
+  }
+
+  /// Upper bound on the q-quantile (0 <= q <= 1): the upper edge of the
+  /// first bucket whose cumulative count reaches q*count.
+  std::uint64_t percentile_bound(double q) const {
+    if (count_ == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const double target = q * static_cast<double>(count_);
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      cum += buckets_[static_cast<std::size_t>(i)];
+      if (static_cast<double>(cum) >= target && cum > 0) return bucket_upper(i);
+    }
+    return bucket_upper(kBuckets - 1);
+  }
+
+  static int bucket_of(std::uint64_t v) {
+    if (v == 0) return 0;
+    int w = 0;
+    while (v > 1) {
+      v >>= 1;
+      ++w;
+    }
+    return w + 1 > kBuckets - 1 ? kBuckets - 1 : w + 1;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+class QuantileSketch {
+ public:
+  static constexpr std::size_t kCapacity = 64;
+
+  void observe(std::uint64_t v) { add(v, 1); }
+
+  void merge(const QuantileSketch& other) {
+    for (const auto& it : other.items_) add(it.value, it.weight);
+  }
+
+  std::uint64_t count() const { return n_; }
+
+  /// Approximate q-quantile over everything observed (weighted). Items are
+  /// kept value-sorted by add(), so this is a single cumulative-weight scan.
+  std::uint64_t quantile(double q) const {
+    if (items_.empty()) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    std::uint64_t total = 0;
+    for (const auto& it : items_) total += it.weight;
+    const double target = q * static_cast<double>(total);
+    std::uint64_t cum = 0;
+    for (const auto& it : items_) {
+      cum += it.weight;
+      if (static_cast<double>(cum) >= target) return it.value;
+    }
+    return items_.back().value;
+  }
+
+  std::size_t stored() const { return items_.size(); }
+
+ private:
+  struct Item {
+    std::uint64_t value;
+    std::uint64_t weight;
+  };
+
+  void add(std::uint64_t v, std::uint64_t w) {
+    if (w == 0) return;
+    const auto pos = std::lower_bound(
+        items_.begin(), items_.end(), v,
+        [](const Item& it, std::uint64_t x) { return it.value < x; });
+    if (pos != items_.end() && pos->value == v) {
+      pos->weight += w;  // exact duplicate: no new centroid needed
+    } else {
+      items_.insert(pos, Item{v, w});
+    }
+    n_ += w;
+    if (items_.size() > kCapacity) merge_closest_pair();
+  }
+
+  // Collapse the adjacent pair with the smallest combined weight into one
+  // centroid at the pair's weighted mean. Fresh weight-1 centroids merge
+  // first, so heavy (old) centroids and the distribution tails survive and
+  // the quantile estimate does not drift with sorted arrival order.
+  void merge_closest_pair() {
+    std::size_t best = 0;
+    std::uint64_t best_w = ~0ull;
+    for (std::size_t i = 0; i + 1 < items_.size(); ++i) {
+      const std::uint64_t cw = items_[i].weight + items_[i + 1].weight;
+      if (cw < best_w) {
+        best_w = cw;
+        best = i;
+      }
+    }
+    const Item& lo = items_[best];
+    const Item& hi = items_[best + 1];
+    const long double mean =
+        (static_cast<long double>(lo.value) * lo.weight +
+         static_cast<long double>(hi.value) * hi.weight) /
+        static_cast<long double>(best_w);
+    items_[best] = Item{static_cast<std::uint64_t>(mean), best_w};
+    items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+  }
+
+  std::vector<Item> items_;
+  std::uint64_t n_ = 0;
+};
+
+}  // namespace mpim::obsplane

@@ -55,4 +55,32 @@ EnvValue<std::uint64_t> env_positive_u64(const char* name) {
   return out;
 }
 
+EnvValue<int> env_choice(const char* name, const char* const* choices,
+                         int num_choices) {
+  EnvValue<int> out;
+  const char* env = std::getenv(name);
+  if (env == nullptr) return out;
+  out.raw = env;
+  out.status = EnvValue<int>::Status::invalid;
+  const char* b = env;
+  while (std::isspace(static_cast<unsigned char>(*b)) != 0) ++b;
+  const char* e = b;
+  while (*e != '\0' && std::isspace(static_cast<unsigned char>(*e)) == 0) ++e;
+  if (e == b || !only_trailing_space(e)) return out;
+  for (int i = 0; i < num_choices; ++i) {
+    const char* c = choices[i];
+    const char* p = b;
+    for (; p != e && *c != '\0'; ++p, ++c)
+      if (std::tolower(static_cast<unsigned char>(*p)) !=
+          std::tolower(static_cast<unsigned char>(*c)))
+        break;
+    if (p == e && *c == '\0') {
+      out.status = EnvValue<int>::Status::ok;
+      out.value = i;
+      return out;
+    }
+  }
+  return out;
+}
+
 }  // namespace mpim::support

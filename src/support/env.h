@@ -40,4 +40,10 @@ EnvValue<double> env_positive_double(const char* name);
 /// spellings, partial parses, zero, and values that overflow.
 EnvValue<std::uint64_t> env_positive_u64(const char* name);
 
+/// Matches `name` against a closed set of keywords (case-insensitive,
+/// surrounding whitespace tolerated); `value` is the index into `choices`.
+/// Anything else -- partial words, numbers, empty strings -- is invalid.
+EnvValue<int> env_choice(const char* name, const char* const* choices,
+                         int num_choices);
+
 }  // namespace mpim::support

@@ -92,7 +92,7 @@ Hub::Hub(int nranks, std::size_t span_capacity)
       "sessions whose modeled overhead exceeded MPIM_OVERHEAD_PCT");
   ids_.gov_shed_level = reg.define_gauge(
       "mpim_governor_shed_level",
-      "current governor shed level (0 none .. 3 spans dropped)");
+      "current governor shed level (0 none .. 4 spans dropped)");
   ids_.gov_mem_bytes = reg.define_gauge(
       "mpim_governor_mem_bytes",
       "monitoring-plane bytes accounted against MPIM_MEM_BUDGET_BYTES");
@@ -126,6 +126,25 @@ Hub::Hub(int nranks, std::size_t span_capacity)
   ids_.introspect_gain_milli = reg.define_gauge(
       "mpim_introspect_treematch_gain_milli",
       "estimated TreeMatch cost reduction x1000");
+
+  ids_.obsplane_events = reg.define_counter(
+      "mpim_obsplane_events_total",
+      "streaming-plane staged events drained into the store");
+  ids_.obsplane_drops = reg.define_counter(
+      "mpim_obsplane_drops_total",
+      "streaming-plane staged events dropped under back-pressure");
+  ids_.obsplane_epochs = reg.define_counter(
+      "mpim_obsplane_epochs_total", "streaming-plane epoch blocks emitted");
+  ids_.obsplane_findings = reg.define_counter(
+      "mpim_obsplane_findings_total",
+      "cross-layer correlation findings emitted at run end");
+  ids_.obsplane_series = reg.define_gauge(
+      "mpim_obsplane_series", "live (rank, metric) series in the plane store");
+  ids_.obsplane_mem_bytes = reg.define_gauge(
+      "mpim_obsplane_mem_bytes", "streaming-plane working-set bytes");
+  ids_.obsplane_window_merge = reg.define_gauge(
+      "mpim_obsplane_window_merge",
+      "epochs merged per store bucket (doubles per governor widen step)");
 }
 
 void Hub::set_span_soft_capacity(std::size_t cap) {
@@ -161,6 +180,7 @@ void Hub::span_end(int rank, double t_s, std::int64_t a, std::int64_t b) {
   rec.a = a;
   rec.b = b;
   rs.ring.push(rec);
+  if (span_sink_armed_.load(std::memory_order_acquire)) span_sink_(rank, rec);
 }
 
 void Hub::span_complete(int rank, const char* name, char cat, double t0_s,
@@ -177,6 +197,7 @@ void Hub::span_complete(int rank, const char* name, char cat, double t0_s,
   rec.a = a;
   rec.b = b;
   rs.ring.push(rec);
+  if (span_sink_armed_.load(std::memory_order_acquire)) span_sink_(rank, rec);
 }
 
 std::vector<SpanRec> Hub::spans(int rank) const {

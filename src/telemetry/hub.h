@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -64,7 +65,7 @@ struct StdIds {
   int gov_shed_steps = -1;         ///< counter: governor fidelity-shed steps
   int gov_refusals = -1;           ///< counter: reservations refused at max shed
   int gov_overhead_alarms = -1;    ///< counter: MPIM_OVERHEAD_PCT violations
-  int gov_shed_level = -1;         ///< gauge: current shed level (0..3)
+  int gov_shed_level = -1;         ///< gauge: current shed level (0..4)
   int gov_mem_bytes = -1;          ///< gauge: accounted monitoring bytes
   // reorder decisions
   int reorder_treematch_ns = -1;   ///< counter: TreeMatch CPU time, ns
@@ -79,6 +80,14 @@ struct StdIds {
   int introspect_neighbor_milli = -1;    ///< gauge: neighbor byte frac x1000
   int introspect_mismatch_hops = -1;     ///< gauge: bytes x hop distance
   int introspect_gain_milli = -1;        ///< gauge: est. TreeMatch gain x1000
+  // streaming aggregation plane (src/obsplane)
+  int obsplane_events = -1;        ///< counter: staged events drained
+  int obsplane_drops = -1;         ///< counter: staged events dropped (full)
+  int obsplane_epochs = -1;        ///< counter: epoch blocks emitted
+  int obsplane_findings = -1;      ///< counter: correlation findings
+  int obsplane_series = -1;        ///< gauge: live (rank, metric) series
+  int obsplane_mem_bytes = -1;     ///< gauge: plane working-set bytes
+  int obsplane_window_merge = -1;  ///< gauge: epochs merged per bucket
 };
 
 class Hub {
@@ -127,6 +136,18 @@ class Hub {
   std::uint64_t spans_recorded() const;
   std::uint64_t spans_dropped() const;
 
+  /// Optional tap on every recorded span, invoked on the recording rank's
+  /// own thread right after the ring push (so sinks inherit the per-rank
+  /// single-producer contract). Install while quiescent (before run());
+  /// the streaming plane uses this to forward spans without snapshotting
+  /// rings. Passing an empty function disarms the tap.
+  using SpanSink = std::function<void(int rank, const SpanRec& rec)>;
+  void set_span_sink(SpanSink sink) {
+    span_sink_ = std::move(sink);
+    span_sink_armed_.store(static_cast<bool>(span_sink_),
+                           std::memory_order_release);
+  }
+
   // --- degradation-governor hooks (src/mpimon/governor.h) ---
   /// Ring capacity the spans were allocated with (per rank).
   std::size_t span_capacity() const { return span_capacity_; }
@@ -168,6 +189,8 @@ class Hub {
   std::atomic<bool> enabled_{false};
   std::atomic<std::size_t> span_soft_capacity_;
   std::atomic<bool> spans_suppressed_{false};
+  SpanSink span_sink_;
+  std::atomic<bool> span_sink_armed_{false};
   Registry registry_;
   StdIds ids_;
   std::vector<std::unique_ptr<RankSpans>> spans_;

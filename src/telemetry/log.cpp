@@ -6,6 +6,8 @@
 #include <fstream>
 #include <mutex>
 
+#include "support/env.h"
+
 namespace mpim::telemetry {
 
 const char* log_level_name(LogLevel level) {
@@ -60,6 +62,25 @@ void log(LogLevel level, int rank, const std::string& component,
          const std::string& msg) {
   static std::mutex mu;
   std::lock_guard<std::mutex> lock(mu);
+
+  // MPIM_LOG_LEVEL names the lowest severity that gets through; it is
+  // re-read each record (cold path, and tests flip it mid-process). An
+  // unparsable value keeps everything flowing -- losing diagnostics to a
+  // typo would be worse -- and warns once per distinct bad value.
+  static const char* const kLevelNames[] = {"debug", "info", "warn", "error"};
+  const auto min_level = support::env_choice("MPIM_LOG_LEVEL", kLevelNames, 4);
+  if (min_level.ok() && static_cast<int>(level) < min_level.value) return;
+  if (min_level.invalid()) {
+    static std::string warned_raw;
+    if (warned_raw != min_level.raw) {
+      warned_raw = min_level.raw;
+      std::fprintf(stderr,
+                   "[mpim][WARN][log] rank -1: ignoring invalid "
+                   "MPIM_LOG_LEVEL=\"%s\" (want debug|info|warn|error); "
+                   "logging everything\n",
+                   min_level.raw.c_str());
+    }
+  }
 
   std::fprintf(stderr, "[mpim][%s][%s] rank %d: %s\n", log_level_name(level),
                component.c_str(), rank, msg.c_str());

@@ -17,6 +17,7 @@
 
 #include "support/error.h"
 #include "support/table.h"
+#include "tools/liveview.h"
 #include "tools/prof_reader.h"
 #include "tools/report.h"
 
@@ -32,6 +33,30 @@ int run_report(int argc, char** argv, int first) {
   mpim::tools::report_metrics(argv[first], std::cout);
   if (first + 1 < argc) mpim::tools::report_spans(argv[first + 1], std::cout);
   return 0;
+}
+
+int run_live(int argc, char** argv, int first) {
+  const char* path = nullptr;
+  bool once = false;
+  int interval_ms = 200;
+  for (int i = first; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else if (std::strcmp(argv[i], "--interval-ms") == 0 && i + 1 < argc) {
+      interval_ms = std::atoi(argv[++i]);
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "--live: unexpected argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr,
+                 "--live needs <stream.jsonl> [--once] [--interval-ms N]\n");
+    return 2;
+  }
+  return mpim::tools::run_live(path, once, interval_ms);
 }
 
 int run_timeline(int argc, char** argv, int first) {
@@ -58,24 +83,30 @@ int main(int argc, char** argv) {
     if (monview) {
       std::fprintf(stderr,
                    "usage: %s <metrics.csv> [spans.csv]\n"
-                   "       %s --timeline <frames.csv>\n",
-                   argv[0], argv[0]);
+                   "       %s --timeline <frames.csv>\n"
+                   "       %s --live <stream.jsonl> [--once] "
+                   "[--interval-ms N]\n",
+                   argv[0], argv[0], argv[0]);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--matrix] <file.prof>\n"
                    "       %s --report <metrics.csv> [spans.csv]\n"
                    "       %s --timeline <frames.csv>\n"
+                   "       %s --live <stream.jsonl> [--once] "
+                   "[--interval-ms N]\n"
                    "  default: per-rank profile (MPI_M_flush output)\n"
                    "  --matrix: n x n matrix (MPI_M_rootflush output)\n"
                    "  --report: telemetry metrics/span report (monview)\n"
-                   "  --timeline: per-window snapshot timeline + heatmap\n",
-                   argv[0], argv[0], argv[0]);
+                   "  --timeline: per-window snapshot timeline + heatmap\n"
+                   "  --live: dashboard over an MPIM_STREAM_FILE JSONL\n",
+                   argv[0], argv[0], argv[0], argv[0]);
     }
     return 2;
   }
   try {
     if (std::strcmp(argv[1], "--timeline") == 0)
       return run_timeline(argc, argv, 2);
+    if (std::strcmp(argv[1], "--live") == 0) return run_live(argc, argv, 2);
     if (monview) return run_report(argc, argv, 1);
     if (std::strcmp(argv[1], "--report") == 0)
       return run_report(argc, argv, 2);

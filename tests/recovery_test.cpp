@@ -587,8 +587,9 @@ TEST(RecoveryGovernor, ShedsFidelityUnderMemoryBudgetWithoutClockDrift) {
   auto& gov = mon::Governor::of(budgeted);
   EXPECT_TRUE(gov.mem_enabled());
   EXPECT_EQ(gov.mem_budget(), 20000u);
-  EXPECT_GE(gov.shed_steps(), 3u);  // the full ladder: widen, halve, drop
-  EXPECT_EQ(gov.shed_level(), 3);
+  // The full ladder: widen snapshots, halve rings, widen plane, drop spans.
+  EXPECT_GE(gov.shed_steps(), 4u);
+  EXPECT_EQ(gov.shed_level(), 4);
   EXPECT_LE(gov.mem_level(), gov.mem_budget());
   // Shedding is visible in telemetry...
   const auto& hub = budgeted.telemetry();

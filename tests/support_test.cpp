@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
+#include "support/env.h"
 #include "support/matrix.h"
 #include "support/rng.h"
 #include "support/stats.h"
@@ -195,6 +197,34 @@ TEST(Formatting, HumanReadableHelpers) {
   EXPECT_EQ(format_seconds(0.0123), "12.3 ms");
   EXPECT_EQ(format_seconds(2.5e-6), "2.5 us");
   EXPECT_EQ(format_sig(3.14159, 3), "3.14");
+}
+
+// --- strict keyword environment parsing --------------------------------------
+
+TEST(EnvChoice, MatchesWholeKeywordsCaseInsensitively) {
+  static const char* const kLevels[] = {"debug", "info", "warn", "error"};
+  const auto parse = [&](const char* text) {
+    ::setenv("MPIM_TEST_ENV_C", text, 1);
+    return support::env_choice("MPIM_TEST_ENV_C", kLevels, 4);
+  };
+
+  ::unsetenv("MPIM_TEST_ENV_C");
+  EXPECT_EQ(support::env_choice("MPIM_TEST_ENV_C", kLevels, 4).status,
+            support::EnvValue<int>::Status::unset);
+
+  EXPECT_EQ(parse("debug").value, 0);
+  EXPECT_EQ(parse("error").value, 3);
+  EXPECT_EQ(parse("WARN").value, 2);     // case-insensitive
+  EXPECT_EQ(parse(" info ").value, 1);   // surrounding whitespace tolerated
+
+  EXPECT_TRUE(parse("warning").invalid());  // no prefix/suffix matching
+  EXPECT_TRUE(parse("war").invalid());
+  EXPECT_TRUE(parse("warn error").invalid());  // one keyword only
+  EXPECT_TRUE(parse("2").invalid());           // numbers are not keywords
+  EXPECT_TRUE(parse("").invalid());
+  EXPECT_TRUE(parse("   ").invalid());
+  EXPECT_EQ(parse("banana").raw, "banana");  // raw text kept for diagnostics
+  ::unsetenv("MPIM_TEST_ENV_C");
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 
 #include "fault/fault_plan.h"
 #include "minimpi/api.h"
+#include "mpimon/governor.h"
 #include "mpimon/sim.h"
 #include "mpit/pvar.h"
 #include "mpit/runtime.h"
@@ -366,6 +367,126 @@ TEST(Log, WritesJsonlWhenEnvSet) {
 TEST(Log, JsonEscapeHandlesControlCharacters) {
   EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
   EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Log, LevelFilterSuppressesBelowThresholdAndSurvivesGarbage) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() / "mpim_log_lvl.jsonl").string();
+  const auto lines_in_file = [&] {
+    std::ifstream is(path);
+    std::string line;
+    int n = 0;
+    while (std::getline(is, line)) ++n;
+    return n;
+  };
+  std::remove(path.c_str());
+  ::setenv("MPIM_LOG_FILE", path.c_str(), 1);
+
+  ::setenv("MPIM_LOG_LEVEL", "warn", 1);
+  log(LogLevel::debug, 0, "t", "hidden");
+  log(LogLevel::info, 0, "t", "hidden");
+  log(LogLevel::warn, 0, "t", "shown");
+  log(LogLevel::error, 0, "t", "shown");
+  EXPECT_EQ(lines_in_file(), 2);
+
+  ::setenv("MPIM_LOG_LEVEL", " ERROR ", 1);  // case + whitespace tolerated
+  log(LogLevel::warn, 0, "t", "hidden");
+  log(LogLevel::error, 0, "t", "shown");
+  EXPECT_EQ(lines_in_file(), 3);
+
+  // An unparsable level must never cost diagnostics: everything flows.
+  ::setenv("MPIM_LOG_LEVEL", "verbose", 1);
+  log(LogLevel::debug, 0, "t", "shown");
+  log(LogLevel::error, 0, "t", "shown");
+  EXPECT_EQ(lines_in_file(), 5);
+
+  ::unsetenv("MPIM_LOG_LEVEL");
+  log(LogLevel::debug, 0, "t", "shown");  // unset: everything flows
+  EXPECT_EQ(lines_in_file(), 6);
+  ::unsetenv("MPIM_LOG_FILE");
+  std::remove(path.c_str());
+}
+
+// --- exporters under governor shedding --------------------------------------
+
+// The span CSV has one data row per record still in the rings; pushed
+// minus evicted must equal the row count exactly, whatever capacity
+// changes (level-2 style sheds) happened while recording.
+TEST(ExportShed, SpanCsvRowsReconcileWithDropCountersUnderShedding) {
+  Hub hub(2, /*span_capacity=*/64);
+  hub.set_enabled(true);
+  for (int i = 0; i < 50; ++i)
+    hub.span_complete(0, "coll.bcast", 'C', i * 1e-3, i * 1e-3 + 1e-4);
+  hub.set_span_soft_capacity(16);  // governor level-2 shed mid-run
+  for (int i = 0; i < 50; ++i)
+    hub.span_complete(1, "p2p.send", 'M', i * 1e-3, i * 1e-3 + 1e-4, 0, 64);
+  EXPECT_GT(hub.spans_dropped(), 0u);
+
+  std::ostringstream csv;
+  write_spans_csv(hub, csv);
+  std::istringstream is(csv.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));  // header
+  EXPECT_EQ(line, "rank,name,cat,depth,t0_s,t1_s,a,b");
+  std::uint64_t rows = 0;
+  while (std::getline(is, line))
+    if (!line.empty()) ++rows;
+  EXPECT_EQ(rows, hub.spans_recorded() - hub.spans_dropped());
+
+  std::ostringstream trace;
+  write_chrome_trace(hub, trace);
+  EXPECT_TRUE(JsonChecker(trace.str()).valid());
+}
+
+// Real-governor variant: a memory budget sized to stop the ladder exactly
+// at level 2 (rings halved, spans still recorded). The exports must stay
+// well-formed and reconciled while the budget is actively shedding.
+TEST(ExportShed, BudgetedRunKeepsExportsWellFormedAndReconciled) {
+  const int nranks = 4;
+  auto cost = net::CostModel::plafrim_like(2);
+  mpi::EngineConfig cfg{
+      .cost_model = cost,
+      .placement = topo::round_robin_placement(nranks, cost.topology())};
+  Sim sim(std::move(cfg));
+  Hub& hub = sim.engine().telemetry();
+  hub.set_enabled(true);
+
+  const std::uint64_t full = static_cast<std::uint64_t>(nranks) *
+                             hub.span_capacity() * sizeof(SpanRec);
+  ::setenv("MPIM_MEM_BUDGET_BYTES", std::to_string(full * 3 / 4).c_str(), 1);
+  // Tool objects are interned per run, so the governor must come to life
+  // inside the workload (as it does via the MPI_M entry points).
+  sim.run([](Ctx& ctx) {
+    mon::Governor::of(ctx.engine());
+    const Comm world = ctx.world();
+    int v = ctx.world_rank();
+    for (int i = 0; i < 4; ++i) {
+      mpi::bcast(&v, 1, Type::Int, 0, world);
+      mpi::barrier(world);
+    }
+  });
+  ::unsetenv("MPIM_MEM_BUDGET_BYTES");
+  auto& gov = mon::Governor::of(sim.engine());
+  ASSERT_EQ(gov.shed_level(), 2);  // halved once, spans still on
+  EXPECT_EQ(hub.span_soft_capacity(), hub.span_capacity() / 2);
+  EXPECT_FALSE(hub.spans_suppressed());
+  EXPECT_GT(hub.spans_recorded(), 0u);
+
+  std::ostringstream csv;
+  write_spans_csv(hub, csv);
+  std::istringstream is(csv.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  std::uint64_t rows = 0;
+  while (std::getline(is, line))
+    if (!line.empty()) ++rows;
+  EXPECT_EQ(rows, hub.spans_recorded() - hub.spans_dropped());
+
+  std::ostringstream trace;
+  write_chrome_trace(hub, trace);
+  EXPECT_TRUE(JsonChecker(trace.str()).valid());
+  EXPECT_NE(trace.str().find("\"bcast\""), std::string::npos);
 }
 
 // --- end to end: fault-injected run -----------------------------------------
