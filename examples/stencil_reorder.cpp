@@ -1,6 +1,7 @@
 // Phase-triggered rank reordering of an iterative stencil application --
 // the paper's Figure-1 algorithm driven by the snapshot phase detector
-// instead of a hard-coded "reorder after the first sweep".
+// instead of a hard-coded "reorder after the first sweep" -- now explained
+// by the causal critical-path profiler.
 //
 // The ranks start deliberately scattered across the nodes (the mpirun
 // round-robin-by-node default). One monitoring session with a windowed
@@ -8,12 +9,22 @@
 // application calls reorder::reorder_on_phase, which only pays for the
 // TreeMatch step when the detector has flagged a new phase boundary. The
 // first hook (mid-steady-state) is a cheap no-op; after a compute-only lull
-// the resuming traffic marks a boundary and the second hook reorders.
-// Communication time before/after is printed.
+// the resuming traffic marks a boundary and the second hook reorders (it
+// also consults the critpath mismatch trigger, the profiler's reorder
+// feed). Communication time before/after is printed.
+//
+// One rank of the measured sweep is made artificially slow; afterwards the
+// profiler's blame report must (a) sum rank blame shares to the end-to-end
+// communication time within 1%, and (b) name the injected rank as the
+// dominant cause. The report is written as results/stencil_critpath.csv for
+// `profview --critical-path`.
 #include <cstdio>
+#include <cstdlib>
 
 #include "apps/halo.h"
+#include "critpath/critpath.h"
 #include "minimpi/api.h"
+#include "mpimon/critpath_attach.h"
 #include "mpimon/mpi_monitoring.h"
 #include "mpimon/session.hpp"
 #include "mpimon/sim.h"
@@ -23,6 +34,9 @@ int main() {
   using namespace mpim;
 
   const int nranks = 48;
+  const int slow_rank = 17;           // injected straggler (world rank)
+  const double slow_extra_s = 2e-4;   // extra compute per exchange
+
   auto cost = net::CostModel::plafrim_like(2);
   mpi::EngineConfig cfg{
       .cost_model = cost,
@@ -30,8 +44,18 @@ int main() {
   cfg.nic_contention = true;
   Sim sim(std::move(cfg));
 
+  // The profiler attaches before the run and observes everything; capture
+  // never charges virtual time, so clocks match a profiler-free build.
+  std::shared_ptr<critpath::Profiler> prof =
+      mon::attach_critpath(sim.engine());
+
   const apps::HaloConfig warmup{/*local_n=*/128, /*iters=*/8, /*seed=*/3};
-  const apps::HaloConfig sweep{/*local_n=*/128, /*iters=*/20, /*seed=*/3};
+  apps::HaloConfig sweep{/*local_n=*/128, /*iters=*/20, /*seed=*/3};
+  sweep.slow_rank = slow_rank;
+  sweep.slow_extra_s = slow_extra_s;
+  apps::HaloConfig after_sweep = sweep;
+  after_sweep.slow_rank = -1;  // comm ranks move; keep the rerun clean
+  after_sweep.slow_extra_s = 0.0;
 
   double before_comm = 0, after_comm = 0, checksum_before = 0,
          checksum_after = 0;
@@ -53,19 +77,22 @@ int main() {
     bool t1 = false;
     reorder::reorder_on_phase(id, world, &seen_boundaries, &t1);
 
-    // A compute-only lull, then the halo resumes: the silent windows and
-    // the resuming traffic are what the phase detector flags.
+    // A compute-only lull, then the slow-rank sweep resumes the halo: the
+    // silent windows and the resuming traffic are what the detector flags.
     mpi::compute(0.05);
     const apps::HaloResult base = apps::run_halo(world, sweep);
 
     // Chunk 2 hook: a new boundary was flagged, so the full Figure-1 step
-    // runs on everything monitored so far.
+    // runs on everything monitored so far. The hook also consults the
+    // profiler's since-mark mismatch/wait totals (the critpath feed).
     bool t2 = false;
+    reorder::PhaseReorderOptions opts;
+    opts.use_critpath_mismatch = true;
     const reorder::ReorderResult res =
-        reorder::reorder_on_phase(id, world, &seen_boundaries, &t2);
+        reorder::reorder_on_phase(id, world, &seen_boundaries, &t2, opts);
 
     // Chunk 3: the same kernel on the optimized communicator.
-    const apps::HaloResult better = apps::run_halo(res.opt_comm, sweep);
+    const apps::HaloResult better = apps::run_halo(res.opt_comm, after_sweep);
 
     mon::check_rc(MPI_M_suspend(id), "MPI_M_suspend");
     mon::check_rc(MPI_M_snapshot_stop(id), "MPI_M_snapshot_stop");
@@ -83,6 +110,21 @@ int main() {
     }
   });
 
+  // Post-run: where did communication time go?
+  const critpath::BlameReport& rep = prof->report();
+  unsigned long long blame_sum = 0;
+  for (const auto& r : rep.ranks) blame_sum += r.blame_ns;
+  const double total = static_cast<double>(rep.total_comm_ns);
+  const double err =
+      total > 0 ? std::abs(static_cast<double>(blame_sum) - total) / total
+                : 1.0;
+  const bool blame_ok = rep.valid && err <= 0.01;
+  const bool dominant_ok = rep.dominant_rank == slow_rank;
+  // Same convention as faulty_reorder: run from the repo root, artifacts
+  // land in results/ (write_csv is best-effort when the dir is absent).
+  const char* csv_path = "results/stencil_critpath.csv";
+  prof->write_csv(csv_path);
+
   std::printf("2-D Jacobi on %d scattered ranks, %d sweeps per phase\n",
               nranks, sweep.iters);
   std::printf("hook 1 (steady state) triggered: %s (expected no)\n",
@@ -95,8 +137,16 @@ int main() {
               after_comm * 1e3, before_comm / after_comm);
   std::printf("checksums identical: %s\n",
               checksum_before == checksum_after ? "yes" : "NO");
-  return hook2_fired && !hook1_fired &&
-                 checksum_before == checksum_after
+  std::printf("blame shares sum to comm time: %.4f%% off (expected <= 1%%)\n",
+              100.0 * err);
+  std::printf("dominant blamed rank: %d (injected straggler: %d), class %s\n",
+              rep.dominant_rank, slow_rank,
+              critpath::wait_class_name(rep.dominant_class));
+  std::printf("critical path: %zu segments -> %s "
+              "(render with profview --critical-path)\n",
+              rep.path.size(), csv_path);
+  return hook2_fired && !hook1_fired && checksum_before == checksum_after &&
+                 blame_ok && dominant_ok
              ? 0
              : 1;
 }

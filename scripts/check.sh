@@ -24,7 +24,14 @@
 # fault-injected e2e example, a monview --live render of its stream, and
 # bench_stream's hook-overhead acceptance check fed into the trend gate.
 #
-# Usage: scripts/check.sh [--default-only|--asan-only|--tsan-only|--recovery-only|--stream-only]
+# --critpath-only is the focused critical-path profiler lane: the critpath
+# suite (blame identity, clock bit-identity, governor refusal, rings,
+# reorder feed, CSV round trip) under BOTH sanitizer presets, then on the
+# default build the stencil_reorder late-sender e2e, a profview
+# --critical-path render of its blame CSV, and bench_critpath's
+# hook-budget + blame-identity acceptance checks fed into the trend gate.
+#
+# Usage: scripts/check.sh [--default-only|--asan-only|--tsan-only|--recovery-only|--stream-only|--critpath-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,15 +41,17 @@ run_asan=1
 run_tsan=1
 run_recovery=0
 run_stream=0
+run_critpath=0
 case "${1:-}" in
   --default-only) run_asan=0; run_tsan=0 ;;
   --asan-only) run_default=0; run_tsan=0 ;;
   --tsan-only) run_default=0; run_asan=0 ;;
   --recovery-only) run_default=0; run_asan=0; run_tsan=0; run_recovery=1 ;;
   --stream-only) run_default=0; run_asan=0; run_tsan=0; run_stream=1 ;;
+  --critpath-only) run_default=0; run_asan=0; run_tsan=0; run_critpath=1 ;;
   "") ;;
   *)
-    echo "usage: $0 [--default-only|--asan-only|--tsan-only|--recovery-only|--stream-only]" >&2
+    echo "usage: $0 [--default-only|--asan-only|--tsan-only|--recovery-only|--stream-only|--critpath-only]" >&2
     exit 2
     ;;
 esac
@@ -65,6 +74,7 @@ if [ "$run_default" = 1 ]; then
   ./build/bench/bench_record --quick --csv results
   ./build/bench/bench_recovery --quick --csv results
   ./build/bench/bench_stream --quick --csv results
+  ./build/bench/bench_critpath --quick --csv results
   if command -v python3 >/dev/null 2>&1; then
     python3 scripts/bench_trend.py
   else
@@ -132,6 +142,35 @@ if [ "$run_stream" = 1 ]; then
   ./build/src/tools/monview --live results/stream_monitor.jsonl --once \
     >/dev/null
   ./build/bench/bench_stream --quick --csv results
+  if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/bench_trend.py
+  else
+    echo "bench_trend: python3 not found, skipping trajectory gate" >&2
+  fi
+fi
+
+if [ "$run_critpath" = 1 ]; then
+  # --test-dir for the same reason as the recovery lane: the ctest preset
+  # label filters would AND with -L critpath and hide the suite.
+  echo "== critpath lane: asan preset (label: critpath) =="
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs"
+  ctest --test-dir build-asan --output-on-failure -j "$jobs" -L critpath
+
+  echo "== critpath lane: tsan preset (label: critpath) =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs"
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L critpath
+
+  echo "== critpath lane: late-sender e2e + blame render + bench acceptance =="
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" \
+    --target stencil_reorder profview bench_critpath
+  mkdir -p results
+  ./build/examples/stencil_reorder >/dev/null
+  ./build/src/tools/profview --critical-path results/stencil_critpath.csv \
+    >/dev/null
+  ./build/bench/bench_critpath --quick --csv results
   if command -v python3 >/dev/null 2>&1; then
     python3 scripts/bench_trend.py
   else

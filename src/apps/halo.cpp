@@ -34,6 +34,8 @@ HaloResult run_halo(const mpi::Comm& comm, const HaloConfig& cfg) {
       edge_e[static_cast<std::size_t>(i)] =
           grid[static_cast<std::size_t>(i) * nn + nn - 1];
     }
+    if (myrank == cfg.slow_rank && cfg.slow_extra_s > 0.0)
+      mpi::compute(cfg.slow_extra_s);
     const double c0 = mpi::wtime();
     if (up >= 0) mpi::send(grid.data(), nn, mpi::Type::Double, up, 0, comm);
     if (down >= 0)

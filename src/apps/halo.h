@@ -15,6 +15,11 @@ struct HaloConfig {
   int local_n = 64;   ///< local block is local_n x local_n doubles
   int iters = 10;
   unsigned long seed = 3;
+  /// Computational imbalance injection: rank `slow_rank` (by comm rank)
+  /// burns `slow_extra_s` of extra virtual compute before each exchange,
+  /// turning it into a late sender for its grid neighbors. -1 disables.
+  int slow_rank = -1;
+  double slow_extra_s = 0.0;
 };
 
 struct HaloResult {

@@ -40,8 +40,15 @@ Engine::Engine(EngineConfig cfg)
                ? 1
                : cfg_.cost_model.topology().arities()[0]) {
   check(!cfg_.placement.empty(), "engine needs at least one rank");
-  if (const char* env = std::getenv("MPIM_TELEMETRY"))
-    hub_.set_enabled(env[0] != '\0' && env[0] != '0');
+  const auto tele_env = support::env_bool("MPIM_TELEMETRY");
+  if (tele_env.ok()) {
+    hub_.set_enabled(tele_env.value);
+  } else if (tele_env.invalid()) {
+    telemetry::log(telemetry::LogLevel::warn, -1, "engine",
+                   "ignoring invalid MPIM_TELEMETRY=\"" + tele_env.raw +
+                       "\" (want 0/1, true/false, on/off or yes/no); "
+                       "telemetry stays disabled");
+  }
   topo::validate_placement(cfg_.placement, cfg_.cost_model.topology());
 
   const int n = world_size();
@@ -361,6 +368,10 @@ void Engine::run(const std::function<void(Ctx&)>& rank_main) {
   nic_tx_busy_.assign(static_cast<std::size_t>(num_nodes), 0.0);
   nic_rx_busy_.assign(static_cast<std::size_t>(num_nodes), 0.0);
   alive_.store(n);
+  // After the per-run resets (the critpath governor reservation interns a
+  // tool object, which tool_objects_.clear() above would otherwise wipe)
+  // and before any rank thread exists.
+  if (crit_run_begin_hook_) crit_run_begin_hook_();
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n));
@@ -410,7 +421,10 @@ void Engine::run(const std::function<void(Ctx&)>& rank_main) {
   for (double c : final_clocks_) max_virtual_time_ = std::max(max_virtual_time_, c);
 
   // Before the rethrow: a failed run still gets its exporters finalized, so
-  // everything flushed up to the failure survives in the output.
+  // everything flushed up to the failure survives in the output. The
+  // critpath end hook runs first so the streaming plane's finalize can fold
+  // finished blame results into its findings.
+  if (crit_run_end_hook_) crit_run_end_hook_();
   if (run_end_hook_) run_end_hook_();
 
   if (first_error_) std::rethrow_exception(first_error_);
@@ -589,6 +603,10 @@ void Ctx::send_bytes(int dst_world, const Comm& comm, int tag, CommKind kind,
 
   PktInfo info{world_rank_, dst_world, bytes,  kind,
                tag,         comm.context_id(), clock_, faults.attempts};
+  // Stamped unconditionally (not just when a critpath observer is armed):
+  // host-side bookkeeping, so clocks stay bit-identical either way, and
+  // sequence numbers stay stable across profiler on/off runs.
+  info.send_seq = ++send_seq_;
   if (kind != CommKind::tool &&
       engine_->send_hook_armed_.load(std::memory_order_acquire)) {
     const int recorded = engine_->send_hook_(info, world_rank_);
@@ -650,7 +668,13 @@ void Ctx::send_bytes(int dst_world, const Comm& comm, int tag, CommKind kind,
     if (engine_->cfg_.enable_nic_counters && crosses)
       engine_->nic_.record_tx(engine_->topology().node_of(leaf_src), clock_,
                               bytes);
+    const double lost_tx_start = clock_;
     clock_ += tx + cost.send_overhead();
+    if (kind != CommKind::tool &&
+        engine_->crit_armed_.load(std::memory_order_acquire) &&
+        engine_->crit_hooks_.on_send)
+      engine_->crit_hooks_.on_send(world_rank_, info, info.send_time_s,
+                                   lost_tx_start, /*arrival=*/-1.0, clock_);
     epoch_check();
     return;
   }
@@ -678,6 +702,11 @@ void Ctx::send_bytes(int dst_world, const Comm& comm, int tag, CommKind kind,
 
   engine_->deliver(std::move(msg));
   clock_ = tx_start + tx + cost.send_overhead();
+  if (kind != CommKind::tool &&
+      engine_->crit_armed_.load(std::memory_order_acquire) &&
+      engine_->crit_hooks_.on_send)
+    engine_->crit_hooks_.on_send(world_rank_, info, info.send_time_s, tx_start,
+                                 arrival, clock_);
   epoch_check();
 }
 
@@ -787,6 +816,14 @@ bool Ctx::match_and_complete(int src_world, const Comm& comm, int tag,
                   std::min(capacity, it->info.bytes));
     const double completion =
         std::max(clock_, it->arrival_s) + engine_->cfg_.recv_overhead_s;
+    // Critpath observation before the clock assignment so the hook sees
+    // the pre-completion clock (the wait baseline). Runs under the rank
+    // mutex: the hook must be lock-free and never charge virtual time.
+    if (it->info.kind != CommKind::tool &&
+        engine_->crit_armed_.load(std::memory_order_acquire) &&
+        engine_->crit_hooks_.on_recv)
+      engine_->crit_hooks_.on_recv(world_rank_, it->info, clock_,
+                                   it->arrival_s, completion);
     clock_ = completion;
     if (status != nullptr)
       *status = Status{it->info.src_world, it->info.tag, it->info.bytes};

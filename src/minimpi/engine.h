@@ -57,6 +57,32 @@ struct PktInfo {
   /// Transmission attempts the fault plan charged for this message
   /// (1 = delivered first try; >1 means attempts-1 retransmissions).
   int attempts = 1;
+  /// Per-sender monotone sequence number (1-based), stamped on every send
+  /// regardless of observers. Together with src_world it names the
+  /// happens-before edge this packet carries, so the critical-path profiler
+  /// can join a receiver's completion back to the matching send event.
+  std::uint64_t send_seq = 0;
+};
+
+/// Happens-before observation hooks for the critical-path profiler
+/// (src/critpath). Both run on the acting rank's own thread, must never
+/// charge virtual time, and must not take locks that clock-advancing paths
+/// also take: on_recv fires while the receiving rank's inbox mutex is held.
+/// Times are virtual seconds.
+struct CritHooks {
+  /// After a send charged its costs. `tx_start` is when the wire transfer
+  /// began (>= t0 under NIC contention), `arrival` when the packet reaches
+  /// the receiver (< 0 for a transmission the fault plan lost), `t1` the
+  /// sender's clock after the send completed locally.
+  std::function<void(int rank, const PktInfo& pkt, double t0, double tx_start,
+                     double arrival, double t1)>
+      on_send;
+  /// At receive completion. `pre` is the receiver's clock when it matched,
+  /// `arrival` the packet arrival time, `t1` the completion clock
+  /// (max(pre, arrival) + recv_overhead).
+  std::function<void(int rank, const PktInfo& pkt, double pre, double arrival,
+                     double t1)>
+      on_recv;
 };
 
 /// Installed by the tool layer (mpit). Returns the number of monitoring
@@ -235,6 +261,38 @@ class Engine {
   }
   void* obs_plane() const { return obs_plane_.get(); }
 
+  /// Happens-before observers for the critical-path profiler. Installing
+  /// non-empty hooks arms a relaxed atomic gate in front of the send and
+  /// receive completion paths; disarmed, each costs one atomic load.
+  /// Install before run(); the hooks themselves never charge virtual time.
+  void set_crit_hooks(CritHooks hooks) {
+    crit_hooks_ = std::move(hooks);
+    crit_armed_.store(
+        static_cast<bool>(crit_hooks_.on_send) ||
+            static_cast<bool>(crit_hooks_.on_recv),
+        std::memory_order_release);
+  }
+
+  /// Ownership slot for the critical-path profiler, the crit analog of
+  /// set_obs_plane: survives run() calls, managed by
+  /// critpath::Profiler::attach.
+  void set_crit_plane(std::shared_ptr<void> plane) {
+    crit_plane_ = std::move(plane);
+  }
+  void* crit_plane() const { return crit_plane_.get(); }
+
+  /// Per-run lifecycle for the critical-path profiler, separate from the
+  /// single-slot run begin/end hooks the streaming plane owns. The begin
+  /// hook fires after per-run state resets (tool objects cleared) and
+  /// before rank threads exist; the end hook fires after every rank thread
+  /// is joined and BEFORE the streaming plane's run-end hook, so the plane
+  /// can fold finished critpath results into its findings.
+  void set_crit_run_hooks(std::function<void()> begin,
+                          std::function<void()> end) {
+    crit_run_begin_hook_ = std::move(begin);
+    crit_run_end_hook_ = std::move(end);
+  }
+
   /// Spawns one thread per rank, runs `rank_main` in each, joins, and
   /// rethrows the first exception any rank raised.
   void run(const std::function<void(Ctx&)>& rank_main);
@@ -375,6 +433,11 @@ class Engine {
   std::function<void()> run_begin_hook_;
   std::function<void()> run_end_hook_;
   std::shared_ptr<void> obs_plane_;
+  CritHooks crit_hooks_;
+  std::atomic<bool> crit_armed_{false};
+  std::shared_ptr<void> crit_plane_;
+  std::function<void()> crit_run_begin_hook_;
+  std::function<void()> crit_run_end_hook_;
   void* tool_runtime_ = nullptr;
   net::NicCounters nic_;
   Comm world_comm_;
@@ -552,6 +615,9 @@ class Ctx {
   /// hook is installed (set up by Engine::run per rank thread).
   double next_epoch_s_ = std::numeric_limits<double>::infinity();
   Rng noise_rng_{0};
+  /// Monotone per-sender packet counter backing PktInfo::send_seq. Host
+  /// bookkeeping only: stamping it charges no virtual time.
+  std::uint64_t send_seq_ = 0;
   std::unordered_map<int, std::uint32_t> coll_seq_;
   std::unordered_map<int, std::uint32_t> mgmt_seq_;
   /// context id -> group-rank bitmap of acked failures (rank-local state,

@@ -1,0 +1,22 @@
+// Governor glue for the causal critical-path profiler.
+//
+// critpath sits below mpimon in the link order, so it cannot reach the
+// degradation governor itself; its Config::reserve seam exists for exactly
+// this wiring. attach_critpath fills the seam with the engine's governor
+// (Governor::of, interned fresh per run) and attaches the profiler: at
+// every run begin the profiler's event-ring reservation goes through the
+// governor's shed ladder, a trimmed grant shrinks the rings and a refusal
+// switches the profiler to blame-only mode.
+#pragma once
+
+#include "critpath/critpath.h"
+
+namespace mpim::mon {
+
+/// Attaches a critical-path profiler to `engine` with cfg.reserve wired to
+/// the engine's degradation governor (unless the caller already set it).
+/// Call before Engine::run, like critpath::Profiler::attach.
+std::shared_ptr<critpath::Profiler> attach_critpath(mpi::Engine& engine,
+                                                    critpath::Config cfg = {});
+
+}  // namespace mpim::mon

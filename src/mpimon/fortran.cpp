@@ -138,4 +138,30 @@ void mpi_m_rootflush_(const int* msid, const int* root, const char* filename,
                           fstring(filename, filename_len).c_str(), *flags);
 }
 
+void mpi_m_critpath_start_(int* ierr) { *ierr = MPI_M_critpath_start(); }
+
+void mpi_m_critpath_stop_(int* ierr) { *ierr = MPI_M_critpath_stop(); }
+
+void mpi_m_critpath_info_(int* events, int* dropped, int* blame_only,
+                          int* ierr) {
+  *ierr = MPI_M_critpath_info(events, dropped, blame_only);
+}
+
+void mpi_m_critpath_classes_(unsigned long* late_sender_ns,
+                             unsigned long* late_receiver_ns,
+                             unsigned long* wait_collective_ns,
+                             unsigned long* root_imbalance_ns, int* ierr) {
+  *ierr = MPI_M_critpath_classes(late_sender_ns, late_receiver_ns,
+                                 wait_collective_ns, root_imbalance_ns);
+}
+
+void mpi_m_critpath_waits_(unsigned long* wait_ns, const int* capacity,
+                           int* count, int* ierr) {
+  *ierr = MPI_M_critpath_waits(wait_ns, *capacity, count);
+}
+
+void mpi_m_critpath_dominant_(int* peer, unsigned long* wait_ns, int* ierr) {
+  *ierr = MPI_M_critpath_dominant(peer, wait_ns);
+}
+
 }  // extern "C"

@@ -56,5 +56,16 @@ void mpi_m_flush_(const int* msid, const char* filename, const int* flags,
                   int* ierr, int filename_len);
 void mpi_m_rootflush_(const int* msid, const int* root, const char* filename,
                       const int* flags, int* ierr, int filename_len);
+void mpi_m_critpath_start_(int* ierr);
+void mpi_m_critpath_stop_(int* ierr);
+void mpi_m_critpath_info_(int* events, int* dropped, int* blame_only,
+                          int* ierr);
+void mpi_m_critpath_classes_(unsigned long* late_sender_ns,
+                             unsigned long* late_receiver_ns,
+                             unsigned long* wait_collective_ns,
+                             unsigned long* root_imbalance_ns, int* ierr);
+void mpi_m_critpath_waits_(unsigned long* wait_ns, const int* capacity,
+                           int* count, int* ierr);
+void mpi_m_critpath_dominant_(int* peer, unsigned long* wait_ns, int* ierr);
 
 }  // extern "C"

@@ -1,10 +1,12 @@
 #include "mpimon/governor.h"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <string>
 
 #include "minimpi/engine.h"
+#include "mpimon/critpath_attach.h"
 #include "obsplane/plane.h"
 #include "support/env.h"
 #include "telemetry/hub.h"
@@ -182,6 +184,23 @@ void Governor::report_overhead(int rank, double overhead_s, double span_s) {
           "never un-charged: clocks stay deterministic)");
   std::lock_guard lock(mx_);
   if (shed_level_.load(std::memory_order_relaxed) < 1) shed_step_locked(rank);
+}
+
+std::shared_ptr<critpath::Profiler> attach_critpath(mpi::Engine& engine,
+                                                    critpath::Config cfg) {
+  if (!cfg.reserve) {
+    mpi::Engine* e = &engine;
+    cfg.reserve = [e](std::size_t want_frames,
+                      std::uint64_t frame_bytes) -> std::size_t {
+      constexpr std::size_t kIntMax =
+          static_cast<std::size_t>(std::numeric_limits<int>::max());
+      const int want =
+          static_cast<int>(std::min(want_frames, kIntMax));
+      const int granted = Governor::of(*e).reserve_frames(0, want, frame_bytes);
+      return granted > 0 ? static_cast<std::size_t>(granted) : 0;
+    };
+  }
+  return critpath::Profiler::attach(engine, std::move(cfg));
 }
 
 }  // namespace mpim::mon

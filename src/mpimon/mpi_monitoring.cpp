@@ -6,11 +6,13 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "critpath/critpath.h"
 #include "introspect/analyzer.h"
 #include "introspect/snapshot.h"
 #include "minimpi/coll.h"
@@ -200,6 +202,7 @@ const char* MPI_M_error_string(int code) {
     case MPI_M_INVALID_FLAGS: return "MPI_M_INVALID_FLAGS";
     case MPI_M_PARTIAL_DATA: return "MPI_M_PARTIAL_DATA";
     case MPI_M_NO_SNAPSHOT: return "MPI_M_NO_SNAPSHOT";
+    case MPI_M_NO_CRITPATH: return "MPI_M_NO_CRITPATH";
     default: return "(unknown MPI_M error code)";
   }
 }
@@ -1274,6 +1277,105 @@ int MPI_M_rootflush(MPI_M_msid msid, int root, const char* filename,
       tele().add(tele().ids().mon_partial_data, tele_rank());
       return MPI_M_PARTIAL_DATA;
     }
+    return MPI_M_SUCCESS;
+  });
+}
+
+// --- causal critical-path profiler ------------------------------------------
+
+namespace {
+
+/// The engine's attached profiler, or nullptr. Rank thread only.
+mpim::critpath::Profiler* crit_profiler() {
+  return mpim::critpath::Profiler::attached(Ctx::current().engine());
+}
+
+unsigned long clamp_ul(std::uint64_t v) {
+  return static_cast<unsigned long>(v);
+}
+
+}  // namespace
+
+int MPI_M_critpath_start() {
+  return guarded([&] {
+    mpim::critpath::Profiler* p = crit_profiler();
+    if (p == nullptr) return MPI_M_NO_CRITPATH;
+    p->arm(Ctx::current().world_rank(), true);
+    return MPI_M_SUCCESS;
+  });
+}
+
+int MPI_M_critpath_stop() {
+  return guarded([&] {
+    mpim::critpath::Profiler* p = crit_profiler();
+    if (p == nullptr) return MPI_M_NO_CRITPATH;
+    p->arm(Ctx::current().world_rank(), false);
+    return MPI_M_SUCCESS;
+  });
+}
+
+int MPI_M_critpath_info(int* events, int* dropped, int* blame_only) {
+  return guarded([&] {
+    mpim::critpath::Profiler* p = crit_profiler();
+    if (p == nullptr) return MPI_M_NO_CRITPATH;
+    const auto totals = p->local_totals(Ctx::current().world_rank());
+    constexpr std::uint64_t kIntMax =
+        static_cast<std::uint64_t>(std::numeric_limits<int>::max());
+    if (events != nullptr)
+      *events = static_cast<int>(std::min(totals.events, kIntMax));
+    if (dropped != nullptr)
+      *dropped = static_cast<int>(std::min(totals.dropped, kIntMax));
+    if (blame_only != nullptr) *blame_only = p->blame_only() ? 1 : 0;
+    return MPI_M_SUCCESS;
+  });
+}
+
+int MPI_M_critpath_classes(unsigned long* late_sender_ns,
+                           unsigned long* late_receiver_ns,
+                           unsigned long* wait_collective_ns,
+                           unsigned long* root_imbalance_ns) {
+  return guarded([&] {
+    mpim::critpath::Profiler* p = crit_profiler();
+    if (p == nullptr) return MPI_M_NO_CRITPATH;
+    const auto totals = p->local_totals(Ctx::current().world_rank());
+    using namespace mpim::critpath;
+    if (late_sender_ns != nullptr)
+      *late_sender_ns = clamp_ul(totals.class_ns[kClassLateSender]);
+    if (late_receiver_ns != nullptr)
+      *late_receiver_ns = clamp_ul(totals.class_ns[kClassLateReceiver]);
+    if (wait_collective_ns != nullptr)
+      *wait_collective_ns = clamp_ul(totals.class_ns[kClassWaitCollective]);
+    if (root_imbalance_ns != nullptr)
+      *root_imbalance_ns = clamp_ul(totals.class_ns[kClassRootImbalance]);
+    return MPI_M_SUCCESS;
+  });
+}
+
+int MPI_M_critpath_waits(unsigned long* wait_ns, int capacity, int* count) {
+  if (capacity < 0) return MPI_M_INTERNAL_FAIL;
+  return guarded([&] {
+    mpim::critpath::Profiler* p = crit_profiler();
+    if (p == nullptr) return MPI_M_NO_CRITPATH;
+    const auto waits = p->local_waits_by_peer(Ctx::current().world_rank());
+    if (count != nullptr) *count = static_cast<int>(waits.size());
+    if (wait_ns != nullptr) {
+      const std::size_t n =
+          std::min(waits.size(), static_cast<std::size_t>(capacity));
+      for (std::size_t i = 0; i < n; ++i) wait_ns[i] = clamp_ul(waits[i]);
+    }
+    return MPI_M_SUCCESS;
+  });
+}
+
+int MPI_M_critpath_dominant(int* peer, unsigned long* wait_ns) {
+  return guarded([&] {
+    mpim::critpath::Profiler* p = crit_profiler();
+    if (p == nullptr) return MPI_M_NO_CRITPATH;
+    int dom = -1;
+    std::uint64_t dom_ns = 0;
+    p->local_dominant(Ctx::current().world_rank(), &dom, &dom_ns);
+    if (peer != nullptr) *peer = dom;
+    if (wait_ns != nullptr) *wait_ns = clamp_ul(dom_ns);
     return MPI_M_SUCCESS;
   });
 }

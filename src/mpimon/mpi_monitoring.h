@@ -83,6 +83,9 @@ inline constexpr int MPI_M_PARTIAL_DATA = 11;
 /// sampler attached (MPI_M_snapshot_start not called, or already stopped
 /// where a running snapshot is required).
 inline constexpr int MPI_M_NO_SNAPSHOT = 12;
+/// A critpath operation was called but no critical-path profiler is
+/// attached to the engine (mon::attach_critpath before run()).
+inline constexpr int MPI_M_NO_CRITPATH = 13;
 
 /// Sentinel filling the rows of contributors that could not be gathered
 /// (crashed or timed-out ranks) when a gather returns MPI_M_PARTIAL_DATA.
@@ -218,6 +221,37 @@ int MPI_M_get_frames(MPI_M_msid msid, int max_frames, int* nframes,
 /// Each process writes its own row to "<filename>.<rank>.prof" (rank in the
 /// session communicator).
 int MPI_M_flush(MPI_M_msid msid, const char* filename, int flags);
+
+// --- causal critical-path profiler (src/critpath) ----------------------------
+//
+// All calls are local to the calling rank (no traffic, no virtual cost)
+// and require a profiler attached to the engine before run() -- see
+// mon::attach_critpath (src/mpimon/critpath_attach.h) -- else they return
+// MPI_M_NO_CRITPATH. Capture never charges virtual time: clocks are
+// bit-identical with the profiler armed or not.
+
+/// Arms wait-state and event capture for the calling rank's lane (lanes
+/// start armed by default; see critpath::Config::start_armed).
+int MPI_M_critpath_start();
+/// Disarms the calling rank's lane; accumulated data stays readable.
+int MPI_M_critpath_stop();
+/// Local capture counters of the calling rank: events captured, ring
+/// evictions, and whether the governor forced blame-only mode (0/1).
+/// Any output may be MPI_M_INT_IGNORE.
+int MPI_M_critpath_info(int* events, int* dropped, int* blame_only);
+/// Calling rank's classified wait time per wait-state class, virtual
+/// nanoseconds. Any output may be MPI_M_DATA_IGNORE.
+int MPI_M_critpath_classes(unsigned long* late_sender_ns,
+                           unsigned long* late_receiver_ns,
+                           unsigned long* wait_collective_ns,
+                           unsigned long* root_imbalance_ns);
+/// Calling rank's wait charged to each world peer, virtual nanoseconds.
+/// Writes up to `capacity` entries to `wait_ns` (may be
+/// MPI_M_DATA_IGNORE) and the world size to `count` (MPI_M_INT_IGNORE ok).
+int MPI_M_critpath_waits(unsigned long* wait_ns, int capacity, int* count);
+/// Peer the calling rank waited longest on (-1 when it never waited) and
+/// that wait in virtual nanoseconds.
+int MPI_M_critpath_dominant(int* peer, unsigned long* wait_ns);
 
 /// `root` gathers everything and writes "<filename>_counts.<rank>.prof" and
 /// "<filename>_sizes.<rank>.prof" (rank of root in MPI_COMM_WORLD).

@@ -13,7 +13,7 @@ namespace {
 // Telemetry names must match the registry catalog in telemetry/hub.cpp:
 // handle_alloc resolves the backing metric by this exact name.
 constexpr mpi::CommKind kTele = mpi::CommKind::tool;  // class marker only
-constexpr std::array<PvarInfo, 47> kPvars{{
+constexpr std::array<PvarInfo, 56> kPvars{{
     {"pml_monitoring_messages_count",
      "number of point-to-point messages sent per peer",
      mpi::CommKind::p2p, false, PvarClass::peer_monitoring},
@@ -144,6 +144,34 @@ constexpr std::array<PvarInfo, 47> kPvars{{
      kTele, true, PvarClass::telemetry},
     {"mpim_obsplane_window_merge",
      "epochs merged per store bucket (doubles per governor widen step)",
+     kTele, false, PvarClass::telemetry},
+    // --- causal critical-path profiler, appended PR 8 ---
+    {"mpim_critpath_events_total",
+     "happens-before events captured by the critical-path profiler",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_critpath_events_dropped_total",
+     "critpath events evicted from the bounded per-rank ring",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_critpath_wait_ns_total",
+     "classified wait time charged at receive completions, virtual ns",
+     kTele, true, PvarClass::telemetry},
+    {"mpim_critpath_late_sender_ns_total",
+     "late-sender wait time, virtual ns",
+     kTele, true, PvarClass::telemetry},
+    {"mpim_critpath_late_receiver_ns_total",
+     "late-receiver inbox dwell time, virtual ns",
+     kTele, true, PvarClass::telemetry},
+    {"mpim_critpath_wait_collective_ns_total",
+     "wait-at-collective time, virtual ns",
+     kTele, true, PvarClass::telemetry},
+    {"mpim_critpath_root_imbalance_ns_total",
+     "imbalance-at-root wait time, virtual ns",
+     kTele, true, PvarClass::telemetry},
+    {"mpim_critpath_extractions_total",
+     "backward critical-path extractions completed",
+     kTele, false, PvarClass::telemetry},
+    {"mpim_critpath_blame_only",
+     "1 when the governor refused event rings (accumulators only)",
      kTele, false, PvarClass::telemetry},
 }};
 

@@ -11,6 +11,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "critpath/critpath.h"
 #include "fault/fault_plan.h"
 #include "introspect/analyzer.h"
 #include "introspect/snapshot.h"
@@ -38,6 +39,8 @@ constexpr const char* kSlotNames[kAllSlots] = {
     "reorder_applied",
     "reorder_identity",
     "introspect_boundaries",
+    "critpath_events",
+    "critpath_wait_ns",
     "collectives",
 };
 
@@ -84,7 +87,8 @@ Plane::Plane(mpi::Engine& engine, PlaneConfig cfg)
                ids.fault_crashes,     ids.mon_gather_timeouts,
                ids.mon_dead_skips,    ids.mon_rebinds,
                ids.reorder_applied,   ids.reorder_identity,
-               ids.introspect_boundaries};
+               ids.introspect_boundaries,
+               ids.critpath_events,   ids.critpath_wait_ns};
 
   producers_.reserve(static_cast<std::size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r)
@@ -136,11 +140,18 @@ std::shared_ptr<Plane> Plane::attach(mpi::Engine& engine, PlaneConfig cfg) {
 }
 
 std::shared_ptr<Plane> Plane::attach_from_env(mpi::Engine& engine) {
-  const char* path = std::getenv("MPIM_STREAM_FILE");
-  if (path == nullptr || *path == '\0') return nullptr;
+  const auto path = support::env_nonempty_string("MPIM_STREAM_FILE");
+  if (path.invalid()) {
+    telemetry::log(telemetry::LogLevel::warn, -1, "obsplane",
+                   "ignoring invalid MPIM_STREAM_FILE=\"" + path.raw +
+                       "\" (want a file path with at least one non-space "
+                       "character); streaming stays off");
+    return nullptr;
+  }
+  if (!path.ok()) return nullptr;
   if (engine.obs_plane()) return nullptr;
   PlaneConfig cfg;
-  cfg.stream_path = path;
+  cfg.stream_path = path.value;
   const auto eps = support::env_positive_double("MPIM_STREAM_EPOCH_S");
   if (eps.ok()) {
     cfg.epoch_s = eps.value;
@@ -150,9 +161,15 @@ std::shared_ptr<Plane> Plane::attach_from_env(mpi::Engine& engine) {
                        "\" (want a positive number of virtual seconds); "
                        "using default");
   }
-  if (const char* prom = std::getenv("MPIM_PROM_FILE");
-      prom != nullptr && *prom != '\0')
-    cfg.prom_path = prom;
+  const auto prom = support::env_nonempty_string("MPIM_PROM_FILE");
+  if (prom.ok()) {
+    cfg.prom_path = prom.value;
+  } else if (prom.invalid()) {
+    telemetry::log(telemetry::LogLevel::warn, -1, "obsplane",
+                   "ignoring invalid MPIM_PROM_FILE=\"" + prom.raw +
+                       "\" (want a file path with at least one non-space "
+                       "character); exposition stays off");
+  }
   return attach(engine, std::move(cfg));
 }
 
@@ -577,6 +594,43 @@ void Plane::finalize() {
   }
 
   findings_ = correlate(build_correlate_input_locked());
+  // Fold in the critical-path profiler's blame verdicts (the crit run-end
+  // hook fires before this one, so the report is already finalized).
+  if (critpath::Profiler* prof = critpath::Profiler::attached(engine_)) {
+    const critpath::BlameReport& rep = prof->report();
+    if (rep.valid && rep.dominant_rank >= 0 && rep.total_wait_ns > 0) {
+      Finding f;
+      f.kind = "wait_state_dominant";
+      f.subject = "rank " + std::to_string(rep.dominant_rank);
+      f.e0 = 0;
+      f.e1 = emitted_upto_;
+      f.text = "critpath: rank " + std::to_string(rep.dominant_rank) +
+               " causes the most waiting (" +
+               std::to_string(
+                   rep.ranks[static_cast<std::size_t>(rep.dominant_rank)]
+                       .caused_ns) +
+               " ns charged to peers); dominant wait state " +
+               critpath::wait_class_name(rep.dominant_class) + ", " +
+               std::to_string(rep.total_wait_ns) + " ns waited in total" +
+               (rep.blame_only ? " [blame-only: rings refused]" : "");
+      findings_.push_back(std::move(f));
+    }
+    if (rep.valid && rep.critical_link.wait_ns > 0) {
+      const critpath::LinkBlame& lb = rep.critical_link;
+      Finding f;
+      f.kind = "critical_link";
+      f.subject = "link " + std::to_string(lb.src) + "->" +
+                  std::to_string(lb.dst);
+      f.e0 = 0;
+      f.e1 = emitted_upto_;
+      f.text = "critpath: link " + std::to_string(lb.src) + "->" +
+               std::to_string(lb.dst) + " carries the largest wait (" +
+               std::to_string(lb.wait_ns) + " ns over " +
+               std::to_string(lb.bytes) + " bytes" +
+               (lb.cross_node ? ", cross-node)" : ", intra-node)");
+      findings_.push_back(std::move(f));
+    }
+  }
   auto& hub = engine_.telemetry();
   for (const Finding& f : findings_) {
     telemetry::log(telemetry::LogLevel::info, -1, "obsplane", f.text);

@@ -54,7 +54,7 @@ namespace mpim::obsplane {
 /// Number of registry-backed metric slots the plane tracks per rank, plus
 /// one synthetic slot (collective spans counted at the sink). Slot order is
 /// fixed; see kSlotNames in plane.cpp.
-inline constexpr int kMetricSlots = 13;
+inline constexpr int kMetricSlots = 15;
 inline constexpr int kSlotCollectives = kMetricSlots;  // synthetic
 inline constexpr int kAllSlots = kMetricSlots + 1;
 

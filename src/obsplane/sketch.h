@@ -36,9 +36,14 @@ class Log2Hist {
   }
 
   void merge(const Log2Hist& other) {
-    for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
-    count_ += other.count_;
-    sum_ += other.sum_;
+    // Saturating adds: folding many long-lived shards must never wrap a
+    // counter back toward zero and invert the quantile bounds.
+    for (int i = 0; i < kBuckets; ++i)
+      buckets_[static_cast<std::size_t>(i)] = sat_add(
+          buckets_[static_cast<std::size_t>(i)],
+          other.buckets_[static_cast<std::size_t>(i)]);
+    count_ = sat_add(count_, other.count_);
+    sum_ = sat_add(sum_, other.sum_);
   }
 
   std::uint64_t count() const { return count_; }
@@ -79,6 +84,10 @@ class Log2Hist {
   }
 
  private:
+  static std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+    return a > ~0ull - b ? ~0ull : a + b;
+  }
+
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <ctime>
 
+#include "critpath/critpath.h"
 #include "minimpi/coll.h"
 #include "minimpi/engine.h"
 #include "mpimon/mpi_monitoring.h"
@@ -292,6 +293,13 @@ int agree_max_boundaries(mpi::Ctx& ctx, const mpi::Comm& comm,
 
 ReorderResult reorder_on_phase(int msid, const mpi::Comm& comm,
                                int* seen_boundaries, bool* triggered) {
+  return reorder_on_phase(msid, comm, seen_boundaries, triggered,
+                          PhaseReorderOptions{});
+}
+
+ReorderResult reorder_on_phase(int msid, const mpi::Comm& comm,
+                               int* seen_boundaries, bool* triggered,
+                               const PhaseReorderOptions& opts) {
   check(seen_boundaries != nullptr, "seen_boundaries must not be null");
   mpi::Ctx& ctx = mpi::Ctx::current();
   mon::check_rc(MPI_M_suspend(msid), "MPI_M_suspend");
@@ -304,11 +312,43 @@ ReorderResult reorder_on_phase(int msid, const mpi::Comm& comm,
   // Every alive rank sees the same `global`, so the trigger decision is
   // consistent as long as the caller-owned counters are (they start at 0
   // and only ever advance to an agreed value).
-  const bool fire = global > *seen_boundaries;
+  bool fire = global > *seen_boundaries;
+  if (fire) *seen_boundaries = global;
+
+  const bool consult_critpath =
+      opts.use_critpath_mismatch &&
+      ctx.engine().config().fault_plan == nullptr;
+  if (consult_critpath) {
+    // The agreement collective runs whether or not a profiler is attached
+    // (all-zero contributions without one), so the trigger option never
+    // perturbs virtual clocks: profiler on and off are bit-identical.
+    critpath::Profiler* prof = critpath::Profiler::attached(ctx.engine());
+    const int myrank = ctx.world_rank();
+    unsigned long local_ns[2] = {0, 0};
+    if (prof != nullptr) {
+      local_ns[0] =
+          static_cast<unsigned long>(prof->mismatch_since_mark(myrank));
+      local_ns[1] = static_cast<unsigned long>(prof->wait_since_mark(myrank));
+    }
+    unsigned long sum_ns[2] = {0, 0};
+    mpi::coll::allreduce(ctx, local_ns, sum_ns, 2, mpi::Type::UnsignedLong,
+                         mpi::Op::Sum, comm, mpi::CommKind::tool);
+    if (!fire && sum_ns[1] > opts.min_wait_ns &&
+        2 * sum_ns[0] > sum_ns[1]) {
+      fire = true;
+      telemetry::log(telemetry::LogLevel::info, myrank, "reorder",
+                     "critpath mismatch trigger: " +
+                         std::to_string(sum_ns[0]) + " of " +
+                         std::to_string(sum_ns[1]) +
+                         " ns waited on cross-node messages since last mark");
+    }
+    // Marks advance on every firing (whatever tripped it) so the next
+    // window accumulates from a clean baseline on every rank.
+    if (fire && prof != nullptr) prof->mark(myrank);
+  }
 
   ReorderResult out;
   if (fire) {
-    *seen_boundaries = global;
     out = reorder_ranks(msid, comm);
   } else {
     out.opt_comm = comm;

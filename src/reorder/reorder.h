@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -90,6 +91,31 @@ ReorderResult reorder_ranks(int msid, const mpi::Comm& comm);
 ReorderResult reorder_on_phase(int msid, const mpi::Comm& comm,
                                int* seen_boundaries,
                                bool* triggered = nullptr);
+
+/// Extra triggers for reorder_on_phase.
+struct PhaseReorderOptions {
+  /// Also consult the critical-path profiler (critpath::Profiler attached
+  /// to the engine): reorder when the wait blamed on *cross-node* messages
+  /// (the topology-mismatch share) dominates the total classified wait
+  /// accumulated since the last firing -- 2 * mismatch > wait with
+  /// wait > min_wait_ns, agreed across `comm` with a tool-class allreduce.
+  /// The agreement traffic runs whether or not a profiler is attached
+  /// (zeros without one), so virtual clocks are bit-identical profiler on
+  /// or off. Ignored under a fault plan (the extra collective would hang
+  /// on dead ranks; the boundary trigger already degrades gracefully).
+  bool use_critpath_mismatch = false;
+  /// Wait floor (virtual ns, summed over `comm`) below which the mismatch
+  /// trigger never fires.
+  std::uint64_t min_wait_ns = 1000;
+};
+
+/// reorder_on_phase with extra triggers. Fires on a new phase boundary OR
+/// on critpath mismatch dominance (see PhaseReorderOptions); after any
+/// firing every rank's critpath mark is advanced so the next window starts
+/// clean.
+ReorderResult reorder_on_phase(int msid, const mpi::Comm& comm,
+                               int* seen_boundaries, bool* triggered,
+                               const PhaseReorderOptions& opts);
 
 /// Convenience: runs `monitored_step` under a fresh session (the paper's
 /// "first iteration"), then performs the reordering step above.

@@ -83,4 +83,33 @@ EnvValue<int> env_choice(const char* name, const char* const* choices,
   return out;
 }
 
+EnvValue<bool> env_bool(const char* name) {
+  static const char* const kWords[] = {"0",  "1",   "false", "true",
+                                       "off", "on",  "no",    "yes"};
+  const EnvValue<int> word = env_choice(name, kWords, 8);
+  EnvValue<bool> out;
+  out.raw = word.raw;
+  out.status = word.ok() ? EnvValue<bool>::Status::ok
+               : word.invalid() ? EnvValue<bool>::Status::invalid
+                                : EnvValue<bool>::Status::unset;
+  if (word.ok()) out.value = (word.value % 2) == 1;  // odd indices are truthy
+  return out;
+}
+
+EnvValue<std::string> env_nonempty_string(const char* name) {
+  EnvValue<std::string> out;
+  const char* env = std::getenv(name);
+  if (env == nullptr) return out;
+  out.raw = env;
+  out.status = EnvValue<std::string>::Status::invalid;
+  for (const char* p = env; *p != '\0'; ++p) {
+    if (std::isspace(static_cast<unsigned char>(*p)) == 0) {
+      out.status = EnvValue<std::string>::Status::ok;
+      out.value = env;
+      return out;
+    }
+  }
+  return out;
+}
+
 }  // namespace mpim::support

@@ -46,4 +46,15 @@ EnvValue<std::uint64_t> env_positive_u64(const char* name);
 EnvValue<int> env_choice(const char* name, const char* const* choices,
                          int num_choices);
 
+/// Parses `name` as a boolean switch: 0/1, true/false, on/off, yes/no
+/// (case-insensitive, surrounding whitespace tolerated). Anything else --
+/// "2", "enable", empty strings -- is invalid.
+EnvValue<bool> env_bool(const char* name);
+
+/// Accepts `name` as a file path: any string with at least one
+/// non-whitespace character. Empty and whitespace-only values are invalid
+/// (they would silently create a file named "" or " "); `value` keeps the
+/// text verbatim, untrimmed, so relative paths with spaces still work.
+EnvValue<std::string> env_nonempty_string(const char* name);
+
 }  // namespace mpim::support

@@ -145,6 +145,34 @@ Hub::Hub(int nranks, std::size_t span_capacity)
   ids_.obsplane_window_merge = reg.define_gauge(
       "mpim_obsplane_window_merge",
       "epochs merged per store bucket (doubles per governor widen step)");
+
+  ids_.critpath_events = reg.define_counter(
+      "mpim_critpath_events_total",
+      "happens-before events captured by the critical-path profiler");
+  ids_.critpath_dropped = reg.define_counter(
+      "mpim_critpath_events_dropped_total",
+      "critpath events evicted from the bounded per-rank ring");
+  ids_.critpath_wait_ns = reg.define_counter(
+      "mpim_critpath_wait_ns_total",
+      "classified wait time charged at receive completions, virtual ns");
+  ids_.critpath_late_sender_ns = reg.define_counter(
+      "mpim_critpath_late_sender_ns_total",
+      "late-sender wait time, virtual ns");
+  ids_.critpath_late_receiver_ns = reg.define_counter(
+      "mpim_critpath_late_receiver_ns_total",
+      "late-receiver inbox dwell time, virtual ns");
+  ids_.critpath_wait_collective_ns = reg.define_counter(
+      "mpim_critpath_wait_collective_ns_total",
+      "wait-at-collective time, virtual ns");
+  ids_.critpath_root_imbalance_ns = reg.define_counter(
+      "mpim_critpath_root_imbalance_ns_total",
+      "imbalance-at-root wait time, virtual ns");
+  ids_.critpath_extractions = reg.define_counter(
+      "mpim_critpath_extractions_total",
+      "backward critical-path extractions completed");
+  ids_.critpath_blame_only = reg.define_gauge(
+      "mpim_critpath_blame_only",
+      "1 when the governor refused event rings (accumulators only)");
 }
 
 void Hub::set_span_soft_capacity(std::size_t cap) {

@@ -88,6 +88,16 @@ struct StdIds {
   int obsplane_series = -1;        ///< gauge: live (rank, metric) series
   int obsplane_mem_bytes = -1;     ///< gauge: plane working-set bytes
   int obsplane_window_merge = -1;  ///< gauge: epochs merged per bucket
+  // causal critical-path profiler (src/critpath)
+  int critpath_events = -1;        ///< counter: happens-before events captured
+  int critpath_dropped = -1;       ///< counter: ring evictions
+  int critpath_wait_ns = -1;       ///< counter: classified wait, virtual ns
+  int critpath_late_sender_ns = -1;      ///< counter: late-sender wait ns
+  int critpath_late_receiver_ns = -1;    ///< counter: inbox dwell ns
+  int critpath_wait_collective_ns = -1;  ///< counter: wait-at-collective ns
+  int critpath_root_imbalance_ns = -1;   ///< counter: imbalance-at-root ns
+  int critpath_extractions = -1;   ///< counter: backward path extractions
+  int critpath_blame_only = -1;    ///< gauge: 1 when rings were refused
 };
 
 class Hub {

@@ -68,6 +68,15 @@ int run_timeline(int argc, char** argv, int first) {
   return 0;
 }
 
+int run_critpath(int argc, char** argv, int first) {
+  if (first >= argc) {
+    std::fprintf(stderr, "--critical-path needs <critpath.csv>\n");
+    return 2;
+  }
+  mpim::tools::report_critpath(argv[first], std::cout);
+  return 0;
+}
+
 bool invoked_as_monview(const char* argv0) {
   const char* slash = std::strrchr(argv0, '/');
   const char* base = slash ? slash + 1 : argv0;
@@ -84,28 +93,34 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s <metrics.csv> [spans.csv]\n"
                    "       %s --timeline <frames.csv>\n"
+                   "       %s --critical-path <critpath.csv>\n"
                    "       %s --live <stream.jsonl> [--once] "
                    "[--interval-ms N]\n",
-                   argv[0], argv[0], argv[0]);
+                   argv[0], argv[0], argv[0], argv[0]);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--matrix] <file.prof>\n"
                    "       %s --report <metrics.csv> [spans.csv]\n"
                    "       %s --timeline <frames.csv>\n"
+                   "       %s --critical-path <critpath.csv>\n"
                    "       %s --live <stream.jsonl> [--once] "
                    "[--interval-ms N]\n"
                    "  default: per-rank profile (MPI_M_flush output)\n"
                    "  --matrix: n x n matrix (MPI_M_rootflush output)\n"
                    "  --report: telemetry metrics/span report (monview)\n"
                    "  --timeline: per-window snapshot timeline + heatmap\n"
+                   "  --critical-path: blame shares + wait states + path "
+                   "lanes (critpath csv)\n"
                    "  --live: dashboard over an MPIM_STREAM_FILE JSONL\n",
-                   argv[0], argv[0], argv[0], argv[0]);
+                   argv[0], argv[0], argv[0], argv[0], argv[0]);
     }
     return 2;
   }
   try {
     if (std::strcmp(argv[1], "--timeline") == 0)
       return run_timeline(argc, argv, 2);
+    if (std::strcmp(argv[1], "--critical-path") == 0)
+      return run_critpath(argc, argv, 2);
     if (std::strcmp(argv[1], "--live") == 0) return run_live(argc, argv, 2);
     if (monview) return run_report(argc, argv, 1);
     if (std::strcmp(argv[1], "--report") == 0)

@@ -122,12 +122,21 @@ void report_metrics(const std::string& path, std::ostream& os) {
 
 void report_spans(const std::string& path, std::ostream& os) {
   std::ifstream is(path);
-  check(is.good(), "cannot open spans csv: " + path);
+  if (!is.good()) {
+    os << "\nspans: cannot open " << path << "; skipping span report\n";
+    return;
+  }
   std::string line;
-  check(static_cast<bool>(std::getline(is, line)),
-        "empty spans csv: " + path);
-  check(line == "rank,name,cat,depth,t0_s,t1_s,a,b",
-        "not a telemetry spans csv (bad header): " + path);
+  if (!std::getline(is, line)) {
+    os << "\nspans: " << path << " is empty; skipping span report\n";
+    return;
+  }
+  if (line != "rank,name,cat,depth,t0_s,t1_s,a,b") {
+    os << "\nspans: " << path
+       << " is not a telemetry spans csv (bad header); skipping span "
+          "report\n";
+    return;
+  }
 
   struct Roll {
     long long count = 0;
@@ -135,21 +144,246 @@ void report_spans(const std::string& path, std::ostream& os) {
   };
   std::map<std::string, Roll> rolls;
   long long events = 0;
+  bool truncated = false;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
+    // A torn tail (crash mid-write) must not discard the rows before it:
+    // stop at the first malformed row and report what parsed.
     const std::vector<std::string> c = split_csv_line(line);
-    check(c.size() == 8, "malformed spans csv row: " + line);
+    if (c.size() != 8) {
+      truncated = true;
+      break;
+    }
+    double t0 = 0.0, t1 = 0.0;
+    try {
+      t0 = num_cell(c[4], line);
+      t1 = num_cell(c[5], line);
+    } catch (const std::exception&) {
+      truncated = true;
+      break;
+    }
     Roll& r = rolls[c[1]];
     ++r.count;
-    r.total_s += num_cell(c[5], line) - num_cell(c[4], line);
+    r.total_s += t1 - t0;
     ++events;
   }
   Table t({"span", "count", "total", "mean"});
   for (const auto& [name, roll] : rolls)
     t.add(name, roll.count, format_seconds(roll.total_s),
           format_seconds(roll.count ? roll.total_s / roll.count : 0.0));
-  os << "\nspans (" << events << " events, " << rolls.size() << " kinds)\n";
+  os << "\nspans (" << events << " events, " << rolls.size() << " kinds";
+  if (truncated) os << ", file truncated after row " << events;
+  os << ")\n";
   t.print(os);
+  if (truncated)
+    os << "note: " << path
+       << " ends in a malformed row; rows past it were ignored\n";
+}
+
+void report_critpath(const std::string& path, std::ostream& os) {
+  std::ifstream is(path);
+  check(is.good(), "cannot open critpath csv: " + path);
+  std::string line;
+  check(static_cast<bool>(std::getline(is, line)),
+        "empty critpath csv: " + path);
+  check(line == "critpath,v1",
+        "not a critpath csv (bad header): " + path);
+
+  struct RankRow {
+    int rank = 0;
+    long long comm = 0, blame = 0, own = 0, caused = 0;
+    long long ls = 0, lr = 0, wc = 0, ri = 0;
+    int dom_peer = -1;
+    long long dom_peer_ns = 0;
+    bool dead = false;
+  };
+  struct Link {
+    int src = 0, dst = 0;
+    long long wait = 0, bytes = 0;
+    bool cross = false;
+  };
+  struct Seg {
+    int rank = 0;
+    double t0 = 0.0, t1 = 0.0;
+    int via = -1;
+    bool tomb = false;
+  };
+  long long total_comm = 0, total_wait = 0;
+  int dominant_rank = -1;
+  std::string dominant_class = "none";
+  bool blame_only = false;
+  double phase_s = 1e-3;
+  std::vector<RankRow> ranks;
+  std::vector<Link> links;
+  std::map<int, std::pair<long long, std::string>> phase_wait;  // phase->(ns, class of hottest row)
+  std::map<int, long long> phase_hottest;
+  std::vector<Seg> path_segs;
+
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> c = split_csv_line(line);
+    check(!c.empty(), "malformed critpath csv row: " + line);
+    if (c[0] == "total") {
+      check(c.size() == 7, "malformed critpath total row: " + line);
+      total_comm = int_cell(c[1], line);
+      total_wait = int_cell(c[2], line);
+      dominant_rank = static_cast<int>(int_cell(c[3], line));
+      dominant_class = c[4];
+      blame_only = int_cell(c[5], line) != 0;
+      phase_s = num_cell(c[6], line);
+    } else if (c[0] == "rank") {
+      check(c.size() == 13, "malformed critpath rank row: " + line);
+      RankRow r;
+      r.rank = static_cast<int>(int_cell(c[1], line));
+      r.comm = int_cell(c[2], line);
+      r.blame = int_cell(c[3], line);
+      r.own = int_cell(c[4], line);
+      r.caused = int_cell(c[5], line);
+      r.ls = int_cell(c[6], line);
+      r.lr = int_cell(c[7], line);
+      r.wc = int_cell(c[8], line);
+      r.ri = int_cell(c[9], line);
+      r.dom_peer = static_cast<int>(int_cell(c[10], line));
+      r.dom_peer_ns = int_cell(c[11], line);
+      r.dead = int_cell(c[12], line) != 0;
+      ranks.push_back(r);
+    } else if (c[0] == "link") {
+      check(c.size() == 6, "malformed critpath link row: " + line);
+      links.push_back({static_cast<int>(int_cell(c[1], line)),
+                       static_cast<int>(int_cell(c[2], line)),
+                       int_cell(c[3], line), int_cell(c[4], line),
+                       int_cell(c[5], line) != 0});
+    } else if (c[0] == "phase") {
+      check(c.size() == 5, "malformed critpath phase row: " + line);
+      const int phase = static_cast<int>(int_cell(c[2], line));
+      const long long w = int_cell(c[3], line);
+      auto& cell = phase_wait[phase];
+      cell.first += w;
+      if (w > phase_hottest[phase]) {
+        phase_hottest[phase] = w;
+        cell.second = c[4];
+      }
+    } else if (c[0] == "path") {
+      check(c.size() == 6, "malformed critpath path row: " + line);
+      path_segs.push_back({static_cast<int>(int_cell(c[1], line)),
+                           num_cell(c[2], line), num_cell(c[3], line),
+                           static_cast<int>(int_cell(c[4], line)),
+                           int_cell(c[5], line) != 0});
+    } else {
+      fail("unknown critpath csv section: " + c[0]);
+    }
+  }
+
+  os << "critical path / wait states";
+  if (blame_only) os << " [blame-only: event rings refused]";
+  os << "\n";
+  os << "communication time : " << format_seconds(1e-9 * total_comm)
+     << " (all ranks)\n";
+  os << "classified waiting : " << format_seconds(1e-9 * total_wait);
+  if (total_comm > 0)
+    os << " (" << format_sig(100.0 * total_wait / total_comm) << "% of comm)";
+  os << "\n";
+  os << "dominant cause     : rank " << dominant_rank << " ("
+     << dominant_class << ")\n";
+
+  // Blame shares: comm - own_wait + caused, summing to the total comm time.
+  Table bt({"rank", "blame", "share", "own wait", "caused", "dominant class",
+            "waits on"});
+  for (const RankRow& r : ranks) {
+    if (r.comm == 0 && r.blame == 0 && !r.dead) continue;
+    // Same rule as the profiler: late_receiver dwell is informational, so
+    // it only shows as dominant when no charged class saw any time.
+    std::string cls = "-";
+    const long long top = std::max({r.ls, r.wc, r.ri});
+    if (top > 0) {
+      if (top == r.ls) cls = "late_sender";
+      else if (top == r.wc) cls = "wait_at_collective";
+      else cls = "imbalance_at_root";
+    } else if (r.lr > 0) {
+      cls = "late_receiver";
+    }
+    bt.add(std::to_string(r.rank) + (r.dead ? " (dead)" : ""),
+           format_seconds(1e-9 * r.blame),
+           total_comm > 0
+               ? format_sig(100.0 * r.blame / total_comm) + "%"
+               : "-",
+           format_seconds(1e-9 * r.own), format_seconds(1e-9 * r.caused),
+           cls,
+           r.dom_peer < 0 ? "-"
+                          : std::to_string(r.dom_peer) + " (" +
+                                format_seconds(1e-9 * r.dom_peer_ns) + ")");
+  }
+  os << "\nblame shares (sum = communication time)\n";
+  bt.print(os);
+
+  if (!links.empty()) {
+    constexpr std::size_t kMaxLinks = 10;
+    Table lt({"link", "wait", "bytes", "locality"});
+    for (std::size_t i = 0; i < std::min(links.size(), kMaxLinks); ++i)
+      lt.add(std::to_string(links[i].src) + "->" + std::to_string(links[i].dst),
+             format_seconds(1e-9 * links[i].wait),
+             format_bytes(static_cast<double>(links[i].bytes)),
+             links[i].cross ? "cross-node" : "intra-node");
+    os << "\nhottest links (wait charged src->dst)\n";
+    lt.print(os);
+  }
+
+  if (!phase_wait.empty()) {
+    // Hottest phases only; a long run can carry hundreds of grid cells.
+    std::vector<std::pair<int, std::pair<long long, std::string>>> phases(
+        phase_wait.begin(), phase_wait.end());
+    std::sort(phases.begin(), phases.end(),
+              [](const auto& a, const auto& b) {
+                return a.second.first != b.second.first
+                           ? a.second.first > b.second.first
+                           : a.first < b.first;
+              });
+    constexpr std::size_t kMaxPhases = 12;
+    if (phases.size() > kMaxPhases) phases.resize(kMaxPhases);
+    std::sort(phases.begin(), phases.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    Table pt({"phase", "t0", "t1", "wait (all ranks)", "dominant class"});
+    for (const auto& [phase, cell] : phases)
+      pt.add(phase, format_seconds(phase * phase_s),
+             format_seconds((phase + 1) * phase_s),
+             format_seconds(1e-9 * cell.first), cell.second);
+    os << "\nper-phase blame (top " << phases.size() << " of "
+       << phase_wait.size() << " phases)\n";
+    pt.print(os);
+  }
+
+  if (path_segs.empty()) {
+    os << "\nno critical path extracted\n";
+    return;
+  }
+
+  // Lane diagram: one row per rank on the path, time left to right.
+  double tmin = path_segs.front().t0, tmax = path_segs.front().t1;
+  std::map<int, std::vector<const Seg*>> by_rank;
+  for (const Seg& s : path_segs) {
+    tmin = std::min(tmin, s.t0);
+    tmax = std::max(tmax, s.t1);
+    by_rank[s.rank].push_back(&s);
+  }
+  constexpr int kWidth = 64;
+  const double span = tmax > tmin ? tmax - tmin : 1.0;
+  auto col = [&](double t) {
+    int c = static_cast<int>((t - tmin) / span * (kWidth - 1));
+    return std::min(std::max(c, 0), kWidth - 1);
+  };
+  os << "\ncritical path (" << path_segs.size() << " segments, "
+     << format_seconds(tmin) << " .. " << format_seconds(tmax)
+     << "; = on path, + hop in, x hop from a dead rank)\n";
+  for (const auto& [rank, segs] : by_rank) {
+    std::string lane(kWidth, '.');
+    for (const Seg* s : segs) {
+      const int c0 = col(s->t0), c1 = col(s->t1);
+      for (int c = c0; c <= c1; ++c) lane[static_cast<std::size_t>(c)] = '=';
+      if (s->via >= 0)
+        lane[static_cast<std::size_t>(c0)] = s->tomb ? 'x' : '+';
+    }
+    os << "  rank " << rank << "\t|" << lane << "|\n";
+  }
 }
 
 void report_timeline(const std::string& path, std::ostream& os) {

@@ -16,8 +16,19 @@ namespace mpim::tools {
 void report_metrics(const std::string& path, std::ostream& os);
 
 /// Renders the rank,name,cat,depth,t0_s,t1_s,a,b CSV written by
-/// telemetry::write_spans_csv as a per-name duration rollup.
+/// telemetry::write_spans_csv as a per-name duration rollup. Unlike the
+/// other readers this one degrades gracefully: spans are the report's
+/// optional second half, so an absent file or a bad header renders a note
+/// instead of throwing, and a truncated/malformed row renders everything
+/// parsed up to it plus a truncation note (a crash mid-write must not take
+/// the metrics report down with it).
 void report_spans(const std::string& path, std::ostream& os);
+
+/// Renders the sectioned CSV written by critpath::Profiler::write_csv: a
+/// blame summary, the per-rank blame shares, the hottest links, a
+/// per-phase blame table and the extracted critical path as a rank x time
+/// lane diagram.
+void report_critpath(const std::string& path, std::ostream& os);
 
 /// Renders a frames CSV written by introspect::write_frames_csv as a
 /// time-resolved view: a per-window metric table (messages, bytes, load

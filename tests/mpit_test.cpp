@@ -24,7 +24,7 @@ Sim make_sim(int nranks = 4) {
 }
 
 TEST(Pvar, RegistryExposesMonitoringVariables) {
-  EXPECT_EQ(pvar_get_num(), 47);
+  EXPECT_EQ(pvar_get_num(), 56);
   EXPECT_EQ(pvar_index_by_name("pml_monitoring_messages_count"), 0);
   EXPECT_EQ(pvar_index_by_name("pml_monitoring_messages_size"), 1);
   EXPECT_EQ(pvar_index_by_name("osc_monitoring_messages_size"), 5);
@@ -32,7 +32,10 @@ TEST(Pvar, RegistryExposesMonitoringVariables) {
   EXPECT_EQ(pvar_info(0).kind, mpi::CommKind::p2p);
   EXPECT_FALSE(pvar_info(0).is_size);
   EXPECT_TRUE(pvar_info(3).is_size);
-  EXPECT_THROW(pvar_info(47), MpitError);
+  // 47..55 are the critpath block (frozen, see docs/OBSERVABILITY.md).
+  EXPECT_EQ(pvar_index_by_name("mpim_critpath_events_total"), 47);
+  EXPECT_EQ(pvar_index_by_name("mpim_critpath_blame_only"), 55);
+  EXPECT_THROW(pvar_info(56), MpitError);
   EXPECT_THROW(pvar_info(-1), MpitError);
 }
 

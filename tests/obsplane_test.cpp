@@ -102,6 +102,57 @@ TEST(ObsplaneSketch, Log2HistObservesMergesAndBounds) {
   EXPECT_LE(a.percentile_bound(0.0), a.percentile_bound(0.99));
 }
 
+TEST(ObsplaneSketch, MergingAnEmptyQuantileSketchIsANoOpEitherWay) {
+  QuantileSketch filled, empty;
+  for (std::uint64_t v = 1; v <= 100; ++v) filled.observe(v);
+  const std::uint64_t med_before = filled.quantile(0.5);
+
+  filled.merge(empty);  // empty into filled: nothing changes
+  EXPECT_EQ(filled.count(), 100u);
+  EXPECT_EQ(filled.quantile(0.5), med_before);
+
+  empty.merge(QuantileSketch{});  // empty into empty: still empty
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.stored(), 0u);
+  EXPECT_EQ(empty.quantile(0.5), 0u);  // the documented empty answer
+
+  empty.merge(filled);  // filled into empty adopts the distribution
+  EXPECT_EQ(empty.count(), 100u);
+  EXPECT_EQ(empty.quantile(1.0), filled.quantile(1.0));
+}
+
+TEST(ObsplaneSketch, SingleCentroidAnswersEveryQuantileWithItsValue) {
+  QuantileSketch s;
+  s.observe(42);
+  EXPECT_EQ(s.stored(), 1u);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0})
+    EXPECT_EQ(s.quantile(q), 42u) << "q=" << q;
+  // Out-of-range q clamps instead of reading past the centroid list.
+  EXPECT_EQ(s.quantile(-1.0), 42u);
+  EXPECT_EQ(s.quantile(2.0), 42u);
+}
+
+TEST(ObsplaneSketch, Log2HistMergeSaturatesInsteadOfWrapping) {
+  constexpr std::uint64_t kMax = ~0ull;
+  Log2Hist a, b;
+  a.observe(kMax);  // top bucket, sum_ == kMax
+  b.observe(kMax);
+  b.observe(3);
+  a.merge(b);
+  // A wrapping add would fold sum_ back near zero and invert the
+  // percentile bounds; saturation pins count/sum/buckets at the ceiling.
+  EXPECT_EQ(a.sum(), kMax);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.bucket(Log2Hist::bucket_of(kMax)), 2u);
+  EXPECT_EQ(a.percentile_bound(1.0), kMax);
+
+  // Merging two saturated histograms stays saturated (idempotent ceiling).
+  Log2Hist c = a;
+  c.merge(a);
+  EXPECT_EQ(c.sum(), kMax);
+  EXPECT_GE(c.percentile_bound(1.0), c.percentile_bound(0.5));
+}
+
 TEST(ObsplaneSketch, QuantileSketchStaysBoundedAndMerges) {
   QuantileSketch s;
   for (std::uint64_t v = 1; v <= 10000; ++v) s.observe(v);

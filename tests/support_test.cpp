@@ -227,5 +227,60 @@ TEST(EnvChoice, MatchesWholeKeywordsCaseInsensitively) {
   ::unsetenv("MPIM_TEST_ENV_C");
 }
 
+TEST(EnvBool, AcceptsTheFourSpellingPairsAndNothingElse) {
+  const auto parse = [](const char* text) {
+    ::setenv("MPIM_TEST_ENV_B", text, 1);
+    return support::env_bool("MPIM_TEST_ENV_B");
+  };
+
+  ::unsetenv("MPIM_TEST_ENV_B");
+  EXPECT_EQ(support::env_bool("MPIM_TEST_ENV_B").status,
+            support::EnvValue<bool>::Status::unset);
+
+  for (const char* yes : {"1", "true", "on", "yes", "TRUE", "On", " yes "}) {
+    const auto v = parse(yes);
+    EXPECT_TRUE(v.ok()) << yes;
+    EXPECT_TRUE(v.value) << yes;
+  }
+  for (const char* no : {"0", "false", "off", "no", "FALSE", "Off"}) {
+    const auto v = parse(no);
+    EXPECT_TRUE(v.ok()) << no;
+    EXPECT_FALSE(v.value) << no;
+  }
+
+  // Garbage must be invalid, never guessed at: MPIM_TELEMETRY=2 silently
+  // enabling (or disabling) telemetry is exactly the bug class this blocks.
+  for (const char* bad : {"2", "-1", "enable", "truee", "y", "t", "on off",
+                          "", "   ", "1;echo", "\ttrue false"}) {
+    const auto v = parse(bad);
+    EXPECT_TRUE(v.invalid()) << "\"" << bad << "\"";
+  }
+  EXPECT_EQ(parse("maybe").raw, "maybe");  // raw text kept for the warn log
+  ::unsetenv("MPIM_TEST_ENV_B");
+}
+
+TEST(EnvNonemptyString, RejectsBlankPathsKeepsEverythingElseVerbatim) {
+  const auto parse = [](const char* text) {
+    ::setenv("MPIM_TEST_ENV_S", text, 1);
+    return support::env_nonempty_string("MPIM_TEST_ENV_S");
+  };
+
+  ::unsetenv("MPIM_TEST_ENV_S");
+  EXPECT_EQ(support::env_nonempty_string("MPIM_TEST_ENV_S").status,
+            support::EnvValue<std::string>::Status::unset);
+
+  // Blank values would silently create a file named "" or "   ".
+  for (const char* bad : {"", " ", "   ", "\t", " \t\n "})
+    EXPECT_TRUE(parse(bad).invalid()) << "\"" << bad << "\"";
+
+  // Anything with substance is kept verbatim -- no trimming, so relative
+  // paths with embedded or leading spaces still round-trip.
+  EXPECT_EQ(parse("run.jsonl").value, "run.jsonl");
+  EXPECT_EQ(parse("/tmp/a b/c.csv").value, "/tmp/a b/c.csv");
+  EXPECT_EQ(parse(" padded.txt ").value, " padded.txt ");
+  EXPECT_EQ(parse("-").value, "-");
+  ::unsetenv("MPIM_TEST_ENV_S");
+}
+
 }  // namespace
 }  // namespace mpim
