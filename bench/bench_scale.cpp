@@ -1,0 +1,193 @@
+// World-size scaling of the two engine backends (EngineConfig::sched):
+// one OS thread per rank vs cooperatively scheduled ucontext fibers of a
+// single thread.
+//
+// Table (scale_sweep): per (backend, np) -- wall time of a fixed
+// ring-sendrecv + allreduce workload, peak-RSS growth per rank across the
+// run (getrusage ru_maxrss delta; cumulative-peak semantics, so the
+// ascending np order keeps each row meaningful), and sendrecv events per
+// wall second.
+//
+// "Practical" has two parts, both measured, per backend lane:
+//   1. the run completes within the wall budget, and
+//   2. the backend's cost per simulated sendrecv event stays under an
+//      absolute ceiling (50 us). The ceiling is what campaign wall time
+//      is made of: a np>=1024 figure campaign replays ~1e7 p2p events per
+//      cell, so 50 us/event is ~10 minutes/cell -- past that the paper
+//      reproductions stop terminating in useful time. An absolute
+//      per-event bound is also robust to run-to-run noise, unlike a
+//      relative knee against the lane's own small-world peak (in-cache
+//      np<=256 runs are several times cheaper per event than np=16384
+//      ones on BOTH backends, which says nothing about practicality).
+// Each lane stops at its first impractical size. The fiber lane's sizes
+// extend past the thread lane's because that is the point of the backend;
+// the measured costs, not the lane bounds, decide the ratio.
+//
+// Acceptance: the largest practical fiber world must be >= 8x the largest
+// practical thread world. Emits results/BENCH_scale.json via the
+// bench_common mirror so scripts/bench_trend.py tracks the trajectory
+// (informational metrics; the hot-path gates live in
+// bench_record/bench_micro).
+#include <sys/resource.h>
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "minimpi/engine.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace mpim;
+
+long peak_rss_kib() {
+  struct rusage ru {};
+  ::getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;  // KiB on Linux
+}
+
+/// Ring sendrecv iterations plus one allreduce: every rank both sends and
+/// receives `iters` times, with genuine cross-rank blocking so backend
+/// switch costs dominate, not message matching.
+void ring_workload(mpi::Ctx& ctx, int iters, std::size_t bytes) {
+  const mpi::Comm world = ctx.world();
+  const int n = mpi::comm_size(world);
+  const int me = mpi::comm_rank(world);
+  std::vector<char> buf(bytes, 'x');
+  for (int it = 0; it < iters; ++it) {
+    mpi::sendrecv(buf.data(), buf.size(), mpi::Type::Char, (me + 1) % n, it,
+                  buf.data(), buf.size(), (me + n - 1) % n, it, world);
+  }
+  long v = 1, sum = 0;
+  mpi::allreduce(&v, &sum, 1, mpi::Type::Long, mpi::Op::Sum, world);
+  if (sum != n) std::abort();
+}
+
+struct RunCost {
+  double wall_s = 0.0;
+  long rss_delta_kib = 0;
+  bool completed = false;
+};
+
+RunCost measure(mpi::SchedMode mode, int nranks, int iters,
+                std::size_t bytes) {
+  auto cost = net::CostModel::plafrim_like(bench::nodes_for_ranks(nranks));
+  auto placement = topo::round_robin_placement(nranks, cost.topology());
+  mpi::EngineConfig cfg{.cost_model = std::move(cost),
+                        .placement = std::move(placement)};
+  cfg.watchdog_wall_timeout_s = 120.0;
+  cfg.sched = mode;
+  // Contention off: this sweep measures the execution backends, not the
+  // NIC model (whose min-clock gate serializes sends in both modes).
+  cfg.nic_contention = false;
+  RunCost out;
+  const long rss0 = peak_rss_kib();
+  const auto t0 = std::chrono::steady_clock::now();
+  mpi::Engine engine(cfg);
+  engine.run([&](mpi::Ctx& ctx) { ring_workload(ctx, iters, bytes); });
+  out.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out.rss_delta_kib = peak_rss_kib() - rss0;
+  out.completed = true;
+  return out;
+}
+
+/// Campaign-practicality ceiling on the cost of one simulated sendrecv
+/// event (see the file comment for the derivation).
+constexpr double kMaxUsPerEvent = 50.0;
+
+/// Walks one backend's lane in ascending np order, recording a row per
+/// size, until a size is impractical (budget blown or per-event cost over
+/// kMaxUsPerEvent). Returns the largest practical np.
+int run_lane(Table& t, mpi::SchedMode mode, const std::vector<int>& nps,
+             int iters, std::size_t bytes, double budget_s) {
+  const char* name = mpi::sched_mode_name(mode);
+  int max_np = 0;
+  for (int np : nps) {
+    const RunCost c = measure(mode, np, iters, bytes);
+    const double nevents = 2.0 * static_cast<double>(np) * iters;
+    const double events_per_s = nevents / c.wall_s;
+    const double us_per_event = c.wall_s * 1e6 / nevents;
+    t.add(std::string(name) + "_np" + std::to_string(np),
+          format_sig(c.wall_s * 1e3, 4),
+          format_sig(static_cast<double>(c.rss_delta_kib) / np, 4),
+          format_sig(events_per_s, 4));
+    if (c.wall_s > budget_s) {
+      std::cout << name << ": np=" << np << " blew the budget (" << c.wall_s
+                << " s), stopping the lane\n";
+      break;
+    }
+    if (us_per_event > kMaxUsPerEvent) {
+      std::cout << name << ": np=" << np << " costs "
+                << format_sig(us_per_event, 3) << " us/event (ceiling "
+                << kMaxUsPerEvent << "), stopping the lane\n";
+      break;
+    }
+    max_np = np;
+  }
+  return max_np;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  const int iters = 10;
+  const std::size_t bytes = 1024;
+  // A run slower than this marks its world size impractical outright.
+  const double budget_s = opt.quick ? 10.0 : 60.0;
+
+  // The thread lane ends at 4096 by construction, not by measurement: a
+  // np=8192 thread world WEDGES on this class of host -- pthread_create
+  // stalls against the container task limit (~5.3k tasks observed) with the
+  // partially built world spinning, so probing it would hang the bench
+  // rather than fail it. The fiber lane has no such ceiling (one OS
+  // thread, one stack-slab VMA) and is probed to np=65536.
+  const std::vector<int> thread_nps =
+      opt.quick ? std::vector<int>{64, 128}
+                : std::vector<int>{64, 128, 256, 512, 1024, 2048, 4096};
+  const std::vector<int> fiber_nps =
+      opt.quick ? std::vector<int>{64, 256, 1024}
+                : std::vector<int>{64, 256, 1024, 4096, 16384, 65536};
+
+  bench::banner("engine backend scaling: ring sendrecv x" +
+                std::to_string(iters) + ", " + std::to_string(bytes) +
+                " B, budget " + std::to_string(static_cast<int>(budget_s)) +
+                " s/run, ceiling 50 us/event");
+  Table t({"backend_np", "wall_ms", "peak_rss_kib_per_rank",
+           "sendrecv_events_per_s"});
+
+  const int max_thread_np =
+      run_lane(t, mpi::SchedMode::threads, thread_nps, iters, bytes, budget_s);
+  if (!opt.quick && max_thread_np == thread_nps.back())
+    std::cout << "threads: lane capped at np=" << max_thread_np
+              << " (np=8192 wedges on the host task limit; see comment)\n";
+  const int max_fiber_np =
+      run_lane(t, mpi::SchedMode::fibers, fiber_nps, iters, bytes, budget_s);
+  t.print(std::cout);
+  bench::maybe_csv(opt, t, "scale_sweep");
+
+  Table m({"metric", "value"});
+  m.add("max_practical_thread_np", max_thread_np);
+  m.add("max_practical_fiber_np", max_fiber_np);
+  m.add("fiber_over_thread_ratio",
+        format_sig(max_thread_np > 0 ? static_cast<double>(max_fiber_np) /
+                                           max_thread_np
+                                     : 0.0,
+                   3));
+  m.print(std::cout);
+  bench::maybe_csv(opt, m, "scale_max_world");
+
+  // Quick mode probes fewer sizes; the >= 8x claim only holds against the
+  // full lanes, so only the full run gates on it.
+  const bool ok =
+      opt.quick || (max_thread_np > 0 && max_fiber_np >= 8 * max_thread_np);
+  std::cout << "\nacceptance: fiber world >= 8x practical thread world: "
+            << (ok ? "ok" : "FAIL") << " (threads " << max_thread_np
+            << ", fibers " << max_fiber_np << ")\n";
+  return ok ? 0 : 1;
+}

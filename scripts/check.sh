@@ -31,7 +31,15 @@
 # --critical-path render of its blame CSV, and bench_critpath's
 # hook-budget + blame-identity acceptance checks fed into the trend gate.
 #
-# Usage: scripts/check.sh [--default-only|--asan-only|--tsan-only|--recovery-only|--stream-only|--critpath-only]
+# --scale-only is the focused scheduler-backend lane: the sched suite
+# (thread-vs-fiber clock bit-identity, MPIM_SCHED parsing, fiber structural
+# deadlock detection, np=512 crash/shrink/rebind, np=1024 fiber worlds)
+# under BOTH sanitizer presets (asan exercises the fiber stack-switch
+# annotations, tsan the thread-mode halves of the parity sweep), then on
+# the default build bench_scale's built-in >= 8x world-size acceptance
+# check in quick mode.
+#
+# Usage: scripts/check.sh [--default-only|--asan-only|--tsan-only|--recovery-only|--stream-only|--critpath-only|--scale-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,6 +50,7 @@ run_tsan=1
 run_recovery=0
 run_stream=0
 run_critpath=0
+run_scale=0
 case "${1:-}" in
   --default-only) run_asan=0; run_tsan=0 ;;
   --asan-only) run_default=0; run_tsan=0 ;;
@@ -49,9 +58,10 @@ case "${1:-}" in
   --recovery-only) run_default=0; run_asan=0; run_tsan=0; run_recovery=1 ;;
   --stream-only) run_default=0; run_asan=0; run_tsan=0; run_stream=1 ;;
   --critpath-only) run_default=0; run_asan=0; run_tsan=0; run_critpath=1 ;;
+  --scale-only) run_default=0; run_asan=0; run_tsan=0; run_scale=1 ;;
   "") ;;
   *)
-    echo "usage: $0 [--default-only|--asan-only|--tsan-only|--recovery-only|--stream-only|--critpath-only]" >&2
+    echo "usage: $0 [--default-only|--asan-only|--tsan-only|--recovery-only|--stream-only|--critpath-only|--scale-only]" >&2
     exit 2
     ;;
 esac
@@ -171,6 +181,32 @@ if [ "$run_critpath" = 1 ]; then
   ./build/src/tools/profview --critical-path results/stencil_critpath.csv \
     >/dev/null
   ./build/bench/bench_critpath --quick --csv results
+  if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/bench_trend.py
+  else
+    echo "bench_trend: python3 not found, skipping trajectory gate" >&2
+  fi
+fi
+
+if [ "$run_scale" = 1 ]; then
+  # --test-dir for the same reason as the recovery lane. Under the tsan
+  # preset the sched suite's label is sanitize-thread (see
+  # tests/CMakeLists.txt), so select it by test-name prefix instead.
+  echo "== scale lane: asan preset (label: sched) =="
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs"
+  ctest --test-dir build-asan --output-on-failure -j "$jobs" -L sched
+
+  echo "== scale lane: tsan preset (tests: Sched*) =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs"
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" -R '^Sched'
+
+  echo "== scale lane: bench_scale acceptance =="
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" --target bench_scale
+  mkdir -p results
+  ./build/bench/bench_scale --quick --csv results
   if command -v python3 >/dev/null 2>&1; then
     python3 scripts/bench_trend.py
   else

@@ -9,14 +9,24 @@
 #include <thread>
 
 #include "fault/fault_plan.h"
+#include "minimpi/fiber_sched.h"
 #include "support/env.h"
 #include "telemetry/log.h"
 
 namespace mpim::mpi {
 
 namespace {
-thread_local Ctx* g_current_ctx = nullptr;
+// The executing rank context, owned by the scheduler of the executing
+// context rather than by "the rank's thread": in thread mode every rank
+// thread is its own trivial scheduler and writes its slot once at entry;
+// in fiber mode one OS thread runs every rank and the fiber dispatcher
+// repoints this at every context switch (Engine::run_fibers' on_resume).
+thread_local Ctx* g_running_ctx = nullptr;
 }  // namespace
+
+const char* sched_mode_name(SchedMode mode) {
+  return mode == SchedMode::fibers ? "fibers" : "threads";
+}
 
 detail::CommImpl::CommImpl(int ctx_id, std::vector<int> members,
                            int world_size)
@@ -122,7 +132,10 @@ void Engine::deliver(InFlight msg) {
     }
   }
   deliveries_.fetch_add(1, std::memory_order_relaxed);
-  dst.cv.notify_all();
+  if (fiber_ != nullptr)
+    fiber_->wake(dst_rank);
+  else
+    dst.cv.notify_all();
 }
 
 void Engine::record_error(std::exception_ptr err) {
@@ -132,6 +145,12 @@ void Engine::record_error(std::exception_ptr err) {
 
 void Engine::abort_all() {
   abort_.store(true);
+  if (fiber_ != nullptr) {
+    // Fiber mode: every blocked fiber re-checks the abort flag when it is
+    // resumed, so promoting them all drains the world.
+    fiber_->wake_all();
+    return;
+  }
   for (auto& st : ranks_) st->cv.notify_all();
   std::lock_guard lock(sched_.mx);
   for (auto& cv : sched_.cvs)
@@ -170,6 +189,10 @@ void Engine::revoke_comm(const Comm& comm) {
   // Revocation is progress: blocked members must wake, observe it and
   // raise CommRevokedError instead of tripping the watchdog.
   deliveries_.fetch_add(1, std::memory_order_relaxed);
+  if (fiber_ != nullptr) {
+    fiber_->wake_all();
+    return;
+  }
   for (auto& st : ranks_) st->cv.notify_all();
 }
 
@@ -196,6 +219,10 @@ void Engine::mark_dead(int world_rank, double when_s) {
   // rank will fail over instead of deadlocking) and wake every waiter so
   // it notices promptly.
   deliveries_.fetch_add(1, std::memory_order_relaxed);
+  if (fiber_ != nullptr) {
+    fiber_->wake_all();
+    return;
+  }
   for (auto& st : ranks_) st->cv.notify_all();
 }
 
@@ -226,9 +253,18 @@ double Engine::effective_watchdog_s() const {
                    "ignoring invalid MPIM_WATCHDOG_S=\"" + env.raw +
                        "\" (want a finite number > 0); using the default");
   // Bigger worlds make slower wall-clock progress on an oversubscribed
-  // host, so scale the configured timeout with the world size.
-  return cfg_.watchdog_wall_timeout_s *
-         std::max(1.0, static_cast<double>(world_size()) / 32.0);
+  // host, so scale the configured timeout with the world size -- but cap
+  // it: an uncapped np/32 scale would mean 40+ minutes of silence before
+  // a deadlock report at np=4096. The multiplier stops at 4x and the
+  // scaled result never exceeds two minutes (or the configured base when
+  // that is already larger). Fiber mode barely needs the watchdog -- its
+  // scheduler detects a structural deadlock the moment no context can
+  // run -- so the wall timeout only backstops thread mode and bounds
+  // timed recovery waits.
+  const double scale =
+      std::min(4.0, std::max(1.0, static_cast<double>(world_size()) / 32.0));
+  return std::min(cfg_.watchdog_wall_timeout_s * scale,
+                  std::max(cfg_.watchdog_wall_timeout_s, 120.0));
 }
 
 void Engine::set_pending(int rank, const PendingOp& op) {
@@ -315,13 +351,31 @@ void Engine::sched_update_locked(int rank, Sched::St st, double clock) {
   }
   sched_.min_rank = best;
   if (best >= 0 &&
-      sched_.entries[static_cast<std::size_t>(best)].st == Sched::St::gate)
-    sched_.cvs[static_cast<std::size_t>(best)]->notify_all();
+      sched_.entries[static_cast<std::size_t>(best)].st == Sched::St::gate) {
+    if (fiber_ != nullptr)
+      fiber_->wake(best);
+    else
+      sched_.cvs[static_cast<std::size_t>(best)]->notify_all();
+  }
+}
+
+SchedMode Engine::resolve_sched_mode() const {
+  static const char* const kNames[] = {"threads", "fibers"};
+  const auto env = support::env_choice("MPIM_SCHED", kNames, 2);
+  if (env.ok()) return env.value == 1 ? SchedMode::fibers : SchedMode::threads;
+  if (env.invalid())
+    telemetry::log(telemetry::LogLevel::warn, -1, "engine",
+                   "ignoring invalid MPIM_SCHED=\"" + env.raw +
+                       "\" (want threads|fibers); using the configured \"" +
+                       std::string(sched_mode_name(cfg_.sched)) +
+                       "\" backend");
+  return cfg_.sched;
 }
 
 void Engine::run(const std::function<void(Ctx&)>& rank_main) {
   const int n = world_size();
-  // No rank threads exist yet: a grace period for any RCU state the tool
+  run_sched_mode_ = resolve_sched_mode();
+  // No rank contexts exist yet: a grace period for any RCU state the tool
   // layer retired during the previous run.
   if (quiescent_hook_) quiescent_hook_();
   if (run_begin_hook_) run_begin_hook_();
@@ -367,55 +421,17 @@ void Engine::run(const std::function<void(Ctx&)>& rank_main) {
   const int num_nodes = nic_.num_nodes();
   nic_tx_busy_.assign(static_cast<std::size_t>(num_nodes), 0.0);
   nic_rx_busy_.assign(static_cast<std::size_t>(num_nodes), 0.0);
+  run_ctx_.assign(static_cast<std::size_t>(n), nullptr);
   alive_.store(n);
   // After the per-run resets (the critpath governor reservation interns a
   // tool object, which tool_objects_.clear() above would otherwise wipe)
-  // and before any rank thread exists.
+  // and before any rank context exists.
   if (crit_run_begin_hook_) crit_run_begin_hook_();
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(n));
-  for (int r = 0; r < n; ++r) {
-    threads.emplace_back([this, r, &rank_main] {
-      Ctx ctx(this, r);
-      ctx.noise_rng_.reseed(cfg_.noise_seed * 0x9e3779b97f4a7c15ULL +
-                            static_cast<std::uint64_t>(r) * 0x100000001b3ULL +
-                            run_count_);
-      if (epoch_hook_ && epoch_period_s_ > 0.0)
-        ctx.next_epoch_s_ = epoch_period_s_;
-      g_current_ctx = &ctx;
-      try {
-        rank_main(ctx);
-        clear_pending(r, PendingOp::What::exited);
-      } catch (const RankCrashExit& crash) {
-        // A fault-plan crash kills this rank, not the run: peers observe a
-        // dead rank and either degrade (ErrMode::ret, failure-aware tool
-        // gathers) or fail with a typed RankFailedError.
-        mark_dead(r, crash.crash_time_s);
-      } catch (const AbortError&) {
-        // Another rank failed first; its error is already recorded.
-      } catch (...) {
-        record_error(std::current_exception());
-        abort_all();
-      }
-      g_current_ctx = nullptr;
-      final_clocks_[static_cast<std::size_t>(r)] = ctx.now();
-      // Final epoch flush on the rank's own thread, for every exit path --
-      // including a fault-plan crash, so the streaming plane keeps a
-      // crashed rank's last partial epoch (exporter teardown ordering).
-      if (epoch_hook_ && epoch_period_s_ > 0.0)
-        epoch_hook_(r, ctx.now(), /*final_flush=*/true);
-      if (cfg_.nic_contention) {
-        std::lock_guard lock(sched_.mx);
-        sched_update_locked(r, Sched::St::done, ctx.now());
-      }
-      alive_.fetch_sub(1);
-      // A rank exiting can turn the remaining blocked ranks into a
-      // deadlock; wake them so the watchdog can notice.
-      for (auto& st : ranks_) st->cv.notify_all();
-    });
-  }
-  for (auto& t : threads) t.join();
+  if (run_sched_mode_ == SchedMode::fibers)
+    run_fibers(rank_main);
+  else
+    run_threads(rank_main);
 
   max_virtual_time_ = 0.0;
   for (double c : final_clocks_) max_virtual_time_ = std::max(max_virtual_time_, c);
@@ -430,13 +446,95 @@ void Engine::run(const std::function<void(Ctx&)>& rank_main) {
   if (first_error_) std::rethrow_exception(first_error_);
 }
 
+void Engine::rank_body(int r, const std::function<void(Ctx&)>& rank_main) {
+  Ctx ctx(this, r);
+  ctx.noise_rng_.reseed(cfg_.noise_seed * 0x9e3779b97f4a7c15ULL +
+                        static_cast<std::uint64_t>(r) * 0x100000001b3ULL +
+                        run_count_);
+  if (epoch_hook_ && epoch_period_s_ > 0.0)
+    ctx.next_epoch_s_ = epoch_period_s_;
+  run_ctx_[static_cast<std::size_t>(r)] = &ctx;
+  g_running_ctx = &ctx;
+  try {
+    rank_main(ctx);
+    clear_pending(r, PendingOp::What::exited);
+  } catch (const RankCrashExit& crash) {
+    // A fault-plan crash kills this rank, not the run: peers observe a
+    // dead rank and either degrade (ErrMode::ret, failure-aware tool
+    // gathers) or fail with a typed RankFailedError.
+    mark_dead(r, crash.crash_time_s);
+  } catch (const AbortError&) {
+    // Another rank failed first; its error is already recorded.
+  } catch (...) {
+    record_error(std::current_exception());
+    abort_all();
+  }
+  g_running_ctx = nullptr;
+  final_clocks_[static_cast<std::size_t>(r)] = ctx.now();
+  // Final epoch flush on the rank's own context, for every exit path --
+  // including a fault-plan crash, so the streaming plane keeps a
+  // crashed rank's last partial epoch (exporter teardown ordering).
+  if (epoch_hook_ && epoch_period_s_ > 0.0)
+    epoch_hook_(r, ctx.now(), /*final_flush=*/true);
+  if (cfg_.nic_contention) {
+    std::lock_guard lock(sched_.mx);
+    sched_update_locked(r, Sched::St::done, ctx.now());
+  }
+  run_ctx_[static_cast<std::size_t>(r)] = nullptr;
+  alive_.fetch_sub(1);
+  if (fiber_ != nullptr) {
+    // A rank exiting can turn the remaining blocked fibers into a
+    // structural deadlock; the scheduler notices that instantly once this
+    // fiber returns, so no broadcast is needed (and an O(n) notify per
+    // exit would make teardown O(n^2) at np=4096).
+    return;
+  }
+  // A rank exiting can turn the remaining blocked ranks into a
+  // deadlock; wake them so the watchdog can notice.
+  for (auto& st : ranks_) st->cv.notify_all();
+}
+
+void Engine::run_threads(const std::function<void(Ctx&)>& rank_main) {
+  const int n = world_size();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r)
+    threads.emplace_back([this, r, &rank_main] { rank_body(r, rank_main); });
+  for (auto& t : threads) t.join();
+}
+
+void Engine::run_fibers(const std::function<void(Ctx&)>& rank_main) {
+  // One OS thread drives every rank; the scheduler repoints the
+  // current-context pointer at each switch so Ctx::current() and every
+  // per-rank hook consumer (telemetry shards, obsplane rings, critpath
+  // lanes) see the rank that is actually executing.
+  fiber_ = std::make_unique<FiberSched>(
+      world_size(), cfg_.fiber_stack_bytes,
+      [this](int r) { g_running_ctx = r >= 0 ? run_ctx_[static_cast<std::size_t>(r)] : nullptr; });
+  fiber_->run(
+      [this, &rank_main](int r) { rank_body(r, rank_main); },
+      [this](int reporter) {
+        // Structural deadlock: no fiber is ready, none waits on wall time,
+        // and not all are done. In thread mode the watchdog would need a
+        // wall timeout to conclude this; here it is a certainty the moment
+        // the ready queue drains.
+        if (abort_.load()) return;
+        const std::string report = deadlock_report(reporter);
+        telemetry::log(telemetry::LogLevel::error, reporter, "engine",
+                       report);
+        record_error(std::make_exception_ptr(DeadlockError(report)));
+        abort_all();
+      });
+  fiber_.reset();
+}
+
 // ---------------------------------------------------------------------------
 // Ctx
 
 Ctx& Ctx::current() {
-  check(g_current_ctx != nullptr,
-        "Ctx::current() called outside an Engine::run rank thread");
-  return *g_current_ctx;
+  check(g_running_ctx != nullptr,
+        "Ctx::current() called outside an Engine::run rank context");
+  return *g_running_ctx;
 }
 
 void Ctx::advance(double seconds) {
@@ -762,6 +860,15 @@ double Ctx::contended_transfer(int leaf_src, int leaf_dst, double tx_s,
       engine_->sched_update_locked(me, Engine::Sched::St::done, clock_);
       throw AbortError();
     }
+    if (engine_->fiber_ != nullptr) {
+      // Gate yield: sched_update_locked wakes exactly the new min-clock
+      // rank, so we resume only when we hold (or may hold) the gate and
+      // re-check under the lock.
+      lock.unlock();
+      engine_->fiber_->block(clock_);
+      lock.lock();
+      continue;
+    }
     sched.cvs[static_cast<std::size_t>(me)]->wait_for(lock, 200ms);
   }
   // This rank now holds the earliest possible send time: reserve the ports
@@ -895,6 +1002,17 @@ void Ctx::wait_on_inbox(std::unique_lock<std::mutex>& lock, Pred&& ready) {
                                      clock_);
     }
     if (engine_->abort_.load()) throw AbortError();
+    if (engine_->fiber_ != nullptr) {
+      // Cooperative yield: the predicate just failed under the rank mutex,
+      // and nothing else can run until block() switches to the scheduler,
+      // so no wakeup can be lost between the check and the switch. The
+      // wall-clock watchdog below is unnecessary here -- a true deadlock
+      // empties the scheduler's ready queue and is reported instantly.
+      lock.unlock();
+      engine_->fiber_->block(clock_);
+      lock.lock();
+      continue;
+    }
     if (st.cv.wait_for(lock, 200ms) == std::cv_status::timeout) {
       waited_s += 0.2;
       const std::uint64_t progress = engine_->deliveries_.load();
@@ -1007,6 +1125,15 @@ Ctx::RecvWait Ctx::recv_bytes_wait(int src_world, const Comm& comm, int tag,
     if (engine_->abort_.load()) throw AbortError();
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) return RecvWait::timeout;
+    if (engine_->fiber_ != nullptr) {
+      // Timed cooperative yield: a delivery, crash, revoke or abort wakes
+      // us via FiberSched::wake; otherwise the scheduler hands the core
+      // back once the wall deadline passes and we report the timeout.
+      lock.unlock();
+      engine_->fiber_->block_until(clock_, deadline);
+      lock.lock();
+      continue;
+    }
     st.cv.wait_until(lock, std::min(deadline, now + 200ms));
   }
 }

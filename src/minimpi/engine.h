@@ -1,7 +1,11 @@
 // The minimpi engine: a virtual-time MPI-subset runtime.
 //
-// Ranks are OS threads inside one process. Every rank owns a monotone
-// virtual clock that only advances through engine calls:
+// Ranks execute inside one process, either as OS threads (the default) or
+// as cooperatively scheduled stackful fibers of a single OS thread
+// dispatched in (virtual clock, rank) order -- the SimGrid/SMPI execution
+// model that makes np=1024-4096 worlds practical on a small host
+// (EngineConfig::sched, MPIM_SCHED=threads|fibers). Either way, every rank
+// owns a monotone virtual clock that only advances through engine calls:
 //   - compute/sleep advance it directly,
 //   - a send charges the sender a small overhead (LogP "o") and stamps the
 //     message with arrival = sender_clock + alpha(link) + bytes/beta(link),
@@ -105,6 +109,17 @@ using SendHook = std::function<int(const PktInfo&, int caller_world)>;
 /// the calling layer may catch and turn into a degraded result.
 enum class ErrMode { fatal, ret };
 
+/// Rank execution backend. `threads` spawns one OS thread per rank;
+/// `fibers` runs every rank as a stackful ucontext fiber of the calling
+/// thread, switched cooperatively at the engine's blocking points (inbox
+/// waits, timed receives, NIC-gate waits) and dispatched from a min-heap
+/// ready queue keyed by virtual time. Virtual clocks are bit-identical
+/// across the two backends; fibers exist so world size stops being bounded
+/// by what the OS scheduler tolerates.
+enum class SchedMode { threads, fibers };
+
+const char* sched_mode_name(SchedMode mode);
+
 enum class BcastAlgo { binomial, linear };
 enum class ReduceAlgo { binary_tree, binomial, linear };
 enum class AllreduceAlgo { recursive_doubling, reduce_bcast };
@@ -168,6 +183,17 @@ struct EngineConfig {
   /// slower wall-clock progress on an oversubscribed host) and can be
   /// overridden with the MPIM_WATCHDOG_S environment variable.
   double watchdog_wall_timeout_s = 20.0;
+  /// Rank execution backend (see SchedMode). Overridable per run with the
+  /// strict-parsed MPIM_SCHED=threads|fibers environment variable; invalid
+  /// values are rejected with a logged warning and this field stands.
+  /// Threads remain the default until fiber parity is proven on a
+  /// workload-by-workload basis; every suite workload is already
+  /// bit-identical across the two (tests/sched_test.cpp).
+  SchedMode sched = SchedMode::threads;
+  /// Usable stack bytes per rank fiber (fiber mode only; rounded up to
+  /// whole pages, with a guard page below). mmap keeps untouched pages
+  /// off the RSS, so 4096 ranks cost ~1 GiB of address space, not memory.
+  std::size_t fiber_stack_bytes = 256 * 1024;
   /// Optional deterministic fault plan (src/fault/fault_plan.h). When set,
   /// the engine consults it on every send and at every operation boundary:
   /// link jitter/drops/degradation shape message timing, rank crashes
@@ -177,6 +203,7 @@ struct EngineConfig {
 };
 
 class Ctx;
+class FiberSched;
 
 class Engine {
  public:
@@ -293,9 +320,14 @@ class Engine {
     crit_run_end_hook_ = std::move(end);
   }
 
-  /// Spawns one thread per rank, runs `rank_main` in each, joins, and
-  /// rethrows the first exception any rank raised.
+  /// Runs `rank_main` once per rank -- on one OS thread per rank, or as
+  /// cooperatively scheduled fibers of the calling thread, per the
+  /// resolved SchedMode -- waits for every rank to finish, and rethrows
+  /// the first exception any rank raised.
   void run(const std::function<void(Ctx&)>& rank_main);
+
+  /// Backend the current/last run() resolved (config + MPIM_SCHED).
+  SchedMode sched_mode() const { return run_sched_mode_; }
 
   /// Highest virtual clock reached by any rank during the last run().
   double max_virtual_time() const { return max_virtual_time_; }
@@ -393,6 +425,15 @@ class Engine {
   void deliver(InFlight msg);
   void record_error(std::exception_ptr err);
   void abort_all();
+  /// Per-rank prologue/workload/epilogue shared by both backends: runs on
+  /// the rank's own thread in thread mode, inside the rank's fiber in
+  /// fiber mode.
+  void rank_body(int r, const std::function<void(Ctx&)>& rank_main);
+  void run_threads(const std::function<void(Ctx&)>& rank_main);
+  void run_fibers(const std::function<void(Ctx&)>& rank_main);
+  /// cfg_.sched unless a valid MPIM_SCHED overrides it (strict-parsed;
+  /// garbage is rejected with a logged warning).
+  SchedMode resolve_sched_mode() const;
   /// Marks a rank dead at virtual time `when` and wakes every blocked rank
   /// (the failure notification broadcast).
   void mark_dead(int world_rank, double when_s);
@@ -477,6 +518,17 @@ class Engine {
   double max_virtual_time_ = 0.0;
   std::vector<double> final_clocks_;
   std::uint64_t run_count_ = 0;
+
+  SchedMode run_sched_mode_ = SchedMode::threads;
+  /// Non-null exactly while a fiber-mode run() is inside the scheduler;
+  /// wake paths (deliver, crash/revoke broadcast, NIC-gate hand-off,
+  /// abort) consult it instead of the condition variables.
+  std::unique_ptr<FiberSched> fiber_;
+  /// Per-rank live Ctx registry for the scheduler-owned current-context
+  /// pointer: the fiber dispatcher repoints the executing-context slot
+  /// from it at every switch (thread mode writes each slot from the
+  /// owning rank thread only).
+  std::vector<Ctx*> run_ctx_;
 };
 
 /// Thrown inside rank threads when another rank failed and the run is being

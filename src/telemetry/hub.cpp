@@ -21,11 +21,8 @@ Hub::Hub(int nranks, std::size_t span_capacity)
     : nranks_(nranks),
       span_capacity_(span_capacity == 0 ? 1 : span_capacity),
       span_soft_capacity_(span_capacity == 0 ? 1 : span_capacity),
-      registry_(nranks) {
-  spans_.reserve(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r)
-    spans_.push_back(std::make_unique<RankSpans>(span_capacity));
-
+      registry_(nranks),
+      spans_(static_cast<std::size_t>(nranks)) {
   Registry& reg = registry_;
   // Latency buckets in virtual seconds; size buckets in bytes. The edges
   // are fixed so per-rank shards merge by plain bucket-wise addition.
@@ -175,17 +172,39 @@ Hub::Hub(int nranks, std::size_t span_capacity)
       "1 when the governor refused event rings (accumulators only)");
 }
 
+Hub::~Hub() {
+  for (auto& slot : spans_) delete slot.load(std::memory_order_acquire);
+}
+
+Hub::RankSpans& Hub::ensure_rank_spans(int rank) {
+  auto& slot = spans_[static_cast<std::size_t>(rank)];
+  if (RankSpans* rs = slot.load(std::memory_order_acquire)) return *rs;
+  std::lock_guard lock(spans_init_mutex_);
+  if (RankSpans* rs = slot.load(std::memory_order_relaxed)) return *rs;
+  auto rs = std::make_unique<RankSpans>(span_capacity_);
+  // A ring born after a governor shed step honors the current soft cap.
+  rs->ring.set_limit(span_soft_capacity_.load(std::memory_order_relaxed));
+  RankSpans* raw = rs.release();
+  slot.store(raw, std::memory_order_release);
+  return *raw;
+}
+
 void Hub::set_span_soft_capacity(std::size_t cap) {
   const std::size_t clamped =
       std::min(cap == 0 ? std::size_t{1} : cap, span_capacity_);
+  // Under the init mutex so a ring created concurrently either sees the new
+  // cap at birth or is visible to this loop -- never neither.
+  std::lock_guard lock(spans_init_mutex_);
   span_soft_capacity_.store(clamped, std::memory_order_relaxed);
-  for (auto& rs : spans_) rs->ring.set_limit(clamped);
+  for (auto& slot : spans_)
+    if (RankSpans* rs = slot.load(std::memory_order_acquire))
+      rs->ring.set_limit(clamped);
 }
 
 bool Hub::span_begin(int rank, const char* name, char cat, double t_s) {
   if (!enabled() || spans_suppressed()) return false;
   check(rank >= 0 && rank < nranks_, "telemetry span rank out of range");
-  RankSpans& rs = *spans_[static_cast<std::size_t>(rank)];
+  RankSpans& rs = ensure_rank_spans(rank);
   if (rs.open_depth >= kMaxOpenSpans) return false;  // too deep: drop quietly
   OpenSpan& os = rs.open[rs.open_depth++];
   copy_name(os.name, name);
@@ -196,7 +215,9 @@ bool Hub::span_begin(int rank, const char* name, char cat, double t_s) {
 
 void Hub::span_end(int rank, double t_s, std::int64_t a, std::int64_t b) {
   check(rank >= 0 && rank < nranks_, "telemetry span rank out of range");
-  RankSpans& rs = *spans_[static_cast<std::size_t>(rank)];
+  RankSpans* rsp = rank_spans(rank);
+  check(rsp != nullptr, "telemetry span_end without span_begin");
+  RankSpans& rs = *rsp;
   check(rs.open_depth > 0, "telemetry span_end without span_begin");
   const OpenSpan& os = rs.open[--rs.open_depth];
   SpanRec rec;
@@ -215,7 +236,7 @@ void Hub::span_complete(int rank, const char* name, char cat, double t0_s,
                         double t1_s, std::int64_t a, std::int64_t b) {
   if (!enabled() || spans_suppressed()) return;
   check(rank >= 0 && rank < nranks_, "telemetry span rank out of range");
-  RankSpans& rs = *spans_[static_cast<std::size_t>(rank)];
+  RankSpans& rs = ensure_rank_spans(rank);
   SpanRec rec;
   copy_name(rec.name, name);
   rec.cat = cat;
@@ -230,26 +251,33 @@ void Hub::span_complete(int rank, const char* name, char cat, double t0_s,
 
 std::vector<SpanRec> Hub::spans(int rank) const {
   check(rank >= 0 && rank < nranks_, "telemetry span rank out of range");
-  return spans_[static_cast<std::size_t>(rank)]->ring.snapshot();
+  const RankSpans* rs = rank_spans(rank);
+  return rs != nullptr ? rs->ring.snapshot() : std::vector<SpanRec>{};
 }
 
 std::uint64_t Hub::spans_recorded() const {
   std::uint64_t n = 0;
-  for (const auto& rs : spans_) n += rs->ring.pushed();
+  for (const auto& slot : spans_)
+    if (const RankSpans* rs = slot.load(std::memory_order_acquire))
+      n += rs->ring.pushed();
   return n;
 }
 
 std::uint64_t Hub::spans_dropped() const {
   std::uint64_t n = 0;
-  for (const auto& rs : spans_) n += rs->ring.dropped();
+  for (const auto& slot : spans_)
+    if (const RankSpans* rs = slot.load(std::memory_order_acquire))
+      n += rs->ring.dropped();
   return n;
 }
 
 void Hub::reset() {
   registry_.reset();
-  for (auto& rs : spans_) {
-    rs->ring.clear();
-    rs->open_depth = 0;
+  for (auto& slot : spans_) {
+    if (RankSpans* rs = slot.load(std::memory_order_acquire)) {
+      rs->ring.clear();
+      rs->open_depth = 0;
+    }
   }
 }
 

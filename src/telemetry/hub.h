@@ -12,9 +12,11 @@
 // monitoring sessions are recorded as complete spans when they close.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "telemetry/registry.h"
@@ -103,6 +105,7 @@ struct StdIds {
 class Hub {
  public:
   explicit Hub(int nranks, std::size_t span_capacity = 1u << 14);
+  ~Hub();
 
   Hub(const Hub&) = delete;
   Hub& operator=(const Hub&) = delete;
@@ -194,6 +197,19 @@ class Hub {
     explicit RankSpans(std::size_t cap) : ring(cap) {}
   };
 
+  /// A rank's ring is allocated on its first recorded span, not in the
+  /// constructor: at the default capacity a ring is 1 MiB/rank, which at
+  /// np=4096+ would dominate the whole engine's working set even with
+  /// telemetry disabled (the default). The slot pointer transitions
+  /// nullptr -> ring exactly once (creation serialized by spans_init_mutex_,
+  /// published with a release store), so the post-creation record path
+  /// stays lock-free on the rank's own thread.
+  RankSpans& ensure_rank_spans(int rank);
+  RankSpans* rank_spans(int rank) const {
+    return spans_[static_cast<std::size_t>(rank)].load(
+        std::memory_order_acquire);
+  }
+
   int nranks_;
   std::size_t span_capacity_;
   std::atomic<bool> enabled_{false};
@@ -203,7 +219,8 @@ class Hub {
   std::atomic<bool> span_sink_armed_{false};
   Registry registry_;
   StdIds ids_;
-  std::vector<std::unique_ptr<RankSpans>> spans_;
+  mutable std::mutex spans_init_mutex_;
+  std::vector<std::atomic<RankSpans*>> spans_;
 };
 
 }  // namespace mpim::telemetry

@@ -2,7 +2,6 @@
 
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <mutex>
 
@@ -86,10 +85,24 @@ void log(LogLevel level, int rank, const std::string& component,
                component.c_str(), rank, msg.c_str());
 
   // Re-read the environment each record: cold path, and it lets tests (and
-  // long-lived hosts) redirect without process-wide static state.
-  const char* path = std::getenv("MPIM_LOG_FILE");
-  if (path == nullptr || path[0] == '\0') return;
-  std::ofstream f(path, std::ios::app);
+  // long-lived hosts) redirect without process-wide static state. Strict
+  // parse: an empty or whitespace-only value would append records to a
+  // file literally named "" or " "; warn once per distinct bad value and
+  // keep stderr-only logging instead.
+  const auto file = support::env_nonempty_string("MPIM_LOG_FILE");
+  if (file.invalid()) {
+    static std::string warned_file_raw;
+    if (warned_file_raw != file.raw) {
+      warned_file_raw = file.raw;
+      std::fprintf(stderr,
+                   "[mpim][WARN][log] rank -1: ignoring invalid "
+                   "MPIM_LOG_FILE=\"%s\" (want a non-empty file path); "
+                   "logging to stderr only\n",
+                   file.raw.c_str());
+    }
+  }
+  if (!file.ok()) return;
+  std::ofstream f(file.value, std::ios::app);
   if (!f) return;
   const double ts =
       std::chrono::duration<double>(

@@ -393,6 +393,34 @@ TEST(Fault, WatchdogScalesWithWorldSizeAndHonorsEnvOverride) {
   }
 }
 
+TEST(Fault, WatchdogScalingIsCappedAtLargeWorlds) {
+  // An uncapped np/32 multiplier would mean 4096/32 = 128x the base --
+  // tens of minutes of silence before a deadlock report. The multiplier
+  // must stop at 4x and the scaled result at two minutes.
+  topo::Topology t({256, 1, 16}, {"node", "socket", "core"});
+  std::vector<net::LinkParams> params = {
+      {1e-5, 1e8}, {1e-6, 1e9}, {1e-7, 1e10}, {0.0, 1e12}};
+  net::CostModel cost(t, params, 1e-7);
+  EngineConfig huge{.cost_model = cost,
+                    .placement = topo::round_robin_placement(4096, t)};
+  huge.watchdog_wall_timeout_s = 2.0;
+  {
+    Engine eng(huge);
+    EXPECT_DOUBLE_EQ(eng.effective_watchdog_s(), 8.0);  // 4x cap, not 128x
+  }
+  huge.watchdog_wall_timeout_s = 60.0;
+  {
+    Engine eng(huge);
+    EXPECT_DOUBLE_EQ(eng.effective_watchdog_s(), 120.0);  // 2-minute ceiling
+  }
+  // A base above the ceiling is the user's explicit choice: honored as-is.
+  huge.watchdog_wall_timeout_s = 300.0;
+  {
+    Engine eng(huge);
+    EXPECT_DOUBLE_EQ(eng.effective_watchdog_s(), 300.0);
+  }
+}
+
 // --- failure-aware monitoring gathers ----------------------------------------
 
 /// Ranks 0..2 exchange a ring among themselves; rank 3 dies on entry.

@@ -408,6 +408,35 @@ TEST(Log, LevelFilterSuppressesBelowThresholdAndSurvivesGarbage) {
   std::remove(path.c_str());
 }
 
+TEST(Log, GarbageLogFileValueIsRejectedNotUsedAsPath) {
+  namespace fs = std::filesystem;
+  // A whitespace-only MPIM_LOG_FILE used verbatim would append to a file
+  // literally named " " in the current directory; the strict parse must
+  // reject it and keep logging stderr-only.
+  const auto cwd = fs::current_path();
+  fs::current_path(fs::temp_directory_path());
+  std::remove(" ");
+  ::setenv("MPIM_LOG_FILE", " ", 1);
+  log(LogLevel::warn, 0, "t", "rejected sink");
+  ::setenv("MPIM_LOG_FILE", "", 1);
+  log(LogLevel::warn, 0, "t", "rejected sink");
+  ::unsetenv("MPIM_LOG_FILE");
+  EXPECT_FALSE(fs::exists(" "));
+  EXPECT_FALSE(fs::exists(""));
+  fs::current_path(cwd);
+
+  // A path with surrounding spaces is a real (odd) path, kept verbatim.
+  const std::string spaced =
+      (fs::temp_directory_path() / " mpim spaced.jsonl").string();
+  std::remove(spaced.c_str());
+  ::setenv("MPIM_LOG_FILE", spaced.c_str(), 1);
+  log(LogLevel::warn, 0, "t", "kept verbatim");
+  ::unsetenv("MPIM_LOG_FILE");
+  std::ifstream is(spaced);
+  EXPECT_TRUE(is.good());
+  std::remove(spaced.c_str());
+}
+
 // --- exporters under governor shedding --------------------------------------
 
 // The span CSV has one data row per record still in the rings; pushed
