@@ -31,6 +31,15 @@
 # --critical-path render of its blame CSV, and bench_critpath's
 # hook-budget + blame-identity acceptance checks fed into the trend gate.
 #
+# --fabric-only is the focused network-fabric lane: the fabric suite
+# (MPIM_TOPO spec parsing, hop-distance metric properties, route coverage,
+# tree bit-identity to the depth-indexed cost lookup, max-min-fair flow
+# sharing, per-link-class mismatch decomposition, hierarchical TreeMatch)
+# under BOTH sanitizer presets, then on the default build the fabric_tour
+# e2e example, a monview --timeline render of its per-link-class frames
+# CSV, and bench_fabric's cross-fabric reorder acceptance fed into the
+# trend gate (reorders_per_sec is a hot-path inverse metric).
+#
 # --scale-only is the focused scheduler-backend lane: the sched suite
 # (thread-vs-fiber clock bit-identity, MPIM_SCHED parsing, fiber structural
 # deadlock detection, np=512 crash/shrink/rebind, np=1024 fiber worlds)
@@ -39,7 +48,7 @@
 # the default build bench_scale's built-in >= 8x world-size acceptance
 # check in quick mode.
 #
-# Usage: scripts/check.sh [--default-only|--asan-only|--tsan-only|--recovery-only|--stream-only|--critpath-only|--scale-only]
+# Usage: scripts/check.sh [--default-only|--asan-only|--tsan-only|--recovery-only|--stream-only|--critpath-only|--fabric-only|--scale-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,6 +59,7 @@ run_tsan=1
 run_recovery=0
 run_stream=0
 run_critpath=0
+run_fabric=0
 run_scale=0
 case "${1:-}" in
   --default-only) run_asan=0; run_tsan=0 ;;
@@ -58,10 +68,11 @@ case "${1:-}" in
   --recovery-only) run_default=0; run_asan=0; run_tsan=0; run_recovery=1 ;;
   --stream-only) run_default=0; run_asan=0; run_tsan=0; run_stream=1 ;;
   --critpath-only) run_default=0; run_asan=0; run_tsan=0; run_critpath=1 ;;
+  --fabric-only) run_default=0; run_asan=0; run_tsan=0; run_fabric=1 ;;
   --scale-only) run_default=0; run_asan=0; run_tsan=0; run_scale=1 ;;
   "") ;;
   *)
-    echo "usage: $0 [--default-only|--asan-only|--tsan-only|--recovery-only|--stream-only|--critpath-only|--scale-only]" >&2
+    echo "usage: $0 [--default-only|--asan-only|--tsan-only|--recovery-only|--stream-only|--critpath-only|--fabric-only|--scale-only]" >&2
     exit 2
     ;;
 esac
@@ -181,6 +192,34 @@ if [ "$run_critpath" = 1 ]; then
   ./build/src/tools/profview --critical-path results/stencil_critpath.csv \
     >/dev/null
   ./build/bench/bench_critpath --quick --csv results
+  if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/bench_trend.py
+  else
+    echo "bench_trend: python3 not found, skipping trajectory gate" >&2
+  fi
+fi
+
+if [ "$run_fabric" = 1 ]; then
+  # --test-dir for the same reason as the recovery lane: the ctest preset
+  # label filters would AND with -L fabric and hide the suite.
+  echo "== fabric lane: asan preset (label: fabric) =="
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs"
+  ctest --test-dir build-asan --output-on-failure -j "$jobs" -L fabric
+
+  echo "== fabric lane: tsan preset (label: fabric) =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs"
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L fabric
+
+  echo "== fabric lane: fabric_tour e2e + timeline render + bench acceptance =="
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" \
+    --target fabric_tour monview bench_fabric
+  mkdir -p results
+  ./build/examples/fabric_tour >/dev/null
+  ./build/src/tools/monview --timeline results/fabric_frames.csv >/dev/null
+  ./build/bench/bench_fabric --quick --csv results
   if command -v python3 >/dev/null 2>&1; then
     python3 scripts/bench_trend.py
   else

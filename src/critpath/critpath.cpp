@@ -80,9 +80,11 @@ Profiler::Profiler(mpi::Engine& engine, Config cfg)
   lanes_.resize(static_cast<std::size_t>(n));
   node_of_rank_.resize(static_cast<std::size_t>(n));
   const auto& placement = engine_.config().placement;
+  // fabric().node_of, not topology().node_of: on fat-tree / dragonfly
+  // hierarchies depth 1 is a pod / router group, not the NIC domain.
   for (int r = 0; r < n; ++r)
     node_of_rank_[static_cast<std::size_t>(r)] =
-        engine_.topology().node_of(placement[static_cast<std::size_t>(r)]);
+        engine_.fabric().node_of(placement[static_cast<std::size_t>(r)]);
   const telemetry::StdIds& ids = engine_.telemetry().ids();
   id_events_ = ids.critpath_events;
   id_dropped_ = ids.critpath_dropped;

@@ -93,6 +93,54 @@ double mismatch_byte_hops(const CommMatrix& bytes, const topo::Topology& topo,
   return cost;
 }
 
+double mismatch_byte_hops(const CommMatrix& bytes, const topo::Fabric& fabric,
+                          const topo::Placement& placement) {
+  const std::size_t n = bytes.rows();
+  check(placement.size() >= n, "placement smaller than matrix order");
+  double cost = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < bytes.cols(); ++j)
+      if (i != j && bytes(i, j) != 0)
+        cost += static_cast<double>(bytes(i, j)) *
+                static_cast<double>(
+                    fabric.hop_distance(placement[i], placement[j]));
+  return cost;
+}
+
+std::vector<double> mismatch_by_link_class(const CommMatrix& bytes,
+                                           const topo::Fabric& fabric,
+                                           const topo::Placement& placement) {
+  const std::size_t n = bytes.rows();
+  check(placement.size() >= n, "placement smaller than matrix order");
+  std::vector<double> per_class(
+      static_cast<std::size_t>(fabric.num_link_classes()), 0.0);
+  const double approach_hops = 2.0 * static_cast<double>(
+      fabric.hierarchy().depth() - fabric.node_level());
+  topo::Fabric::Route route;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < bytes.cols(); ++j) {
+      if (i == j || bytes(i, j) == 0) continue;
+      const int a = placement[i];
+      const int b = placement[j];
+      if (a == b) continue;  // zero hops, nothing to attribute
+      const double v = static_cast<double>(bytes(i, j));
+      if (fabric.same_node(a, b)) {
+        per_class[static_cast<std::size_t>(fabric.pair_class(a, b))] +=
+            v * static_cast<double>(fabric.hierarchy().hop_distance(a, b));
+        continue;
+      }
+      fabric.distance_route(a, b, &route);
+      for (int h = 0; h < route.n; ++h)
+        per_class[static_cast<std::size_t>(
+            fabric.link_class(route.links[h]))] += v;
+      // PU<->NIC approach legs inside both endpoint nodes: charged to the
+      // nic class so the entries sum exactly to the fabric hop total.
+      per_class[0] += v * approach_hops;
+    }
+  }
+  return per_class;
+}
+
 double treematch_gain(const CommMatrix& bytes, const topo::Topology& topo,
                       const topo::Placement& placement,
                       const net::CostModel& cost) {
@@ -117,6 +165,7 @@ namespace {
 
 std::vector<WindowMetrics> analyze_impl(const std::vector<FrameMatrix>& frames,
                                         const topo::Topology* topo,
+                                        const topo::Fabric* fabric,
                                         const topo::Placement* placement) {
   std::vector<WindowMetrics> out;
   out.reserve(frames.size());
@@ -135,9 +184,18 @@ std::vector<WindowMetrics> analyze_impl(const std::vector<FrameMatrix>& frames,
       m.boundary = m.cos_dist > WindowSampler::kCosineBoundary ||
                    m.l1_dist > WindowSampler::kL1Boundary;
     }
-    if (topo != nullptr && placement != nullptr) {
+    if (fabric != nullptr && placement != nullptr) {
+      m.neighbor_frac =
+          neighbor_affinity_fraction(f.bytes, fabric->hierarchy(), *placement);
+      m.class_hops = mismatch_by_link_class(f.bytes, *fabric, *placement);
+      m.mismatch_hops = 0.0;
+      for (double h : m.class_hops) m.mismatch_hops += h;
+    } else if (topo != nullptr && placement != nullptr) {
       m.neighbor_frac = neighbor_affinity_fraction(f.bytes, *topo, *placement);
       m.mismatch_hops = mismatch_byte_hops(f.bytes, *topo, *placement);
+    } else {
+      // Offline: pass annotated per-class columns through to the caller.
+      m.class_hops = f.class_hops;
     }
     prev = f.bytes.flat();
     out.push_back(std::move(m));
@@ -167,13 +225,26 @@ FrameTotals frame_totals(const Frame& frame) {
 
 std::vector<WindowMetrics> analyze_windows(
     const std::vector<FrameMatrix>& frames) {
-  return analyze_impl(frames, nullptr, nullptr);
+  return analyze_impl(frames, nullptr, nullptr, nullptr);
 }
 
 std::vector<WindowMetrics> analyze_windows(
     const std::vector<FrameMatrix>& frames, const topo::Topology& topo,
     const topo::Placement& placement) {
-  return analyze_impl(frames, &topo, &placement);
+  return analyze_impl(frames, &topo, nullptr, &placement);
+}
+
+std::vector<WindowMetrics> analyze_windows(
+    const std::vector<FrameMatrix>& frames, const topo::Fabric& fabric,
+    const topo::Placement& placement) {
+  return analyze_impl(frames, nullptr, &fabric, &placement);
+}
+
+void annotate_link_class_hops(std::vector<FrameMatrix>& frames,
+                              const topo::Fabric& fabric,
+                              const topo::Placement& placement) {
+  for (FrameMatrix& f : frames)
+    f.class_hops = mismatch_by_link_class(f.bytes, fabric, placement);
 }
 
 void write_frames_csv(std::ostream& os,
@@ -191,6 +262,12 @@ void write_frames_csv(std::ostream& os,
     }
     if (!any)
       os << f.window << "," << f.t0_s << "," << f.t1_s << ",-1,-1,0,0\n";
+    // Annotated per-link-class mismatch columns (src = -2, dst = class).
+    // Byte-hop totals are sums of integer products, so the cast is exact
+    // for any plausible magnitude.
+    for (std::size_t c = 0; c < f.class_hops.size(); ++c)
+      os << f.window << "," << f.t0_s << "," << f.t1_s << ",-2," << c << ",0,"
+         << static_cast<unsigned long long>(f.class_hops[c] + 0.5) << "\n";
   }
 }
 
@@ -266,9 +343,10 @@ std::vector<FrameMatrix> read_frames_csv(const std::string& path, int order) {
     r.count = static_cast<unsigned long>(count);
     r.bytes = static_cast<unsigned long>(bytes);
     const bool empty_marker = r.src == -1 && r.dst == -1;
-    check(empty_marker || (r.src >= 0 && r.dst >= 0),
+    const bool class_row = r.src == -2 && r.dst >= 0;
+    check(empty_marker || class_row || (r.src >= 0 && r.dst >= 0),
           "bad src/dst in frames csv: " + line);
-    max_rank = std::max({max_rank, r.src, r.dst});
+    if (!class_row) max_rank = std::max({max_rank, r.src, r.dst});
     rows.push_back(r);
   }
   check(!rows.empty(), "frames csv has a header but no data: " + path);
@@ -291,7 +369,12 @@ std::vector<FrameMatrix> read_frames_csv(const std::string& path, int order) {
       f.bytes = CommMatrix::square(n);
       frames.push_back(std::move(f));
     }
-    if (r.src >= 0) {
+    if (r.src == -2) {
+      auto& hops = frames.back().class_hops;
+      const auto cls = static_cast<std::size_t>(r.dst);
+      if (hops.size() <= cls) hops.resize(cls + 1, 0.0);
+      hops[cls] += static_cast<double>(r.bytes);
+    } else if (r.src >= 0) {
       frames.back().counts(static_cast<std::size_t>(r.src),
                            static_cast<std::size_t>(r.dst)) += r.count;
       frames.back().bytes(static_cast<std::size_t>(r.src),

@@ -48,6 +48,23 @@ double neighbor_affinity_fraction(const CommMatrix& bytes,
 double mismatch_byte_hops(const CommMatrix& bytes, const topo::Topology& topo,
                           const topo::Placement& placement);
 
+/// Fabric form: bytes are weighed by the fabric hop distance (network
+/// route length plus the PU<->NIC approach legs), so on fat-tree and
+/// dragonfly the metric sees how deep each pair's route actually goes.
+/// On a tree fabric this equals the Topology overload exactly.
+double mismatch_byte_hops(const CommMatrix& bytes, const topo::Fabric& fabric,
+                          const topo::Placement& placement);
+
+/// Decomposition of the fabric mismatch by link class, one entry per
+/// fabric.num_link_classes(): every network hop of an inter-node route
+/// credits its link's class, the PU<->NIC approach legs credit the nic
+/// class (index 0), and same-node pairs credit their intra-node locality
+/// class with their full hop weight. The entries sum exactly to
+/// mismatch_byte_hops(bytes, fabric, placement).
+std::vector<double> mismatch_by_link_class(const CommMatrix& bytes,
+                                           const topo::Fabric& fabric,
+                                           const topo::Placement& placement);
+
 /// Estimated fractional cost reduction TreeMatch would deliver on this
 /// matrix from the current placement, in [0, 1] (0: already optimal or no
 /// traffic). Runs the real TreeMatch kernel plus the modeled pattern cost.
@@ -78,7 +95,18 @@ struct FrameMatrix {
   double t1_s = 0.0;
   CommMatrix counts;
   CommMatrix bytes;
+  /// Per-link-class mismatch byte-hops of this window (see
+  /// mismatch_by_link_class); empty when never annotated (pre-fabric
+  /// CSVs). Survives the frames CSV round trip.
+  std::vector<double> class_hops;
 };
+
+/// Fills every frame's class_hops from its byte matrix (the per-window
+/// mismatch_by_link_class), so the breakdown rides along in the frames
+/// CSV and offline tools can render it without the fabric.
+void annotate_link_class_hops(std::vector<FrameMatrix>& frames,
+                              const topo::Fabric& fabric,
+                              const topo::Placement& placement);
 
 /// Per-window metrics of a gathered sequence. Topology-dependent fields
 /// are only filled by the overload taking a topology (offline tools run
@@ -97,6 +125,9 @@ struct WindowMetrics {
   bool boundary = false;
   double neighbor_frac = -1.0;
   double mismatch_hops = -1.0;
+  /// Per-link-class mismatch byte-hops; empty unless the fabric overload
+  /// ran or the frames carried annotated columns (see FrameMatrix).
+  std::vector<double> class_hops;
 };
 
 /// Analyzes a window sequence: totals, imbalance, inter-window distances
@@ -109,11 +140,19 @@ std::vector<WindowMetrics> analyze_windows(
     const std::vector<FrameMatrix>& frames, const topo::Topology& topo,
     const topo::Placement& placement);
 
+/// Fabric form: mismatch_hops uses fabric hop distances and class_hops is
+/// filled with the per-link-class decomposition.
+std::vector<WindowMetrics> analyze_windows(
+    const std::vector<FrameMatrix>& frames, const topo::Fabric& fabric,
+    const topo::Placement& placement);
+
 // --- frames CSV --------------------------------------------------------------
 
 /// Header: "window,t0_s,t1_s,src,dst,count,bytes". One row per non-zero
 /// (src, dst) cell; empty windows emit a single row with src = dst = -1
-/// and zero traffic so the grid survives the round trip.
+/// and zero traffic so the grid survives the round trip. Annotated frames
+/// additionally emit one row per link class with src = -2, dst = the
+/// class index and the class byte-hops in the bytes column.
 void write_frames_csv(std::ostream& os, const std::vector<FrameMatrix>& frames);
 void write_frames_csv_file(const std::string& path,
                            const std::vector<FrameMatrix>& frames);

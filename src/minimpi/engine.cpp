@@ -42,13 +42,74 @@ detail::CommImpl::CommImpl(int ctx_id, std::vector<int> members,
   }
 }
 
+namespace {
+
+/// Applies the fabric selection (EngineConfig::fabric, overridable by the
+/// strict-parsed MPIM_TOPO environment variable) before the engine wires
+/// itself to the cost model. Garbage is rejected with a logged warning and
+/// the configured model stands (the tree default); a valid spec replaces
+/// the cost model with CostModel::for_fabric sized to hold the placement,
+/// keeping the placement when it still fits and falling back to
+/// round-robin otherwise.
+EngineConfig resolve_fabric_config(EngineConfig cfg) {
+  constexpr const char* kGrammar =
+      "(want tree|fattree:<k,l,osub>|dragonfly:<a,g,h>[,valiant])";
+  std::optional<topo::FabricSpec> spec;
+  const auto env = support::env_nonempty_string("MPIM_TOPO");
+  if (env.ok()) {
+    spec = topo::parse_fabric_spec(env.value);
+    if (!spec)
+      telemetry::log(telemetry::LogLevel::warn, -1, "engine",
+                     "ignoring invalid MPIM_TOPO=\"" + env.raw + "\" " +
+                         kGrammar + "; using the configured fabric");
+  } else if (env.invalid()) {
+    telemetry::log(telemetry::LogLevel::warn, -1, "engine",
+                   "ignoring invalid MPIM_TOPO=\"" + env.raw + "\" " +
+                       kGrammar + "; using the configured fabric");
+  }
+  if (!spec && !cfg.fabric.empty()) {
+    spec = topo::parse_fabric_spec(cfg.fabric);
+    if (!spec)
+      telemetry::log(telemetry::LogLevel::warn, -1, "engine",
+                     "ignoring invalid EngineConfig::fabric=\"" + cfg.fabric +
+                         "\" " + kGrammar + "; using the configured model");
+  }
+  if (!spec) return cfg;
+  // "tree" keeps whatever tree model the caller configured (including its
+  // custom parameters): the spec names the kind, not a replacement model.
+  if (spec->kind == topo::FabricKind::tree &&
+      cfg.cost_model.fabric().kind() == topo::FabricKind::tree)
+    return cfg;
+  if (*spec == cfg.cost_model.fabric().spec()) return cfg;
+  const int np = static_cast<int>(cfg.placement.size());
+  auto fab = topo::make_fabric(*spec, std::max(1, np));
+  cfg.cost_model = net::CostModel::for_fabric(fab);
+  bool placement_fits = !cfg.placement.empty();
+  try {
+    topo::validate_placement(cfg.placement, fab->hierarchy());
+  } catch (const Error&) {
+    placement_fits = false;
+  }
+  if (!placement_fits && np >= 1) {
+    cfg.placement = topo::round_robin_placement(np, fab->hierarchy());
+    telemetry::log(telemetry::LogLevel::info, -1, "engine",
+                   "fabric \"" + spec->describe() +
+                       "\": configured placement does not fit; using "
+                       "round-robin over " +
+                       std::to_string(fab->num_leaves()) + " PUs");
+  }
+  telemetry::log(telemetry::LogLevel::info, -1, "engine",
+                 "fabric selected: " + fab->describe());
+  return cfg;
+}
+
+}  // namespace
+
 Engine::Engine(EngineConfig cfg)
-    : cfg_(std::move(cfg)),
+    : cfg_(resolve_fabric_config(std::move(cfg))),
       hub_(cfg_.placement.empty() ? 1
                                   : static_cast<int>(cfg_.placement.size())),
-      nic_(cfg_.cost_model.topology().arities().empty()
-               ? 1
-               : cfg_.cost_model.topology().arities()[0]) {
+      nic_(std::max(1, cfg_.cost_model.fabric().num_nodes())) {
   check(!cfg_.placement.empty(), "engine needs at least one rank");
   const auto tele_env = support::env_bool("MPIM_TELEMETRY");
   if (tele_env.ok()) {
@@ -418,9 +479,7 @@ void Engine::run(const std::function<void(Ctx&)>& rank_main) {
     }
     sched_.min_rank = 0;
   }
-  const int num_nodes = nic_.num_nodes();
-  nic_tx_busy_.assign(static_cast<std::size_t>(num_nodes), 0.0);
-  nic_rx_busy_.assign(static_cast<std::size_t>(num_nodes), 0.0);
+  link_busy_.assign(static_cast<std::size_t>(fabric().num_links()), 0.0);
   run_ctx_.assign(static_cast<std::size_t>(n), nullptr);
   alive_.store(n);
   // After the per-run resets (the critpath governor reservation interns a
@@ -764,7 +823,7 @@ void Ctx::send_bytes(int dst_world, const Comm& comm, int tag, CommKind kind,
     // Every retransmission was dropped: the final attempt leaves the NIC
     // but never arrives anywhere.
     if (engine_->cfg_.enable_nic_counters && crosses)
-      engine_->nic_.record_tx(engine_->topology().node_of(leaf_src), clock_,
+      engine_->nic_.record_tx(engine_->fabric().node_of(leaf_src), clock_,
                               bytes);
     const double lost_tx_start = clock_;
     clock_ += tx + cost.send_overhead();
@@ -794,7 +853,7 @@ void Ctx::send_bytes(int dst_world, const Comm& comm, int tag, CommKind kind,
   }
 
   if (engine_->cfg_.enable_nic_counters && crosses) {
-    engine_->nic_.record_tx(engine_->topology().node_of(leaf_src), tx_start,
+    engine_->nic_.record_tx(engine_->fabric().node_of(leaf_src), tx_start,
                             bytes);
   }
 
@@ -842,7 +901,7 @@ void Ctx::rma_transfer(int from_world, int to_world, const Comm& comm,
     clock_ += tx + alpha;
   }
   if (engine_->cfg_.enable_nic_counters && crosses) {
-    engine_->nic_.record_tx(engine_->topology().node_of(leaf_from), tx_start,
+    engine_->nic_.record_tx(engine_->fabric().node_of(leaf_from), tx_start,
                             bytes);
   }
   epoch_check();
@@ -871,23 +930,31 @@ double Ctx::contended_transfer(int leaf_src, int leaf_dst, double tx_s,
     }
     sched.cvs[static_cast<std::size_t>(me)]->wait_for(lock, 200ms);
   }
-  // This rank now holds the earliest possible send time: reserve the ports
-  // in virtual-time order (deterministic by construction).
-  const auto& topo = engine_->topology();
-  const auto src_node = static_cast<std::size_t>(topo.node_of(leaf_src));
-  const auto dst_node = static_cast<std::size_t>(topo.node_of(leaf_dst));
-  // The port drains at the wire rate, which may exceed one flow's
-  // end-to-end rate (EngineConfig::nic_port_beta_scale).
-  const double tx_port =
-      tx_s / std::max(1.0, engine_->cfg_.nic_port_beta_scale);
-  const double start = std::max(clock_, engine_->nic_tx_busy_[src_node]);
-  engine_->nic_tx_busy_[src_node] = start + tx_port;
-  // Cut-through: the head of the message reaches the remote rx port after
-  // alpha; the message is fully received once it has drained end to end.
-  const double rx_start =
-      std::max(start + alpha_s, engine_->nic_rx_busy_[dst_node]);
-  const double arrival = rx_start + tx_s;
-  engine_->nic_rx_busy_[dst_node] = rx_start + tx_port;
+  // This rank now holds the earliest possible send time: reserve every
+  // link of the route in virtual-time order (deterministic by
+  // construction). Cut-through per hop: the head of the message reaches
+  // link i after the preceding gap latency, waits for the link to free,
+  // and the message is fully received once it has drained end to end. On
+  // a tree fabric the route is [tx port, rx port] with the whole path
+  // latency as the single gap -- the historical two-port reservation,
+  // bit for bit. Links drain at their wire rate, which may exceed one
+  // flow's end-to-end rate (drain_frac, EngineConfig::nic_port_beta_scale).
+  net::RoutePlan plan;
+  engine_->cfg_.cost_model.route_plan(leaf_src, leaf_dst, alpha_s, &plan);
+  const double port_scale = std::max(1.0, engine_->cfg_.nic_port_beta_scale);
+  double stage = std::max(clock_, engine_->link_busy_[static_cast<std::size_t>(
+                                      plan.links[0])]);
+  const double start = stage;
+  engine_->link_busy_[static_cast<std::size_t>(plan.links[0])] =
+      stage + tx_s * plan.drain_frac[0] / port_scale;
+  for (int i = 1; i < plan.n; ++i) {
+    stage = std::max(
+        stage + plan.gap_alpha_s[i],
+        engine_->link_busy_[static_cast<std::size_t>(plan.links[i])]);
+    engine_->link_busy_[static_cast<std::size_t>(plan.links[i])] =
+        stage + tx_s * plan.drain_frac[i] / port_scale;
+  }
+  const double arrival = stage + tx_s;
 
   engine_->sched_update_locked(me, Engine::Sched::St::running,
                                start + tx_s);

@@ -39,6 +39,7 @@
 #include "minimpi/types.h"
 #include "netmodel/cost_model.h"
 #include "netmodel/nic_counters.h"
+#include "topo/fabric.h"
 #include "support/rng.h"
 #include "telemetry/hub.h"
 #include "topo/topology.h"
@@ -144,6 +145,17 @@ struct EngineConfig {
   net::CostModel cost_model;
   /// world rank -> processing unit; size defines the world size.
   topo::Placement placement;
+  /// Optional fabric selection ("tree" | "fattree:<k,l,osub>" |
+  /// "dragonfly:<a,g,h>[,valiant]", see topo::parse_fabric_spec). When set
+  /// -- or when the strict-parsed MPIM_TOPO environment variable overrides
+  /// it -- the engine replaces cost_model with
+  /// CostModel::for_fabric(make_fabric(spec)) sized to hold the placement,
+  /// keeping the configured placement when it still fits the new fabric's
+  /// leaves and falling back to round-robin otherwise. Empty (the default)
+  /// keeps cost_model exactly as configured; garbage is rejected with a
+  /// logged warning and the configured model stands, so a bad MPIM_TOPO
+  /// degrades to the tree default instead of crashing the run.
+  std::string fabric;
   CollAlgos coll{};
   /// Receiver-side per-message software overhead (seconds).
   double recv_overhead_s = 2.0e-7;
@@ -219,6 +231,7 @@ class Engine {
   const topo::Topology& topology() const {
     return cfg_.cost_model.topology();
   }
+  const topo::Fabric& fabric() const { return cfg_.cost_model.fabric(); }
   net::NicCounters& nic() { return nic_; }
   Comm world_comm() const { return world_comm_; }
 
@@ -461,8 +474,11 @@ class Engine {
   void sched_update_locked(int rank, Sched::St st, double clock);
 
   Sched sched_;
-  std::vector<double> nic_tx_busy_;  ///< per node, virtual seconds
-  std::vector<double> nic_rx_busy_;
+  /// Per-fabric-link busy horizon (virtual seconds). On a tree fabric the
+  /// links are per-node tx ports [0, N) and rx ports [N, 2N), reproducing
+  /// the historical NIC-port reservations bit for bit; routed fabrics
+  /// reserve every trunk/global link of the route.
+  std::vector<double> link_busy_;
 
   EngineConfig cfg_;
   telemetry::Hub hub_;

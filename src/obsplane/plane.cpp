@@ -673,8 +673,10 @@ CorrelateInput Plane::build_correlate_input_locked() const {
   in.nic = &engine_.nic();
   const auto& placement = engine_.config().placement;
   in.node_of_rank.reserve(placement.size());
+  // fabric().node_of, not topology().node_of: on fat-tree / dragonfly
+  // hierarchies depth 1 is a pod / router group, not the NIC domain.
   for (int leaf : placement)
-    in.node_of_rank.push_back(engine_.topology().node_of(leaf));
+    in.node_of_rank.push_back(engine_.fabric().node_of(leaf));
   in.retransmits_by_epoch = retransmits_by_epoch_;
   in.mismatch_by_epoch = mismatch_by_epoch_;
   in.events = events_;

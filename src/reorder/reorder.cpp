@@ -52,12 +52,19 @@ std::vector<int> compute_reordering(const CommMatrix& bytes,
     // Keep the current mapping when the proposal does not actually lower
     // the modeled (contention-aware) cost -- an already well-placed job
     // must not be churned by a heuristic local optimum.
+    // On routed fabrics the per-port bound cannot see which flows share a
+    // trunk or global link, so the max-min fair flow bound joins the
+    // decision; on the balanced tree it is skipped, keeping pre-fabric
+    // decisions bit-identical.
+    const bool routed = !cost->fabric().single_class_paths();
     auto decision_cost = [&](const std::vector<int>& perm) {
       topo::Placement effective(n);
       for (std::size_t p = 0; p < n; ++p)
         effective[static_cast<std::size_t>(perm[p])] = placement[p];
-      return cost->pattern_cost(bytes, effective) +
-             cost->nic_load_cost(bytes, effective);
+      double c = cost->pattern_cost(bytes, effective) +
+                 cost->nic_load_cost(bytes, effective);
+      if (routed) c += cost->flow_time_cost(bytes, effective);
+      return c;
     };
     // 3% hysteresis: permuting every rank of a running application is not
     // free, so marginal modeled improvements are not worth acting on.

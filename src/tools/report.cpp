@@ -407,6 +407,35 @@ void report_timeline(const std::string& path, std::ostream& os) {
      << " phase boundaries)\n";
   t.print(os);
 
+  // Per-link-class mismatch columns, present when the producer annotated
+  // the frames against a fabric (analyzer::annotate_link_class_hops).
+  std::size_t num_classes = 0;
+  for (const introspect::WindowMetrics& m : metrics)
+    num_classes = std::max(num_classes, m.class_hops.size());
+  if (num_classes == 0) {
+    os << "\nno per-link-class mismatch columns (frames csv predates the "
+          "fabric annotation; rerun the producer against a fabric)\n";
+  } else {
+    std::vector<std::string> headers = {"window"};
+    for (std::size_t c = 0; c < num_classes; ++c)
+      headers.push_back("class " + std::to_string(c));
+    headers.push_back("total hops");
+    Table ct(headers);
+    for (const introspect::WindowMetrics& m : metrics) {
+      std::vector<std::string> row = {std::to_string(m.window)};
+      double total = 0.0;
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        const double v = c < m.class_hops.size() ? m.class_hops[c] : 0.0;
+        total += v;
+        row.push_back(format_sig(v));
+      }
+      row.push_back(format_sig(total));
+      ct.add_row(row);
+    }
+    os << "\nmismatch byte-hops by link class (class 0 = nic/inter-node)\n";
+    ct.print(os);
+  }
+
   // Heatmap: the heaviest sender->receiver pairs, one row each, one column
   // per window, intensity scaled to the hottest cell in the view.
   struct Pair {

@@ -1,0 +1,520 @@
+#include "topo/fabric.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+#include "support/error.h"
+
+namespace mpim::topo {
+
+namespace {
+
+int ipow(int base, int exp) {
+  int v = 1;
+  for (int i = 0; i < exp; ++i) v *= base;
+  return v;
+}
+
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+const char* fabric_kind_name(FabricKind kind) {
+  switch (kind) {
+    case FabricKind::tree: return "tree";
+    case FabricKind::fattree: return "fattree";
+    case FabricKind::dragonfly: return "dragonfly";
+  }
+  return "?";
+}
+
+std::string FabricSpec::describe() const {
+  switch (kind) {
+    case FabricKind::tree:
+      return "tree";
+    case FabricKind::fattree:
+      return "fattree:" + std::to_string(ft_k) + "," +
+             std::to_string(ft_levels) + "," + std::to_string(ft_osub);
+    case FabricKind::dragonfly:
+      return "dragonfly:" + std::to_string(df_a) + "," +
+             std::to_string(df_g) + "," + std::to_string(df_h) +
+             (df_valiant ? ",valiant" : "");
+  }
+  return "?";
+}
+
+namespace {
+
+std::string trimmed_lower(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  std::string out = s.substr(b, e - b);
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// Whole-field decimal int: no sign, no blanks, no trailing text.
+bool parse_int_field(const std::string& f, int* out) {
+  if (f.empty()) return false;
+  const char* first = f.data();
+  const char* last = f.data() + f.size();
+  int v = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last) return false;
+  *out = v;
+  return true;
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(pos));
+      return out;
+    }
+    out.push_back(s.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+}
+
+constexpr int kMaxFabricNodes = 65536;
+
+}  // namespace
+
+std::optional<FabricSpec> parse_fabric_spec(const std::string& text) {
+  const std::string t = trimmed_lower(text);
+  const std::size_t colon = t.find(':');
+  const std::string head = colon == std::string::npos ? t : t.substr(0, colon);
+  const std::string rest =
+      colon == std::string::npos ? std::string() : t.substr(colon + 1);
+
+  FabricSpec spec;
+  if (head == "tree") {
+    if (colon != std::string::npos) return std::nullopt;  // "tree:..." is junk
+    spec.kind = FabricKind::tree;
+    return spec;
+  }
+  if (head == "fattree") {
+    if (colon == std::string::npos) return std::nullopt;
+    const auto fields = split_commas(rest);
+    if (fields.size() != 3) return std::nullopt;
+    if (!parse_int_field(fields[0], &spec.ft_k) ||
+        !parse_int_field(fields[1], &spec.ft_levels) ||
+        !parse_int_field(fields[2], &spec.ft_osub))
+      return std::nullopt;
+    if (spec.ft_k < 2 || spec.ft_k > 64) return std::nullopt;
+    if (spec.ft_levels < 1 || spec.ft_levels > 4) return std::nullopt;
+    if (spec.ft_osub < 1 || spec.ft_osub > 64) return std::nullopt;
+    long nodes = 1;
+    for (int i = 0; i < spec.ft_levels; ++i) nodes *= spec.ft_k;
+    if (nodes > kMaxFabricNodes) return std::nullopt;
+    spec.kind = FabricKind::fattree;
+    return spec;
+  }
+  if (head == "dragonfly") {
+    if (colon == std::string::npos) return std::nullopt;
+    auto fields = split_commas(rest);
+    if (fields.size() == 4) {
+      if (fields[3] == "valiant")
+        spec.df_valiant = true;
+      else if (fields[3] != "minimal")
+        return std::nullopt;
+      fields.pop_back();
+    }
+    if (fields.size() != 3) return std::nullopt;
+    if (!parse_int_field(fields[0], &spec.df_a) ||
+        !parse_int_field(fields[1], &spec.df_g) ||
+        !parse_int_field(fields[2], &spec.df_h))
+      return std::nullopt;
+    if (spec.df_a < 1 || spec.df_a > 64) return std::nullopt;
+    if (spec.df_g < 1 || spec.df_g > 256) return std::nullopt;
+    if (spec.df_h < 1 || spec.df_h > 32) return std::nullopt;
+    // Every remote group needs a global port somewhere in the group.
+    if (spec.df_g > 1 && spec.df_g - 1 > spec.df_a * spec.df_h)
+      return std::nullopt;
+    const long nodes =
+        static_cast<long>(spec.df_a) * spec.df_g * spec.df_h;
+    if (nodes > kMaxFabricNodes) return std::nullopt;
+    spec.kind = FabricKind::dragonfly;
+    return spec;
+  }
+  return std::nullopt;
+}
+
+// --- Fabric base -----------------------------------------------------------
+
+Fabric::Fabric(FabricSpec spec, Topology hierarchy, int node_level,
+               int num_network_classes,
+               std::vector<std::string> network_class_names)
+    : spec_(std::move(spec)),
+      hierarchy_(std::move(hierarchy)),
+      node_level_(node_level),
+      num_network_classes_(num_network_classes),
+      class_names_(std::move(network_class_names)) {
+  check(node_level_ >= 1 && node_level_ <= hierarchy_.depth(),
+        "fabric node level out of hierarchy range");
+  check(static_cast<int>(class_names_.size()) == num_network_classes_,
+        "one name per network link class required");
+  num_nodes_ = hierarchy_.num_leaves() / hierarchy_.subtree_leaves(node_level_);
+  // Intra-node locality classes, one per hierarchy level at or below the
+  // node: inter-socket, intra-socket, ..., same PU.
+  for (int cad = node_level_; cad <= hierarchy_.depth(); ++cad) {
+    if (cad == hierarchy_.depth())
+      class_names_.push_back("same-pu");
+    else
+      class_names_.push_back("intra-" + hierarchy_.level_name(cad - 1));
+  }
+}
+
+int Fabric::add_link(int cls) {
+  check(cls >= 0 && cls < num_network_classes_,
+        "link class out of network-class range");
+  link_class_.push_back(cls);
+  return static_cast<int>(link_class_.size()) - 1;
+}
+
+const std::string& Fabric::link_class_name(int cls) const {
+  check(cls >= 0 && cls < num_link_classes(), "link class out of range");
+  return class_names_[static_cast<std::size_t>(cls)];
+}
+
+int Fabric::link_class(int link) const {
+  check(link >= 0 && link < num_links(), "link id out of range");
+  return link_class_[static_cast<std::size_t>(link)];
+}
+
+int Fabric::pair_class(int leaf_a, int leaf_b) const {
+  const int cad = hierarchy_.common_ancestor_depth(leaf_a, leaf_b);
+  if (cad >= node_level_) return num_network_classes_ + (cad - node_level_);
+  // Tree fabrics keep the historical depth-indexed lookup (class == common
+  // ancestor depth, so inter-node == class 0); routed fabrics cost
+  // inter-node pairs per route.
+  return single_class_paths() ? cad : -1;
+}
+
+int Fabric::hop_distance(int leaf_a, int leaf_b) const {
+  if (leaf_a == leaf_b) {
+    check(leaf_a >= 0 && leaf_a < num_leaves(), "leaf index out of range");
+    return 0;
+  }
+  if (same_node(leaf_a, leaf_b)) return hierarchy_.hop_distance(leaf_a, leaf_b);
+  Route r;
+  distance_route(leaf_a, leaf_b, &r);
+  return r.n + 2 * (hierarchy_.depth() - node_level_);
+}
+
+std::string Fabric::describe() const {
+  return std::string(fabric_kind_name(kind())) + " fabric: " +
+         hierarchy_.describe() + ", " + std::to_string(num_nodes_) +
+         " nodes, " + std::to_string(num_links()) + " links in " +
+         std::to_string(num_link_classes()) + " classes";
+}
+
+// --- TreeFabric ------------------------------------------------------------
+
+namespace {
+
+FabricSpec tree_spec_for(const Topology& hierarchy) {
+  FabricSpec spec;
+  spec.kind = FabricKind::tree;
+  if (hierarchy.depth() == 3) {
+    spec.sockets = hierarchy.arities()[1];
+    spec.cores = hierarchy.arities()[2];
+  }
+  return spec;
+}
+
+}  // namespace
+
+TreeFabric::TreeFabric(Topology hierarchy)
+    : Fabric(tree_spec_for(hierarchy), std::move(hierarchy), /*node_level=*/1,
+             /*num_network_classes=*/1, {"inter-node"}) {
+  for (int n = 0; n < num_nodes_; ++n) add_link(0);  // tx ports [0, N)
+  for (int n = 0; n < num_nodes_; ++n) add_link(0);  // rx ports [N, 2N)
+}
+
+void TreeFabric::route(int leaf_src, int leaf_dst, Route* out) const {
+  out->n = 0;
+  const int s = node_of(leaf_src);
+  const int t = node_of(leaf_dst);
+  if (s == t) return;
+  out->links[out->n++] = s;               // source node tx port
+  out->links[out->n++] = num_nodes_ + t;  // destination node rx port
+}
+
+// --- FatTreeFabric ---------------------------------------------------------
+
+namespace {
+
+Topology fattree_hierarchy(int k, int levels, int sockets, int cores) {
+  std::vector<int> arities;
+  std::vector<std::string> names;
+  for (int d = 0; d < levels; ++d) {
+    arities.push_back(k);
+    names.push_back(d == levels - 1 ? "node" : "pod");
+  }
+  arities.push_back(sockets);
+  names.push_back("socket");
+  arities.push_back(cores);
+  names.push_back("core");
+  return Topology(std::move(arities), std::move(names));
+}
+
+std::vector<std::string> fattree_class_names(int levels) {
+  std::vector<std::string> names = {"nic"};
+  for (int d = 1; d < levels; ++d)
+    names.push_back("tier" + std::to_string(d));
+  return names;
+}
+
+FabricSpec fattree_spec(int k, int levels, int osub, int sockets, int cores) {
+  FabricSpec spec;
+  spec.kind = FabricKind::fattree;
+  spec.ft_k = k;
+  spec.ft_levels = levels;
+  spec.ft_osub = osub;
+  spec.sockets = sockets;
+  spec.cores = cores;
+  return spec;
+}
+
+}  // namespace
+
+FatTreeFabric::FatTreeFabric(int k, int levels, int osub, int sockets,
+                             int cores)
+    : Fabric(fattree_spec(k, levels, osub, sockets, cores),
+             fattree_hierarchy(k, levels, sockets, cores),
+             /*node_level=*/levels, /*num_network_classes=*/levels,
+             fattree_class_names(levels)),
+      k_(k),
+      levels_(levels),
+      width_(std::max(1, k / osub)) {
+  check(k >= 2, "fat-tree needs k >= 2");
+  check(levels >= 1, "fat-tree needs at least one switch level");
+  check(osub >= 1, "fat-tree oversubscription must be >= 1");
+  for (int n = 0; n < num_nodes_; ++n) add_link(0);  // nic up [0, N)
+  for (int n = 0; n < num_nodes_; ++n) add_link(0);  // nic down [N, 2N)
+  up_base_.assign(static_cast<std::size_t>(levels_), 0);
+  down_base_.assign(static_cast<std::size_t>(levels_), 0);
+  for (int d = 1; d < levels_; ++d) {
+    const int vertices = ipow(k_, d);
+    up_base_[static_cast<std::size_t>(d)] = num_links();
+    for (int i = 0; i < vertices * width_; ++i) add_link(d);
+    down_base_[static_cast<std::size_t>(d)] = num_links();
+    for (int i = 0; i < vertices * width_; ++i) add_link(d);
+  }
+}
+
+FatTreeFabric::FatTreeFabric(const FabricSpec& spec)
+    : FatTreeFabric(spec.ft_k, spec.ft_levels, spec.ft_osub, spec.sockets,
+                    spec.cores) {}
+
+int FatTreeFabric::node_tree_ancestor(int node, int d) const {
+  return node / ipow(k_, levels_ - d);
+}
+
+int FatTreeFabric::up_link(int d, int vertex, int parallel) const {
+  return up_base_[static_cast<std::size_t>(d)] + vertex * width_ + parallel;
+}
+
+int FatTreeFabric::down_link(int d, int vertex, int parallel) const {
+  return down_base_[static_cast<std::size_t>(d)] + vertex * width_ + parallel;
+}
+
+void FatTreeFabric::route(int leaf_src, int leaf_dst, Route* out) const {
+  out->n = 0;
+  const int s = node_of(leaf_src);
+  const int t = node_of(leaf_dst);
+  if (s == t) return;
+  // Deepest common ancestor of the two nodes in the switch tree.
+  int cadn = levels_;
+  int span = 1;
+  while (s / span != t / span) {
+    span *= k_;
+    --cadn;
+  }
+  // D-mod-k: every switch on the up path spreads by destination node.
+  const int parallel = t % width_;
+  out->links[out->n++] = s;  // nic up
+  for (int d = levels_ - 1; d > cadn; --d)
+    out->links[out->n++] = up_link(d, node_tree_ancestor(s, d), parallel);
+  for (int d = cadn + 1; d < levels_; ++d)
+    out->links[out->n++] = down_link(d, node_tree_ancestor(t, d), parallel);
+  out->links[out->n++] = num_nodes_ + t;  // nic down
+}
+
+// --- DragonflyFabric -------------------------------------------------------
+
+namespace {
+
+Topology dragonfly_hierarchy(int a, int g, int h, int sockets, int cores) {
+  return Topology({g, a, h, sockets, cores},
+                  {"group", "router", "node", "socket", "core"});
+}
+
+FabricSpec dragonfly_spec(int a, int g, int h, bool valiant, int sockets,
+                          int cores) {
+  FabricSpec spec;
+  spec.kind = FabricKind::dragonfly;
+  spec.df_a = a;
+  spec.df_g = g;
+  spec.df_h = h;
+  spec.df_valiant = valiant;
+  spec.sockets = sockets;
+  spec.cores = cores;
+  return spec;
+}
+
+}  // namespace
+
+DragonflyFabric::DragonflyFabric(int a, int g, int h, bool valiant,
+                                 int sockets, int cores)
+    : Fabric(dragonfly_spec(a, g, h, valiant, sockets, cores),
+             dragonfly_hierarchy(a, g, h, sockets, cores),
+             /*node_level=*/3, /*num_network_classes=*/3,
+             {"nic", "local", "global"}),
+      a_(a),
+      g_(g),
+      h_(h),
+      valiant_(valiant) {
+  check(a >= 1 && g >= 1 && h >= 1, "degenerate dragonfly shape");
+  check(g == 1 || g - 1 <= a * h,
+        "dragonfly: g-1 global links per group need g-1 <= a*h ports");
+  for (int n = 0; n < num_nodes_; ++n) add_link(0);  // nic up [0, N)
+  for (int n = 0; n < num_nodes_; ++n) add_link(0);  // nic down [N, 2N)
+  local_base_ = num_links();
+  for (int i = 0; i < g_ * a_ * (a_ - 1); ++i) add_link(1);
+  global_base_ = num_links();
+  for (int i = 0; i < g_ * (g_ - 1); ++i) add_link(2);
+}
+
+DragonflyFabric::DragonflyFabric(const FabricSpec& spec)
+    : DragonflyFabric(spec.df_a, spec.df_g, spec.df_h, spec.df_valiant,
+                      spec.sockets, spec.cores) {}
+
+int DragonflyFabric::local_link(int group, int from_router,
+                                int to_router) const {
+  const int slot = to_router < from_router ? to_router : to_router - 1;
+  return local_base_ + group * a_ * (a_ - 1) + from_router * (a_ - 1) + slot;
+}
+
+int DragonflyFabric::global_link(int from_group, int to_group) const {
+  const int offset = (to_group - from_group + g_) % g_ - 1;
+  return global_base_ + from_group * (g_ - 1) + offset;
+}
+
+int DragonflyFabric::gateway_router(int from_group, int to_group) const {
+  const int offset = (to_group - from_group + g_) % g_ - 1;
+  return offset / h_;
+}
+
+int DragonflyFabric::landing_router(int from_group, int to_group) const {
+  // Symmetric wiring: the cable lands at the router owning the reverse link.
+  return gateway_router(to_group, from_group);
+}
+
+void DragonflyFabric::minimal_between(int src_node, int dst_node,
+                                      Route* out) const {
+  const int gs = src_node / (a_ * h_);
+  const int gt = dst_node / (a_ * h_);
+  const int rs = (src_node / h_) % a_;
+  const int rt = (dst_node / h_) % a_;
+  if (gs == gt) {
+    if (rs != rt) out->links[out->n++] = local_link(gs, rs, rt);
+    return;
+  }
+  const int gw = gateway_router(gs, gt);
+  if (rs != gw) out->links[out->n++] = local_link(gs, rs, gw);
+  out->links[out->n++] = global_link(gs, gt);
+  const int land = landing_router(gs, gt);
+  if (land != rt) out->links[out->n++] = local_link(gt, land, rt);
+}
+
+void DragonflyFabric::route(int leaf_src, int leaf_dst, Route* out) const {
+  out->n = 0;
+  const int s = node_of(leaf_src);
+  const int t = node_of(leaf_dst);
+  if (s == t) return;
+  out->links[out->n++] = s;  // nic up
+  const int gs = s / (a_ * h_);
+  const int gt = t / (a_ * h_);
+  bool routed = false;
+  if (valiant_ && gs != gt && g_ > 2) {
+    // One-hop Valiant: a deterministic hash of the node pair spreads
+    // adversarial group-to-group traffic over intermediate groups.
+    const unsigned mix = static_cast<unsigned>(s) * 2654435761u +
+                         static_cast<unsigned>(t) * 40503u + 0x9e37u;
+    const int gv = static_cast<int>(mix % static_cast<unsigned>(g_));
+    if (gv != gs && gv != gt) {
+      const int rs = (s / h_) % a_;
+      const int rt = (t / h_) % a_;
+      const int gw1 = gateway_router(gs, gv);
+      if (rs != gw1) out->links[out->n++] = local_link(gs, rs, gw1);
+      out->links[out->n++] = global_link(gs, gv);
+      const int mid = landing_router(gs, gv);
+      const int gw2 = gateway_router(gv, gt);
+      if (mid != gw2) out->links[out->n++] = local_link(gv, mid, gw2);
+      out->links[out->n++] = global_link(gv, gt);
+      const int land = landing_router(gv, gt);
+      if (land != rt) out->links[out->n++] = local_link(gt, land, rt);
+      routed = true;
+    }
+  }
+  if (!routed) minimal_between(s, t, out);
+  out->links[out->n++] = num_nodes_ + t;  // nic down
+}
+
+void DragonflyFabric::distance_route(int leaf_src, int leaf_dst,
+                                     Route* out) const {
+  out->n = 0;
+  const int s = node_of(leaf_src);
+  const int t = node_of(leaf_dst);
+  if (s == t) return;
+  out->links[out->n++] = s;  // nic up
+  minimal_between(s, t, out);
+  out->links[out->n++] = num_nodes_ + t;  // nic down
+}
+
+// --- factories -------------------------------------------------------------
+
+std::shared_ptr<const Fabric> make_tree_fabric(Topology hierarchy) {
+  return std::make_shared<TreeFabric>(std::move(hierarchy));
+}
+
+std::shared_ptr<const Fabric> make_fabric(const FabricSpec& spec,
+                                          int min_leaves) {
+  check(min_leaves >= 1, "fabric needs at least one processing unit");
+  const int per_node = spec.sockets * spec.cores;
+  switch (spec.kind) {
+    case FabricKind::tree: {
+      const int nodes = std::max(1, ceil_div(min_leaves, per_node));
+      return std::make_shared<TreeFabric>(
+          Topology::cluster(nodes, spec.sockets, spec.cores));
+    }
+    case FabricKind::fattree: {
+      const int nodes = ipow(spec.ft_k, spec.ft_levels);
+      const int cores = std::max(
+          spec.cores, ceil_div(min_leaves, nodes * spec.sockets));
+      return std::make_shared<FatTreeFabric>(spec.ft_k, spec.ft_levels,
+                                             spec.ft_osub, spec.sockets,
+                                             cores);
+    }
+    case FabricKind::dragonfly: {
+      const int nodes = spec.df_a * spec.df_g * spec.df_h;
+      const int cores = std::max(
+          spec.cores, ceil_div(min_leaves, nodes * spec.sockets));
+      return std::make_shared<DragonflyFabric>(spec.df_a, spec.df_g,
+                                               spec.df_h, spec.df_valiant,
+                                               spec.sockets, cores);
+    }
+  }
+  check(false, "unknown fabric kind");
+  return nullptr;
+}
+
+}  // namespace mpim::topo

@@ -218,16 +218,23 @@ bool kl_refine_pair(const AffinityGraph& g, std::vector<int>& a,
 
 /// Pairwise KL over all sibling groups until a fixed point (bounded number
 /// of passes). Skipped for very wide partitions (Table-1 scale) where the
-/// quadratic pair enumeration would dominate; the greedy result stands.
+/// quadratic pair enumeration would dominate, and per pair when either
+/// group is large (fat-tree pods hold hundreds of slots at np=4096; the
+/// KL inner loop is cubic in group size); the greedy result stands there.
 void kl_refine(const AffinityGraph& g, std::vector<std::vector<int>>& groups) {
   constexpr std::size_t kMaxGroupsForRefine = 64;
+  constexpr std::size_t kMaxGroupSizeForRefine = 64;
   constexpr int kMaxPasses = 4;
   if (groups.size() > kMaxGroupsForRefine) return;
   for (int pass = 0; pass < kMaxPasses; ++pass) {
     bool improved = false;
     for (std::size_t i = 0; i < groups.size(); ++i)
-      for (std::size_t j = i + 1; j < groups.size(); ++j)
+      for (std::size_t j = i + 1; j < groups.size(); ++j) {
+        if (groups[i].size() > kMaxGroupSizeForRefine ||
+            groups[j].size() > kMaxGroupSizeForRefine)
+          continue;
         improved |= kl_refine_pair(g, groups[i], groups[j]);
+      }
     if (!improved) break;
   }
 }
@@ -351,10 +358,39 @@ std::vector<int> treematch_slots(const CommMatrix& bytes,
   return treematch_slots(AffinityGraph::from_dense(bytes), topo, slot_leaves);
 }
 
+std::vector<int> treematch_leaves(const AffinityGraph& affinity,
+                                  const topo::Fabric& fabric) {
+  return treematch_leaves(affinity, fabric.hierarchy());
+}
+
+std::vector<int> treematch_slots(const AffinityGraph& affinity,
+                                 const topo::Fabric& fabric,
+                                 const std::vector<int>& slot_leaves) {
+  return treematch_slots(affinity, fabric.hierarchy(), slot_leaves);
+}
+
 double mapping_cost(const CommMatrix& bytes,
                     const std::vector<int>& process_to_leaf,
                     const net::CostModel& cost) {
   return cost.pattern_cost(bytes, process_to_leaf);
+}
+
+double mapping_cost(const AffinityGraph& affinity,
+                    const std::vector<int>& process_to_leaf,
+                    const net::CostModel& cost) {
+  double total = 0.0;
+  for (const Edge& e : affinity.edges()) {
+    const int a = process_to_leaf[static_cast<std::size_t>(e.u)];
+    const int b = process_to_leaf[static_cast<std::size_t>(e.v)];
+    // The symmetrized weight is split evenly per direction, so on patterns
+    // whose dense matrix is symmetric this matches pattern_cost up to
+    // floating-point association.
+    total += cost.latency(a, b) + cost.latency(b, a) +
+             0.5 * e.w *
+                 (cost.serialization_time(a, b, 1) +
+                  cost.serialization_time(b, a, 1));
+  }
+  return total;
 }
 
 }  // namespace mpim::tm

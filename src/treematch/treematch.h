@@ -43,9 +43,27 @@ std::vector<int> treematch_slots(const CommMatrix& bytes,
                                  const topo::Topology& topo,
                                  const std::vector<int>& slot_leaves);
 
+/// Fabric forms: partition against the fabric's locality hierarchy level
+/// by level (switch tiers / dragonfly groups included), so heavy pairs
+/// land under shallow network routes, not just on the same node.
+std::vector<int> treematch_leaves(const AffinityGraph& affinity,
+                                  const topo::Fabric& fabric);
+std::vector<int> treematch_slots(const AffinityGraph& affinity,
+                                 const topo::Fabric& fabric,
+                                 const std::vector<int>& slot_leaves);
+
 /// Modeled total cost of running pattern `bytes` when process i sits on
-/// leaf `process_to_leaf[i]` -- the objective treematch reduces.
+/// leaf `process_to_leaf[i]` -- the objective treematch reduces. Delegates
+/// to net::CostModel::pattern_cost (route-aware on routed fabrics).
 double mapping_cost(const CommMatrix& bytes,
+                    const std::vector<int>& process_to_leaf,
+                    const net::CostModel& cost);
+
+/// Sparse form: never materializes the dense matrix (Table-1 orders).
+/// Charges each undirected edge with half its symmetrized weight per
+/// direction; equal to the dense objective on symmetric patterns up to
+/// floating-point association.
+double mapping_cost(const AffinityGraph& affinity,
                     const std::vector<int>& process_to_leaf,
                     const net::CostModel& cost);
 

@@ -240,6 +240,108 @@ TEST(SchedParity, CritpathLabelsMatchAcrossBackends) {
   EXPECT_EQ(std::get<4>(threads), std::get<4>(fibers));  // total wait ns
 }
 
+// --- fabric backends ---------------------------------------------------------
+
+TEST(SchedParity, AllFabricKindsKeepClockParity) {
+  // The per-link contention gate walks real multi-hop routes on fat-tree
+  // and dragonfly; both backends must replay the exact same reservations.
+  for (const char* spec :
+       {"fattree:2,2,1", "fattree:2,2,2", "dragonfly:2,3,2",
+        "dragonfly:3,4,2,valiant"}) {
+    SCOPED_TRACE(spec);
+    constexpr int kNp = 12;
+    auto fab = topo::make_fabric(*topo::parse_fabric_spec(spec), kNp);
+    EngineConfig cfg{.cost_model = net::CostModel::for_fabric(fab),
+                     .placement =
+                         topo::bynode_placement(kNp, fab->hierarchy())};
+    cfg.watchdog_wall_timeout_s = 5.0;
+    cfg.nic_contention = true;
+    cfg.nic_port_beta_scale = 2.0;
+    expect_clock_parity(cfg, mixed_workload);
+  }
+}
+
+TEST(SchedParity, TreeFabricReproducesPreFabricClocks) {
+  // Golden clocks captured on the depth-indexed pre-fabric engine (18
+  // ranks by-node on plafrim_like(3), hexfloat-exact): the TreeFabric path
+  // must reproduce them bit for bit, contention on and off, under both
+  // backends.
+  const std::vector<double> want_plain = {
+      0x1.2d037f77959f9p-13, 0x1.2d037f77959f9p-13, 0x1.2f520e50e1d6ap-13,
+      0x1.2ab4f09e49688p-13, 0x1.2d037f77959f9p-13, 0x1.2d037f77959f9p-13,
+      0x1.2f520e50e1d6ap-13, 0x1.2d037f77959f9p-13, 0x1.2f520e50e1d6ap-13,
+      0x1.2f520e50e1d6ap-13, 0x1.31a09d2a2e0dbp-13, 0x1.2d037f77959f9p-13,
+      0x1.2f520e50e1d6ap-13, 0x1.286661c4fd317p-13, 0x1.2ab4f09e49688p-13,
+      0x1.2ab4f09e49688p-13, 0x1.2d037f77959f9p-13, 0x1.2ab4f09e49688p-13};
+  const std::vector<double> want_contended = {
+      0x1.2d5f1fb7166ebp-13, 0x1.2d5f1fb7166ebp-13, 0x1.2fadae9062a5cp-13,
+      0x1.2b1090ddca37ap-13, 0x1.2d5f1fb7166ebp-13, 0x1.2d5f1fb7166ebp-13,
+      0x1.2fadae9062a5cp-13, 0x1.2d5f1fb7166ebp-13, 0x1.2fadae9062a5cp-13,
+      0x1.2fadae9062a5cp-13, 0x1.31fc3d69aedcdp-13, 0x1.2d5f1fb7166ebp-13,
+      0x1.2fadae9062a5cp-13, 0x1.28c202047e009p-13, 0x1.2b1090ddca37ap-13,
+      0x1.2b1090ddca37ap-13, 0x1.2d5f1fb7166ebp-13, 0x1.2b1090ddca37ap-13};
+  const auto workload = [](Ctx& ctx) {
+    const Comm world = ctx.world();
+    const int n = comm_size(world);
+    const int me = comm_rank(world);
+    std::vector<double> buf(256, static_cast<double>(me));
+    for (int it = 0; it < 3; ++it) {
+      compute(1e-5 * (me % 4 + 1));
+      send(buf.data(), buf.size(), Type::Double, (me + 1) % n, it, world);
+      recv(buf.data(), buf.size(), Type::Double, (me + n - 1) % n, it, world);
+    }
+    long v = me, sum = 0;
+    allreduce(&v, &sum, 1, Type::Long, Op::Sum, world);
+    int root_val = me == 0 ? 7 : 0;
+    bcast(&root_val, 1, Type::Int, 0, world);
+    barrier(world);
+  };
+  for (const bool contention : {false, true}) {
+    for (const SchedMode mode : {SchedMode::threads, SchedMode::fibers}) {
+      auto cost = net::CostModel::plafrim_like(/*nodes=*/3);
+      EngineConfig cfg{.cost_model = cost,
+                       .placement =
+                           topo::bynode_placement(18, cost.topology())};
+      cfg.nic_contention = contention;
+      cfg.nic_port_beta_scale = 2.0;
+      cfg.sched = mode;
+      Engine eng(cfg);
+      eng.run(workload);
+      EXPECT_EQ(eng.final_clocks(), contention ? want_contended : want_plain)
+          << "contention=" << contention << " mode=" << sched_mode_name(mode);
+    }
+  }
+}
+
+TEST(SchedEnv, StrictTopoParseSelectsFabricAndRejectsGarbage) {
+  auto cfg = sched_cfg(4);
+  const auto fabric_kind_after_run = [&] {
+    Engine eng(cfg);
+    eng.run([](Ctx&) {});
+    return eng.fabric().kind();
+  };
+  ::unsetenv("MPIM_TOPO");
+  EXPECT_EQ(fabric_kind_after_run(), topo::FabricKind::tree);
+
+  ::setenv("MPIM_TOPO", "fattree:2,2,1", 1);
+  EXPECT_EQ(fabric_kind_after_run(), topo::FabricKind::fattree);
+  ::setenv("MPIM_TOPO", " DragonFly:2,3,2 ", 1);  // case + blanks tolerated
+  EXPECT_EQ(fabric_kind_after_run(), topo::FabricKind::dragonfly);
+
+  // Garbage must not half-apply: the configured tree fabric stands, and
+  // "tree" itself keeps the caller's custom tree cost model.
+  for (const char* bad :
+       {"", "fattree", "fattree:2,2", "fattree:2,2,zz", "fattree:2,2,2,9",
+        "dragonfly:2,3", "dragonfly:2,3,2,fastest", "torus:4", "tree:3"}) {
+    ::setenv("MPIM_TOPO", bad, 1);
+    EXPECT_EQ(fabric_kind_after_run(), topo::FabricKind::tree)
+        << "value \"" << bad << "\"";
+  }
+  ::setenv("MPIM_TOPO", "tree", 1);
+  EXPECT_EQ(fabric_kind_after_run(), topo::FabricKind::tree);
+  ::unsetenv("MPIM_TOPO");
+}
+
 // --- fiber-only behaviors ----------------------------------------------------
 
 TEST(SchedFibers, RerunsAreDeterministic) {
